@@ -1,0 +1,47 @@
+// Ablation: the cost of resisting provider traffic analysis (§6).
+//
+// Shaping to a constant cell stream erases the size/timing side channel
+// but pays (i) padding overhead, a function of how application message
+// sizes align to the cell size, and (ii) a goodput ceiling set by the
+// constant cell rate.  This quantifies the tradeoff the paper leaves to
+// security-sensitive tenants.
+
+#include "bench/bench_util.h"
+#include "src/net/shaping.h"
+
+int main() {
+  using bolted::bench::PrintHeader;
+  using bolted::net::CellsFor;
+  using bolted::net::PaddingOverhead;
+  using bolted::net::ShapingPolicy;
+
+  PrintHeader("Ablation: traffic-shaping padding overhead by message size");
+  const uint64_t message_sizes[] = {200,        1500,       4096,   16 * 1024,
+                                    64 * 1024,  256 * 1024, 1 << 20};
+  std::printf("%14s", "cell size");
+  for (const uint64_t m : message_sizes) {
+    std::printf(" %9llu", static_cast<unsigned long long>(m));
+  }
+  std::printf("\n");
+  for (const uint64_t cell : {1500ull, 4096ull, 16384ull, 65536ull}) {
+    ShapingPolicy policy{.cell_bytes = cell, .cells_per_second = 1000};
+    std::printf("%11llu B ", static_cast<unsigned long long>(cell));
+    for (const uint64_t m : message_sizes) {
+      std::printf(" %8.2fx", PaddingOverhead(policy, m));
+    }
+    std::printf("\n");
+  }
+
+  PrintHeader("Goodput ceiling vs constant stream rate (16 KB cells)");
+  std::printf("%16s %16s %20s\n", "cells/s", "stream (MB/s)", "max goodput (MB/s)");
+  for (const double rate : {500.0, 2000.0, 8000.0, 32000.0}) {
+    const ShapingPolicy policy{.cell_bytes = 16 * 1024, .cells_per_second = rate};
+    const double stream = rate * static_cast<double>(policy.cell_bytes) / 1e6;
+    // Goodput excludes the 4-byte cell header.
+    const double goodput = rate * static_cast<double>(policy.cell_bytes - 4) / 1e6;
+    std::printf("%16.0f %16.1f %20.1f\n", rate, stream, goodput);
+  }
+  std::printf("\nThe stream rate is paid constantly (chaff when idle): choosing\n"
+              "it is choosing how much bandwidth to burn for unobservability.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared helpers for the figure-reproduction benches.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/cloud.h"
+#include "src/core/enclave.h"
+
+namespace bolted::bench {
+
+// Provisions `count` nodes sequentially into the enclave; aborts the
+// process on failure (benches assume a healthy cloud).
+inline sim::Task ProvisionMany(core::Cloud& cloud, core::Enclave& enclave, int count) {
+  for (int i = 0; i < count; ++i) {
+    core::ProvisionOutcome outcome;
+    co_await enclave.ProvisionNode(cloud.node_name(static_cast<size_t>(i)), &outcome);
+    if (!outcome.success) {
+      std::fprintf(stderr, "provisioning %s failed: %s\n",
+                   cloud.node_name(static_cast<size_t>(i)).c_str(),
+                   outcome.failure.c_str());
+      std::abort();
+    }
+  }
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::string& label, double value, const char* unit) {
+  std::printf("%-34s %10.2f %s\n", label.c_str(), value, unit);
+}
+
+}  // namespace bolted::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,59 @@
+// Figure 6: IMA overhead on a Linux kernel compile, threads 1..32.
+//
+// The paper's stress policy measures every executed file and every file
+// read by root, runs the compile as root, and still sees no noticeable
+// overhead — measurements happen once per unique file and amortise across
+// threads.
+
+#include "bench/bench_util.h"
+#include "src/ima/ima.h"
+#include "src/tpm/tpm.h"
+#include "src/workload/workload.h"
+
+namespace bolted {
+namespace {
+
+double RunCompile(int threads, bool with_ima, uint64_t* measurements) {
+  sim::Simulation simu;
+  tpm::Tpm tpm(crypto::ToBytes("fig6-tpm"), tpm::TpmLatencyModel{});
+  ima::ImaPolicy policy;
+  policy.measure_executables = true;
+  policy.measure_root_reads = true;  // the paper's stress policy
+  ima::Ima ima(tpm, policy);
+
+  workload::KernelCompileSpec spec;
+  workload::KernelCompileResult result;
+  auto flow = [&]() -> sim::Task {
+    co_await workload::RunKernelCompile(simu, spec, threads,
+                                        with_ima ? &ima : nullptr, &result);
+  };
+  simu.Spawn(flow());
+  simu.Run();
+  *measurements = result.measurements;
+  return result.elapsed.ToSecondsF();
+}
+
+}  // namespace
+}  // namespace bolted
+
+int main() {
+  using bolted::bench::PrintHeader;
+
+  PrintHeader("Figure 6: IMA overhead on Linux kernel compile");
+  std::printf("%8s %14s %14s %10s %14s\n", "threads", "no IMA (s)", "IMA (s)",
+              "overhead", "measurements");
+  double worst = 0;
+  for (int threads : {1, 2, 4, 8, 16, 32}) {
+    uint64_t measurements = 0;
+    const double base = bolted::RunCompile(threads, false, &measurements);
+    const double with_ima = bolted::RunCompile(threads, true, &measurements);
+    const double overhead = 100.0 * (with_ima - base) / base;
+    worst = std::max(worst, overhead);
+    std::printf("%8d %14.1f %14.1f %9.2f%% %14llu\n", threads, base, with_ima,
+                overhead, static_cast<unsigned long long>(measurements));
+  }
+
+  PrintHeader("Figure 6: headline check");
+  std::printf("worst-case IMA overhead: %.2f%% (paper: not noticeable)\n", worst);
+  return 0;
+}

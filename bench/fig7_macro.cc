@@ -1,0 +1,99 @@
+// Figure 7: macro-benchmark performance degradation under encryption.
+//
+// Applications: NAS Parallel Benchmarks (EP, CG, FT, MG, class-D-like) on
+// a 16-server enclave; Spark TeraSort over a 260 GB data set; Filebench
+// inside a KVM guest on one server.  Configurations: none, LUKS, IPsec,
+// LUKS+IPsec.
+//
+// Paper shape: NPB overheads come from IPsec only and range from ~18 %
+// (EP) to ~200 % (CG); TeraSort degrades ~30 % under LUKS+IPsec;
+// Filebench-in-a-VM is ~50 % worse under IPsec.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workload/workload.h"
+
+namespace bolted {
+namespace {
+
+struct ConfigSpec {
+  std::string label;
+  bool luks;
+  bool ipsec;
+};
+
+double RunApp(const workload::WorkloadSpec& app, const ConfigSpec& config,
+              int nodes) {
+  core::CloudConfig cloud_config;
+  cloud_config.num_machines = nodes;
+  cloud_config.linuxboot_in_flash = true;
+  core::Cloud cloud(cloud_config);
+
+  core::TrustProfile profile;
+  profile.use_attestation = false;  // perf configs differ only in encryption
+  profile.encrypt_disk = config.luks;
+  profile.encrypt_network = config.ipsec;
+  core::Enclave enclave(cloud, "tenant", profile, 7);
+
+  sim::Duration elapsed = sim::Duration::Zero();
+  workload::WorkloadRunner runner(cloud, enclave);
+  auto flow = [&]() -> sim::Task {
+    co_await bench::ProvisionMany(cloud, enclave, nodes);
+    co_await runner.Run(app, &elapsed);
+  };
+  cloud.sim().Spawn(flow());
+  cloud.sim().Run();
+  return elapsed.ToSecondsF();
+}
+
+void RunTable(const workload::WorkloadSpec& app, int nodes, double* degradation_out) {
+  static const ConfigSpec kConfigs[] = {
+      {"none", false, false},
+      {"LUKS", true, false},
+      {"IPsec", false, true},
+      {"LUKS+IPsec", true, true},
+  };
+  double base = 0;
+  std::printf("%-14s", app.name.c_str());
+  for (int i = 0; i < 4; ++i) {
+    const double seconds = RunApp(app, kConfigs[i], nodes);
+    if (i == 0) {
+      base = seconds;
+    }
+    std::printf(" %9.1fs (%+5.0f%%)", seconds, 100.0 * (seconds - base) / base);
+    if (i == 3 && degradation_out != nullptr) {
+      *degradation_out = 100.0 * (seconds - base) / base;
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bolted
+
+int main() {
+  using bolted::bench::PrintHeader;
+
+  PrintHeader("Figure 7: macro-benchmarks (none / LUKS / IPsec / LUKS+IPsec)");
+  std::printf("%-14s %18s %18s %18s %18s\n", "app", "none", "LUKS", "IPsec",
+              "LUKS+IPsec");
+
+  double ep = 0;
+  double cg = 0;
+  double tera = 0;
+  double fb = 0;
+  bolted::RunTable(bolted::workload::NasEp(), 16, &ep);
+  bolted::RunTable(bolted::workload::NasCg(), 16, &cg);
+  bolted::RunTable(bolted::workload::NasFt(), 16, nullptr);
+  bolted::RunTable(bolted::workload::NasMg(), 16, nullptr);
+  bolted::RunTable(bolted::workload::SparkTeraSort(), 16, &tera);
+  bolted::RunTable(bolted::workload::FilebenchVm(), 1, &fb);
+
+  PrintHeader("Figure 7: headline checks (LUKS+IPsec degradation)");
+  std::printf("NPB-EP:   %+6.0f%%  (paper ~+18%%)\n", ep);
+  std::printf("NPB-CG:   %+6.0f%%  (paper ~+200%%)\n", cg);
+  std::printf("TeraSort: %+6.0f%%  (paper ~+30%%)\n", tera);
+  std::printf("Filebench:%+6.0f%%  (paper ~+50%% under IPsec)\n", fb);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) for the real crypto primitives the
+// library implements.  These are sanity anchors for the cost models in
+// src/core/calibration.h: the simulated XTS/GCM throughput ceilings must
+// stay within the regime a real implementation achieves.
+
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/aes.h"
+#include "src/crypto/aes_gcm.h"
+#include "src/crypto/aes_xts.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/p256.h"
+#include "src/crypto/sha256.h"
+
+namespace bolted::crypto {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Drbg drbg(uint64_t{1});
+  const Bytes data = drbg.Generate(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Drbg drbg(uint64_t{2});
+  const Bytes key = drbg.Generate(32);
+  const Bytes data = drbg.Generate(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(4096);
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  Drbg drbg(uint64_t{3});
+  const Bytes key = drbg.Generate(32);
+  Aes256 aes(key);
+  uint8_t block[16] = {};
+  for (auto _ : state) {
+    aes.EncryptBlock(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_AesXtsSector(benchmark::State& state) {
+  Drbg drbg(uint64_t{4});
+  const Bytes key = drbg.Generate(64);
+  AesXts xts(key);
+  Bytes sector = drbg.Generate(static_cast<size_t>(state.range(0)));
+  uint64_t sector_number = 0;
+  for (auto _ : state) {
+    xts.EncryptSector(sector_number++, sector);
+    benchmark::DoNotOptimize(sector.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesXtsSector)->Arg(512)->Arg(4096);
+
+void BM_AesGcmSeal(benchmark::State& state) {
+  Drbg drbg(uint64_t{5});
+  const Bytes key = drbg.Generate(32);
+  const Bytes nonce = drbg.Generate(12);
+  const Bytes plaintext = drbg.Generate(static_cast<size_t>(state.range(0)));
+  AesGcm gcm(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.Seal(nonce, plaintext, {}));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(1500)->Arg(9000);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  const P256& curve = P256::Instance();
+  const U256 priv = curve.PrivateKeyFromSeed(ToBytes("bench-signer"));
+  const Digest hash = Sha256::Hash("quote to sign");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.Sign(priv, hash));
+  }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  const P256& curve = P256::Instance();
+  const U256 priv = curve.PrivateKeyFromSeed(ToBytes("bench-signer"));
+  const EcPoint pub = curve.PublicKey(priv);
+  const Digest hash = Sha256::Hash("quote to verify");
+  const EcdsaSignature sig = curve.Sign(priv, hash);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.Verify(pub, hash, sig));
+  }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_EcdhSharedSecret(benchmark::State& state) {
+  const P256& curve = P256::Instance();
+  const U256 a = curve.PrivateKeyFromSeed(ToBytes("a"));
+  const EcPoint b_pub = curve.PublicKey(curve.PrivateKeyFromSeed(ToBytes("b")));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.SharedSecret(a, b_pub));
+  }
+}
+BENCHMARK(BM_EcdhSharedSecret);
+
+}  // namespace
+}  // namespace bolted::crypto
+
+BENCHMARK_MAIN();

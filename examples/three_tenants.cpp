@@ -1,0 +1,105 @@
+// The paper's §4.3 personas sharing one cloud:
+//
+//   Alice   - grad student: maximum speed, no attestation, no encryption.
+//   Bob     - professor: trusts the provider, not the previous tenants;
+//             provider-deployed attestation.
+//   Charlie - security-sensitive: tenant-deployed Keylime, LUKS + IPsec,
+//             continuous attestation.
+//
+// The example provisions one node for each, compares their provisioning
+// costs, and then uses the provider-level packet sniffer to show what a
+// malicious insider could read from each tenant's traffic.
+//
+//   ./build/examples/three_tenants
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/cloud.h"
+#include "src/core/enclave.h"
+
+int main() {
+  using namespace bolted;
+
+  core::CloudConfig config;
+  config.num_machines = 8;
+  config.linuxboot_in_flash = true;
+  core::Cloud cloud(config);
+
+  core::Enclave alice(cloud, "alice", core::TrustProfile::Alice(), 1);
+  core::Enclave bob(cloud, "bob", core::TrustProfile::Bob(), 2);
+  core::Enclave charlie(cloud, "charlie", core::TrustProfile::Charlie(), 3);
+
+  core::ProvisionOutcome oa;
+  core::ProvisionOutcome ob;
+  core::ProvisionOutcome oc1;
+  core::ProvisionOutcome oc2;
+  auto flow = [&]() -> sim::Task {
+    co_await alice.ProvisionNode("node-0", &oa);
+    co_await bob.ProvisionNode("node-1", &ob);
+    co_await charlie.ProvisionNode("node-2", &oc1);
+    co_await charlie.ProvisionNode("node-3", &oc2);
+  };
+  cloud.sim().Spawn(flow());
+  cloud.sim().RunUntil(sim::Time::FromNanoseconds(1'200'000'000'000));
+
+  std::printf("provisioning cost by trust profile:\n");
+  std::printf("  Alice   (no attestation)          %8.0f s\n",
+              oa.trace.total().ToSecondsF());
+  std::printf("  Bob     (provider attestation)    %8.0f s\n",
+              ob.trace.total().ToSecondsF());
+  std::printf("  Charlie (tenant Keylime+LUKS+IPsec)%7.0f s\n",
+              oc1.trace.total().ToSecondsF());
+
+  // --- What a provider insider sees on the wire -------------------------
+  std::printf("\nprovider-level sniffer experiment:\n");
+  std::string captured;
+  cloud.fabric().SetSniffer([&](net::VlanId, const net::Message& m) {
+    if (m.kind == "app.data") {
+      captured.assign(m.payload.begin(), m.payload.end());
+    }
+  });
+
+  // Alice sends her data in the clear inside her enclave VLAN.
+  machine::Machine* a0 = alice.node_machine("node-0");
+  a0->endpoint().Post(a0->address(),  // self-addressed loop for demo
+                      net::Message{.kind = "app.data",
+                                   .payload = crypto::ToBytes("alice: cleartext result")});
+  // (Charlie's continuous attestation keeps the queue alive, so bound the run.)
+  cloud.sim().RunUntil(cloud.sim().now() + sim::Duration::Seconds(5));
+  std::printf("  Alice's traffic as seen by the provider: \"%s\"\n",
+              captured.c_str());
+
+  // Charlie's nodes speak ESP: the sniffer sees only ciphertext.
+  machine::Machine* c2 = charlie.node_machine("node-2");
+  machine::Machine* c3 = charlie.node_machine("node-3");
+  const auto sealed =
+      c2->ipsec().Seal(c3->address(), crypto::ToBytes("charlie: secret model weights"));
+  captured.clear();
+  c2->endpoint().Post(c3->address(),
+                      net::Message{.kind = "app.data", .payload = *sealed});
+  cloud.sim().RunUntil(cloud.sim().now() + sim::Duration::Seconds(5));
+  std::printf("  Charlie's traffic as seen by the provider: %zu bytes of ESP, "
+              "hex prefix %s...\n",
+              captured.size(),
+              crypto::ToHex(crypto::ByteView(
+                                reinterpret_cast<const uint8_t*>(captured.data()),
+                                std::min<size_t>(8, captured.size())))
+                  .c_str());
+  const auto opened = c3->ipsec().Open(
+      c2->address(), crypto::ByteView(
+                         reinterpret_cast<const uint8_t*>(captured.data()),
+                         captured.size()));
+  std::printf("  ...which only node-3 can open: \"%s\"\n",
+              opened ? std::string(opened->begin(), opened->end()).c_str()
+                     : "(failed)");
+
+  // --- Isolation: Alice cannot reach Bob's node --------------------------
+  machine::Machine* b1 = bob.node_machine("node-1");
+  std::printf("\nVLAN isolation: alice->bob reachable on a tenant network? %s\n",
+              cloud.fabric().SharedVlan(a0->address(), b1->address()) ==
+                      cloud.provisioning_vlan()
+                  ? "only via the shared provisioning VLAN (iSCSI)"
+                  : "no");
+  return oa.success && ob.success && oc1.success && oc2.success ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+#include "src/bmi/bmi.h"
+
+#include "src/net/wire.h"
+
+namespace bolted::bmi {
+
+BmiService::BmiService(sim::Simulation& sim, net::Endpoint& endpoint,
+                       storage::ImageStore& images)
+    : sim_(sim), node_(sim, endpoint), images_(images),
+      iscsi_target_(sim, node_, images) {
+  iscsi_target_.Register();
+  node_.RegisterHandler(std::string(kRpcFetchArtifact),
+                        [this](const net::Message& req, net::Message* resp) {
+                          return HandleFetch(req, resp);
+                        });
+  node_.Start();
+}
+
+storage::ImageId BmiService::RegisterGoldenImage(const std::string& name,
+                                                 uint64_t size,
+                                                 storage::BootInfo boot_info) {
+  return images_.Create(name, size, std::move(boot_info));
+}
+
+std::optional<storage::ImageId> BmiService::CreateNodeImage(
+    const std::string& node, storage::ImageId golden) {
+  const auto clone = images_.Clone(golden, "node:" + node);
+  if (clone) {
+    node_images_[node] = *clone;
+  }
+  return clone;
+}
+
+bool BmiService::ReleaseNodeImage(const std::string& node, bool keep_snapshot) {
+  const auto it = node_images_.find(node);
+  if (it == node_images_.end()) {
+    return false;
+  }
+  if (keep_snapshot) {
+    images_.Snapshot(it->second,
+                     "saved:" + node + ":" + std::to_string(snapshot_counter_++));
+    // The clone itself stays alive as the snapshot's parent; it is no
+    // longer exported for the node.
+  } else {
+    images_.Delete(it->second);
+  }
+  node_images_.erase(it);
+  return true;
+}
+
+std::optional<storage::ImageId> BmiService::NodeImage(const std::string& node) const {
+  const auto it = node_images_.find(node);
+  if (it == node_images_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<storage::BootInfo> BmiService::ExtractBootInfo(
+    storage::ImageId image) const {
+  return images_.ExtractBootInfo(image);
+}
+
+void BmiService::PublishArtifact(const std::string& name, const Artifact& artifact) {
+  artifacts_[name] = artifact;
+}
+
+std::optional<Artifact> BmiService::FindArtifact(const std::string& name) const {
+  const auto it = artifacts_.find(name);
+  if (it == artifacts_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+sim::Task BmiService::HandleFetch(const net::Message& request,
+                                  net::Message* response) {
+  net::WireReader reader(request.payload);
+  const std::string name = reader.Str();
+  const auto artifact = FindArtifact(name);
+  if (!reader.AtEnd() || !artifact) {
+    response->kind = "prov.error";
+    co_return;
+  }
+  if (http_rate_ > 0) {
+    co_await sim::Delay(sim_, sim::Duration::SecondsF(
+                                  static_cast<double>(artifact->bytes) / http_rate_));
+  }
+  response->payload =
+      net::WireWriter().U64(artifact->bytes).Digest(artifact->digest).Take();
+  response->wire_bytes = artifact->bytes;  // the artifact body itself
+}
+
+sim::Task FetchArtifact(net::RpcNode& rpc, net::Address service,
+                        const std::string& name, crypto::Digest* digest,
+                        uint64_t* bytes, bool* ok) {
+  *ok = false;
+  net::Message request;
+  request.kind = std::string(kRpcFetchArtifact);
+  request.payload = net::WireWriter().Str(name).Take();
+  net::Message response;
+  bool rpc_ok = false;
+  co_await rpc.Call(service, std::move(request), &response, &rpc_ok);
+  if (!rpc_ok || response.kind == "prov.error") {
+    co_return;
+  }
+  net::WireReader reader(response.payload);
+  *bytes = reader.U64();
+  *digest = reader.Digest();
+  *ok = reader.AtEnd();
+}
+
+}  // namespace bolted::bmi

@@ -1,0 +1,88 @@
+// Bare Metal Imaging (BMI) — the provisioning service (§5).
+//
+// BMI manages golden images and per-node copy-on-write clones in the
+// object store, serves them to booting servers over the iSCSI target on
+// its RPC endpoint, extracts boot info (kernel/initrd/cmdline) from
+// images so it can be handed to servers via Keylime, and doubles as the
+// artifact server ("HTTP") that LinuxBoot downloads the Keylime agent and
+// the Heads runtime from.
+//
+// Because servers are provisioned statelessly from network-mounted
+// clones, releasing a node deletes (or snapshots) its clone — no trust in
+// provider disk scrubbing is required, and an image can later be
+// restarted on any compatible node.
+
+#ifndef SRC_BMI_BMI_H_
+#define SRC_BMI_BMI_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/net/rpc.h"
+#include "src/storage/image.h"
+#include "src/storage/iscsi.h"
+
+namespace bolted::bmi {
+
+inline constexpr std::string_view kRpcFetchArtifact = "prov.fetch";
+
+struct Artifact {
+  uint64_t bytes = 0;
+  crypto::Digest digest{};
+};
+
+class BmiService {
+ public:
+  BmiService(sim::Simulation& sim, net::Endpoint& endpoint,
+             storage::ImageStore& images);
+
+  net::Address address() const { return node_.address(); }
+  storage::ImageStore& images() { return images_; }
+  storage::IscsiTarget& iscsi_target() { return iscsi_target_; }
+
+  // --- Image management (tenant- or provider-invoked) --------------------
+
+  storage::ImageId RegisterGoldenImage(const std::string& name, uint64_t size,
+                                       storage::BootInfo boot_info);
+  // Per-node clone for a boot; returns nullopt for an unknown golden image.
+  std::optional<storage::ImageId> CreateNodeImage(const std::string& node,
+                                                  storage::ImageId golden);
+  // Stateless release: the clone is destroyed (or snapshotted first when
+  // the tenant wants to keep its state and restart elsewhere later).
+  bool ReleaseNodeImage(const std::string& node, bool keep_snapshot);
+  std::optional<storage::ImageId> NodeImage(const std::string& node) const;
+  std::optional<storage::BootInfo> ExtractBootInfo(storage::ImageId image) const;
+
+  // --- Artifact server ----------------------------------------------------
+
+  void PublishArtifact(const std::string& name, const Artifact& artifact);
+  std::optional<Artifact> FindArtifact(const std::string& name) const;
+  // Effective serving rate of the artifact HTTP path (the prototype uses
+  // plain single-stream HTTP; the paper lists replacing it as an obvious
+  // optimisation).  Zero disables the extra delay.
+  void SetHttpRate(double bytes_per_second) { http_rate_ = bytes_per_second; }
+
+ private:
+  sim::Task HandleFetch(const net::Message& request, net::Message* response);
+
+  sim::Simulation& sim_;
+  net::RpcNode node_;
+  storage::ImageStore& images_;
+  storage::IscsiTarget iscsi_target_;
+  std::map<std::string, Artifact> artifacts_;
+  std::map<std::string, storage::ImageId> node_images_;
+  double http_rate_ = 0;
+  uint64_t snapshot_counter_ = 0;
+};
+
+// Client side: downloads an artifact from the provisioning service,
+// returning its advertised digest.  Sets *ok=false on unreachability or
+// unknown artifact.
+sim::Task FetchArtifact(net::RpcNode& rpc, net::Address service,
+                        const std::string& name, crypto::Digest* digest,
+                        uint64_t* bytes, bool* ok);
+
+}  // namespace bolted::bmi
+
+#endif  // SRC_BMI_BMI_H_

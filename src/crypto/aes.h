@@ -1,0 +1,35 @@
+// AES-256 block cipher (FIPS 197).
+//
+// Byte-oriented implementation; the inverse S-box and the decryption key
+// schedule are derived at run time from the forward tables, keeping the
+// embedded constant surface to the single canonical S-box.
+
+#ifndef SRC_CRYPTO_AES_H_
+#define SRC_CRYPTO_AES_H_
+
+#include <cstdint>
+
+#include "src/crypto/bytes.h"
+
+namespace bolted::crypto {
+
+class Aes256 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 32;
+  static constexpr int kRounds = 14;
+
+  // key must be exactly kKeySize bytes.
+  explicit Aes256(ByteView key);
+
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+ private:
+  // Round keys as 4-byte words, (kRounds + 1) * 4 of them.
+  uint32_t round_keys_[(kRounds + 1) * 4];
+};
+
+}  // namespace bolted::crypto
+
+#endif  // SRC_CRYPTO_AES_H_

@@ -1,0 +1,154 @@
+#include "src/crypto/aes_gcm.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace bolted::crypto {
+namespace {
+
+void StoreBE64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (56 - 8 * i));
+  }
+}
+
+uint64_t LoadBE64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+}  // namespace
+
+AesGcm::AesGcm(ByteView key) : cipher_(key) {
+  uint8_t zero[16] = {};
+  uint8_t h[16];
+  cipher_.EncryptBlock(zero, h);
+  h_.hi = LoadBE64(h);
+  h_.lo = LoadBE64(h + 8);
+}
+
+// GF(2^128) multiply x * H using GCM's reflected-bit convention.
+AesGcm::Block AesGcm::GhashMul(const Block& x) const {
+  Block z;
+  Block v = h_;
+  for (int i = 0; i < 128; ++i) {
+    const uint64_t word = i < 64 ? x.hi : x.lo;
+    const int bit = 63 - (i % 64);
+    if ((word >> bit) & 1) {
+      z.hi ^= v.hi;
+      z.lo ^= v.lo;
+    }
+    const bool lsb = v.lo & 1;
+    v.lo = (v.lo >> 1) | (v.hi << 63);
+    v.hi >>= 1;
+    if (lsb) {
+      v.hi ^= 0xe100000000000000u;
+    }
+  }
+  return z;
+}
+
+AesGcm::Block AesGcm::Ghash(ByteView aad, ByteView ciphertext) const {
+  Block s;
+  auto absorb = [&](ByteView data) {
+    for (size_t off = 0; off < data.size(); off += 16) {
+      uint8_t block[16] = {};
+      const size_t n = std::min<size_t>(16, data.size() - off);
+      std::memcpy(block, data.data() + off, n);
+      s.hi ^= LoadBE64(block);
+      s.lo ^= LoadBE64(block + 8);
+      s = GhashMul(s);
+    }
+  };
+  absorb(aad);
+  absorb(ciphertext);
+  s.hi ^= static_cast<uint64_t>(aad.size()) * 8;
+  s.lo ^= static_cast<uint64_t>(ciphertext.size()) * 8;
+  s = GhashMul(s);
+  return s;
+}
+
+void AesGcm::Ctr(ByteView nonce, uint32_t initial_counter, ByteView in,
+                 uint8_t* out) const {
+  uint8_t counter_block[16];
+  std::memcpy(counter_block, nonce.data(), kNonceSize);
+  uint32_t counter = initial_counter;
+  for (size_t off = 0; off < in.size(); off += 16) {
+    counter_block[12] = static_cast<uint8_t>(counter >> 24);
+    counter_block[13] = static_cast<uint8_t>(counter >> 16);
+    counter_block[14] = static_cast<uint8_t>(counter >> 8);
+    counter_block[15] = static_cast<uint8_t>(counter);
+    uint8_t keystream[16];
+    cipher_.EncryptBlock(counter_block, keystream);
+    const size_t n = std::min<size_t>(16, in.size() - off);
+    for (size_t i = 0; i < n; ++i) {
+      out[off + i] = in[off + i] ^ keystream[i];
+    }
+    ++counter;
+  }
+}
+
+Bytes AesGcm::Seal(ByteView nonce, ByteView plaintext, ByteView aad) const {
+  assert(nonce.size() == kNonceSize);
+  Bytes out(plaintext.size() + kTagSize);
+  Ctr(nonce, 2, plaintext, out.data());
+
+  const Block s = Ghash(aad, ByteView(out.data(), plaintext.size()));
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), kNonceSize);
+  j0[12] = 0;
+  j0[13] = 0;
+  j0[14] = 0;
+  j0[15] = 1;
+  uint8_t ek_j0[16];
+  cipher_.EncryptBlock(j0, ek_j0);
+
+  uint8_t tag[16];
+  StoreBE64(tag, s.hi);
+  StoreBE64(tag + 8, s.lo);
+  for (int i = 0; i < 16; ++i) {
+    tag[i] ^= ek_j0[i];
+  }
+  std::memcpy(out.data() + plaintext.size(), tag, kTagSize);
+  return out;
+}
+
+std::optional<Bytes> AesGcm::Open(ByteView nonce, ByteView ciphertext_and_tag,
+                                  ByteView aad) const {
+  assert(nonce.size() == kNonceSize);
+  if (ciphertext_and_tag.size() < kTagSize) {
+    return std::nullopt;
+  }
+  const size_t ct_len = ciphertext_and_tag.size() - kTagSize;
+  const ByteView ciphertext = ciphertext_and_tag.subspan(0, ct_len);
+  const ByteView tag = ciphertext_and_tag.subspan(ct_len);
+
+  const Block s = Ghash(aad, ciphertext);
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), kNonceSize);
+  j0[12] = 0;
+  j0[13] = 0;
+  j0[14] = 0;
+  j0[15] = 1;
+  uint8_t ek_j0[16];
+  cipher_.EncryptBlock(j0, ek_j0);
+
+  uint8_t expected[16];
+  StoreBE64(expected, s.hi);
+  StoreBE64(expected + 8, s.lo);
+  for (int i = 0; i < 16; ++i) {
+    expected[i] ^= ek_j0[i];
+  }
+  if (!ConstantTimeEqual(ByteView(expected, 16), tag)) {
+    return std::nullopt;
+  }
+
+  Bytes plaintext(ct_len);
+  Ctr(nonce, 2, ciphertext, plaintext.data());
+  return plaintext;
+}
+
+}  // namespace bolted::crypto

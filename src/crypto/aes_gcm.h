@@ -1,0 +1,48 @@
+// AES-256-GCM authenticated encryption (NIST SP 800-38D).
+//
+// GCM is the AEAD the paper's IPsec configuration uses (AES-256-GCM
+// SHA2-256); it also protects Keylime's payload delivery in this
+// implementation.
+
+#ifndef SRC_CRYPTO_AES_GCM_H_
+#define SRC_CRYPTO_AES_GCM_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/crypto/aes.h"
+#include "src/crypto/bytes.h"
+
+namespace bolted::crypto {
+
+class AesGcm {
+ public:
+  static constexpr size_t kTagSize = 16;
+  static constexpr size_t kNonceSize = 12;
+
+  // key is 32 bytes (AES-256).
+  explicit AesGcm(ByteView key);
+
+  // Returns ciphertext || 16-byte tag.
+  Bytes Seal(ByteView nonce, ByteView plaintext, ByteView aad) const;
+  // Returns plaintext, or nullopt on authentication failure.
+  std::optional<Bytes> Open(ByteView nonce, ByteView ciphertext_and_tag,
+                            ByteView aad) const;
+
+ private:
+  struct Block {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+  };
+
+  Block GhashMul(const Block& x) const;
+  Block Ghash(ByteView aad, ByteView ciphertext) const;
+  void Ctr(ByteView nonce, uint32_t initial_counter, ByteView in, uint8_t* out) const;
+
+  Aes256 cipher_;
+  Block h_;  // GHASH key, E(K, 0^128)
+};
+
+}  // namespace bolted::crypto
+
+#endif  // SRC_CRYPTO_AES_GCM_H_

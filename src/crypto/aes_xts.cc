@@ -1,0 +1,66 @@
+#include "src/crypto/aes_xts.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace bolted::crypto {
+namespace {
+
+// Multiply by x in GF(2^128), little-endian byte order (per P1619).
+void Gf128MulAlpha(uint8_t t[16]) {
+  uint8_t carry = 0;
+  for (int i = 0; i < 16; ++i) {
+    const uint8_t next_carry = t[i] >> 7;
+    t[i] = static_cast<uint8_t>((t[i] << 1) | carry);
+    carry = next_carry;
+  }
+  if (carry) {
+    t[0] ^= 0x87;
+  }
+}
+
+}  // namespace
+
+AesXts::AesXts(ByteView key)
+    : data_cipher_(key.subspan(0, Aes256::kKeySize)),
+      tweak_cipher_(key.subspan(Aes256::kKeySize, Aes256::kKeySize)) {
+  assert(key.size() == 2 * Aes256::kKeySize);
+}
+
+void AesXts::Transform(uint64_t sector_number, std::span<uint8_t> data,
+                       bool encrypt) const {
+  assert(!data.empty() && data.size() % Aes256::kBlockSize == 0);
+
+  // plain64 IV: little-endian sector number, zero padded.
+  uint8_t tweak[16] = {};
+  for (int i = 0; i < 8; ++i) {
+    tweak[i] = static_cast<uint8_t>(sector_number >> (8 * i));
+  }
+  tweak_cipher_.EncryptBlock(tweak, tweak);
+
+  for (size_t off = 0; off < data.size(); off += Aes256::kBlockSize) {
+    uint8_t block[16];
+    for (int i = 0; i < 16; ++i) {
+      block[i] = data[off + i] ^ tweak[i];
+    }
+    if (encrypt) {
+      data_cipher_.EncryptBlock(block, block);
+    } else {
+      data_cipher_.DecryptBlock(block, block);
+    }
+    for (int i = 0; i < 16; ++i) {
+      data[off + i] = block[i] ^ tweak[i];
+    }
+    Gf128MulAlpha(tweak);
+  }
+}
+
+void AesXts::EncryptSector(uint64_t sector_number, std::span<uint8_t> data) const {
+  Transform(sector_number, data, /*encrypt=*/true);
+}
+
+void AesXts::DecryptSector(uint64_t sector_number, std::span<uint8_t> data) const {
+  Transform(sector_number, data, /*encrypt=*/false);
+}
+
+}  // namespace bolted::crypto

@@ -1,0 +1,37 @@
+// AES-256-XTS sector encryption (IEEE P1619), the cipher LUKS/dm-crypt
+// uses in the paper's disk-encryption configuration (aes-xts-plain64).
+//
+// Sector sizes must be a multiple of the AES block size (true for the
+// 512 B / 4 KiB sectors used by the storage substrate), so ciphertext
+// stealing is not needed.
+
+#ifndef SRC_CRYPTO_AES_XTS_H_
+#define SRC_CRYPTO_AES_XTS_H_
+
+#include <cstdint>
+
+#include "src/crypto/aes.h"
+#include "src/crypto/bytes.h"
+
+namespace bolted::crypto {
+
+class AesXts {
+ public:
+  // key is 64 bytes: data key || tweak key (AES-256 halves).
+  explicit AesXts(ByteView key);
+
+  // In-place sector transform; data.size() must be a nonzero multiple of
+  // 16.  sector_number is the dm-crypt "plain64" IV.
+  void EncryptSector(uint64_t sector_number, std::span<uint8_t> data) const;
+  void DecryptSector(uint64_t sector_number, std::span<uint8_t> data) const;
+
+ private:
+  void Transform(uint64_t sector_number, std::span<uint8_t> data, bool encrypt) const;
+
+  Aes256 data_cipher_;
+  Aes256 tweak_cipher_;
+};
+
+}  // namespace bolted::crypto
+
+#endif  // SRC_CRYPTO_AES_XTS_H_

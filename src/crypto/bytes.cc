@@ -1,0 +1,85 @@
+#include "src/crypto/bytes.h"
+
+#include <cassert>
+
+namespace bolted::crypto {
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string ToHex(ByteView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return {};
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = HexValue(hex[i]);
+    const int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return {};
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ConstantTimeEqual(ByteView a, ByteView b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+Bytes Xor(ByteView a, ByteView b) {
+  assert(a.size() == b.size());
+  Bytes out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] ^ b[i];
+  }
+  return out;
+}
+
+void Append(Bytes& dst, ByteView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+void AppendU32(Bytes& dst, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    dst.push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void AppendU64(Bytes& dst, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    dst.push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+}  // namespace bolted::crypto

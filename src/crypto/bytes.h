@@ -1,0 +1,40 @@
+// Byte-buffer helpers shared by the crypto and protocol code.
+
+#ifndef SRC_CRYPTO_BYTES_H_
+#define SRC_CRYPTO_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bolted::crypto {
+
+using Bytes = std::vector<uint8_t>;
+using ByteView = std::span<const uint8_t>;
+
+// Lowercase hex encoding.
+std::string ToHex(ByteView data);
+// Parses lowercase/uppercase hex; returns empty on malformed input of odd
+// length or non-hex characters (callers validate out-of-band).
+Bytes FromHex(std::string_view hex);
+
+inline Bytes ToBytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+// Constant-time equality; mismatched lengths compare unequal (length is
+// not secret in our protocols).
+bool ConstantTimeEqual(ByteView a, ByteView b);
+
+// a XOR b; the inputs must have equal length.
+Bytes Xor(ByteView a, ByteView b);
+
+// Appends src to dst.
+void Append(Bytes& dst, ByteView src);
+// Appends a 32/64-bit big-endian integer.
+void AppendU32(Bytes& dst, uint32_t v);
+void AppendU64(Bytes& dst, uint64_t v);
+
+}  // namespace bolted::crypto
+
+#endif  // SRC_CRYPTO_BYTES_H_

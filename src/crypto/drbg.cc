@@ -1,0 +1,34 @@
+#include "src/crypto/drbg.h"
+
+#include "src/crypto/hmac.h"
+
+namespace bolted::crypto {
+
+Drbg::Drbg(ByteView seed) { key_ = Sha256::Hash(seed); }
+
+Drbg::Drbg(uint64_t seed) {
+  Bytes bytes;
+  AppendU64(bytes, seed);
+  key_ = Sha256::Hash(bytes);
+}
+
+Bytes Drbg::Generate(size_t length) {
+  Bytes out;
+  out.reserve(length);
+  while (out.size() < length) {
+    Bytes block_input;
+    AppendU64(block_input, counter_++);
+    const Digest block = HmacSha256(DigestView(key_), block_input);
+    const size_t take = std::min(block.size(), length - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<ptrdiff_t>(take));
+  }
+  return out;
+}
+
+void Drbg::Reseed(ByteView data) {
+  Bytes input = DigestBytes(key_);
+  Append(input, data);
+  key_ = Sha256::Hash(input);
+}
+
+}  // namespace bolted::crypto

@@ -1,0 +1,33 @@
+// Deterministic random byte generator (HMAC-SHA256 counter construction).
+//
+// Simulated components derive all key material from a Drbg seeded by the
+// simulation's master Rng, keeping experiments reproducible while still
+// exercising real cryptography.
+
+#ifndef SRC_CRYPTO_DRBG_H_
+#define SRC_CRYPTO_DRBG_H_
+
+#include <cstdint>
+
+#include "src/crypto/bytes.h"
+#include "src/crypto/sha256.h"
+
+namespace bolted::crypto {
+
+class Drbg {
+ public:
+  explicit Drbg(ByteView seed);
+  explicit Drbg(uint64_t seed);
+
+  Bytes Generate(size_t length);
+  // Mixes additional entropy/context into the state.
+  void Reseed(ByteView data);
+
+ private:
+  Digest key_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace bolted::crypto
+
+#endif  // SRC_CRYPTO_DRBG_H_

@@ -1,0 +1,49 @@
+#include "src/crypto/ecies.h"
+
+#include <cassert>
+
+#include "src/crypto/aes_gcm.h"
+#include "src/crypto/hmac.h"
+
+namespace bolted::crypto {
+namespace {
+
+constexpr std::string_view kKdfInfo = "BOLTED_ECIES_V1";
+
+}  // namespace
+
+Bytes EciesSeal(const EcPoint& recipient_public, ByteView plaintext, Drbg& drbg) {
+  const P256& curve = P256::Instance();
+  const U256 ephemeral = curve.PrivateKeyFromSeed(drbg.Generate(32));
+  const EcPoint ephemeral_public = curve.PublicKey(ephemeral);
+  const auto shared = curve.SharedSecret(ephemeral, recipient_public);
+  assert(shared.has_value());
+
+  const Bytes key = Hkdf({}, *shared, ToBytes(kKdfInfo), 32);
+  const Bytes nonce = drbg.Generate(AesGcm::kNonceSize);
+
+  Bytes blob = ephemeral_public.Encode();
+  Append(blob, nonce);
+  Append(blob, AesGcm(key).Seal(nonce, plaintext, {}));
+  return blob;
+}
+
+std::optional<Bytes> EciesOpen(const U256& recipient_private, ByteView blob) {
+  if (blob.size() < 65 + AesGcm::kNonceSize + AesGcm::kTagSize) {
+    return std::nullopt;
+  }
+  const auto ephemeral_public = EcPoint::Decode(blob.subspan(0, 65));
+  if (!ephemeral_public) {
+    return std::nullopt;
+  }
+  const auto shared =
+      P256::Instance().SharedSecret(recipient_private, *ephemeral_public);
+  if (!shared) {
+    return std::nullopt;
+  }
+  const Bytes key = Hkdf({}, *shared, ToBytes(kKdfInfo), 32);
+  const ByteView nonce = blob.subspan(65, AesGcm::kNonceSize);
+  return AesGcm(key).Open(nonce, blob.subspan(65 + AesGcm::kNonceSize), {});
+}
+
+}  // namespace bolted::crypto

@@ -1,0 +1,24 @@
+// ECIES over P-256: public-key sealing of short secrets.
+//
+// Used by Keylime's bootstrap-key split: the tenant seals the U half to
+// the agent's ephemeral node key, the cloud verifier seals the V half.
+// Construction: ephemeral ECDH -> HKDF -> AES-256-GCM.
+
+#ifndef SRC_CRYPTO_ECIES_H_
+#define SRC_CRYPTO_ECIES_H_
+
+#include <optional>
+
+#include "src/crypto/bytes.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/p256.h"
+
+namespace bolted::crypto {
+
+// Blob layout: ephemeral public key (65) || nonce (12) || GCM ciphertext.
+Bytes EciesSeal(const EcPoint& recipient_public, ByteView plaintext, Drbg& drbg);
+std::optional<Bytes> EciesOpen(const U256& recipient_private, ByteView blob);
+
+}  // namespace bolted::crypto
+
+#endif  // SRC_CRYPTO_ECIES_H_

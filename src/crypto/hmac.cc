@@ -1,0 +1,53 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace bolted::crypto {
+
+Digest HmacSha256(ByteView key, ByteView message) {
+  uint8_t block_key[Sha256::kBlockSize] = {};
+  if (key.size() > Sha256::kBlockSize) {
+    const Digest hashed = Sha256::Hash(key);
+    std::memcpy(block_key, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(block_key, key.data(), key.size());
+  }
+
+  uint8_t ipad[Sha256::kBlockSize];
+  uint8_t opad[Sha256::kBlockSize];
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ByteView(ipad, sizeof(ipad)));
+  inner.Update(message);
+  const Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(ByteView(opad, sizeof(opad)));
+  outer.Update(DigestView(inner_digest));
+  return outer.Finish();
+}
+
+Bytes Hkdf(ByteView salt, ByteView input_key_material, ByteView info, size_t length) {
+  const Digest prk = HmacSha256(salt, input_key_material);
+
+  Bytes out;
+  out.reserve(length);
+  Bytes t;
+  uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = t;
+    Append(block, info);
+    block.push_back(counter++);
+    const Digest d = HmacSha256(DigestView(prk), block);
+    t.assign(d.begin(), d.end());
+    const size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace bolted::crypto

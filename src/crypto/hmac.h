@@ -1,0 +1,21 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// Used for Keylime's key-derivation steps, the TPM emulator's internal
+// key hierarchy, and deterministic ECDSA nonces (RFC 6979 style).
+
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include "src/crypto/bytes.h"
+#include "src/crypto/sha256.h"
+
+namespace bolted::crypto {
+
+Digest HmacSha256(ByteView key, ByteView message);
+
+// HKDF-Extract + HKDF-Expand producing length output bytes.
+Bytes Hkdf(ByteView salt, ByteView input_key_material, ByteView info, size_t length);
+
+}  // namespace bolted::crypto
+
+#endif  // SRC_CRYPTO_HMAC_H_

@@ -1,0 +1,89 @@
+// NIST P-256 (secp256r1) elliptic-curve operations: key generation,
+// ECDSA with deterministic (RFC 6979 style) nonces, and ECDH.
+//
+// This is the signature scheme behind the TPM emulator's endorsement and
+// attestation identity keys.  The paper's TPMs use RSA-2048; we substitute
+// ECDSA-P256 (documented in DESIGN.md) — the attestation protocol is
+// structurally identical and quotes are really signed and verified.
+//
+// Scalar multiplication is not constant-time; this library runs inside a
+// simulator, not against live adversaries.
+
+#ifndef SRC_CRYPTO_P256_H_
+#define SRC_CRYPTO_P256_H_
+
+#include <optional>
+
+#include "src/crypto/bytes.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/u256.h"
+
+namespace bolted::crypto {
+
+struct EcPoint {
+  U256 x;
+  U256 y;
+  bool infinity = false;
+
+  // Uncompressed SEC1 encoding: 0x04 || X || Y (65 bytes).
+  Bytes Encode() const;
+  static std::optional<EcPoint> Decode(ByteView encoded);
+  bool operator==(const EcPoint&) const = default;
+};
+
+struct EcdsaSignature {
+  U256 r;
+  U256 s;
+
+  Bytes Encode() const;  // r || s, 64 bytes
+  static std::optional<EcdsaSignature> Decode(ByteView encoded);
+};
+
+class P256 {
+ public:
+  // Returns the process-wide curve instance (the tables are immutable).
+  static const P256& Instance();
+
+  // Derives a private scalar in [1, n-1] from seed material.
+  U256 PrivateKeyFromSeed(ByteView seed) const;
+  EcPoint PublicKey(const U256& private_key) const;
+  bool IsOnCurve(const EcPoint& point) const;
+
+  EcdsaSignature Sign(const U256& private_key, const Digest& message_hash) const;
+  bool Verify(const EcPoint& public_key, const Digest& message_hash,
+              const EcdsaSignature& signature) const;
+
+  // ECDH: x-coordinate of private_key * peer, as 32 bytes.  Returns
+  // nullopt when peer is invalid or the product is the point at infinity.
+  std::optional<Bytes> SharedSecret(const U256& private_key, const EcPoint& peer) const;
+
+  const U256& order() const { return n_; }
+
+ private:
+  P256();
+
+  // Jacobian coordinates in the Montgomery domain of fp_.
+  struct Jacobian {
+    U256 x;
+    U256 y;
+    U256 z;  // zero limbs = point at infinity
+  };
+
+  Jacobian ToJacobian(const EcPoint& p) const;
+  EcPoint ToAffine(const Jacobian& p) const;
+  Jacobian Double(const Jacobian& p) const;
+  Jacobian AddPoints(const Jacobian& p, const Jacobian& q) const;
+  Jacobian ScalarMul(const U256& k, const Jacobian& p) const;
+
+  U256 p_;  // field prime
+  U256 n_;  // group order
+  Montgomery fp_;
+  Montgomery fn_;
+  U256 b_mont_;       // curve b in Montgomery form
+  U256 three_mont_;   // 3 in Montgomery form
+  Jacobian g_;        // base point
+};
+
+}  // namespace bolted::crypto
+
+#endif  // SRC_CRYPTO_P256_H_

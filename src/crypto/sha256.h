@@ -1,0 +1,52 @@
+// SHA-256 (FIPS 180-4), streaming and one-shot interfaces.
+//
+// SHA-256 is the measurement hash used throughout Bolted: TPM PCR banks,
+// IMA measurement lists, firmware deterministic-build digests, and quote
+// signatures are all SHA-256 based (the paper configures IMA with SHA-256
+// and LinuxBoot attestation extends SHA-256 digests into PCRs).
+
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/crypto/bytes.h"
+
+namespace bolted::crypto {
+
+using Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  void Update(ByteView data);
+  // Finalizes and returns the digest.  The object must not be reused
+  // afterwards without Reset().
+  Digest Finish();
+  void Reset();
+
+  static Digest Hash(ByteView data);
+  static Digest Hash(std::string_view data);
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t length_ = 0;  // total bytes absorbed
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+};
+
+inline ByteView DigestView(const Digest& d) { return ByteView(d.data(), d.size()); }
+inline Bytes DigestBytes(const Digest& d) { return Bytes(d.begin(), d.end()); }
+std::string DigestHex(const Digest& d);
+
+}  // namespace bolted::crypto
+
+#endif  // SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,88 @@
+// Fixed-width 256-bit integers and Montgomery modular arithmetic.
+//
+// This is the arithmetic substrate for the P-256 implementation used by
+// the TPM emulator's EK/AIK signatures (quotes) and the Keylime bootstrap
+// key exchange.  Limbs are little-endian uint64s.
+
+#ifndef SRC_CRYPTO_U256_H_
+#define SRC_CRYPTO_U256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/crypto/bytes.h"
+
+namespace bolted::crypto {
+
+struct U256 {
+  std::array<uint64_t, 4> limb = {0, 0, 0, 0};
+
+  static U256 Zero() { return U256{}; }
+  static U256 One() { return U256{{1, 0, 0, 0}}; }
+  // Parses a 64-hex-digit big-endian string (no prefix).  Asserts on
+  // malformed input; used for embedded curve constants and tests.
+  static U256 FromHexString(std::string_view hex);
+  // Big-endian bytes; short inputs are left-padded, long inputs truncated
+  // to the low 256 bits (leading bytes dropped).
+  static U256 FromBytes(ByteView be_bytes);
+
+  Bytes ToBytes() const;  // 32 bytes, big-endian
+  std::string ToHexString() const;
+
+  bool IsZero() const { return (limb[0] | limb[1] | limb[2] | limb[3]) == 0; }
+  bool IsOdd() const { return limb[0] & 1; }
+  bool Bit(int i) const { return (limb[i / 64] >> (i % 64)) & 1; }
+
+  auto operator<=>(const U256& other) const {
+    for (int i = 3; i >= 0; --i) {
+      if (limb[i] != other.limb[i]) {
+        return limb[i] <=> other.limb[i];
+      }
+    }
+    return std::strong_ordering::equal;
+  }
+  bool operator==(const U256&) const = default;
+};
+
+// out = a + b, returns carry.
+uint64_t AddCarry(const U256& a, const U256& b, U256& out);
+// out = a - b, returns borrow.
+uint64_t SubBorrow(const U256& a, const U256& b, U256& out);
+
+// Montgomery arithmetic modulo a fixed odd modulus with its top bit set
+// (true for the P-256 field prime and group order).  Values passed to
+// Mul/Exp must be in the Montgomery domain (use ToMont/FromMont);
+// Add/Sub/Neg work in either domain as they are plain modular ops.
+class Montgomery {
+ public:
+  explicit Montgomery(const U256& modulus);
+
+  const U256& modulus() const { return m_; }
+
+  U256 ToMont(const U256& a) const;    // a * R mod m
+  U256 FromMont(const U256& a) const;  // a * R^-1 mod m
+
+  U256 Add(const U256& a, const U256& b) const;
+  U256 Sub(const U256& a, const U256& b) const;
+  U256 Neg(const U256& a) const;
+  U256 Mul(const U256& a, const U256& b) const;  // Montgomery product
+  U256 Sqr(const U256& a) const { return Mul(a, a); }
+  U256 Exp(const U256& base, const U256& exponent) const;  // base in Mont domain
+  // Modular inverse via Fermat's little theorem (modulus must be prime).
+  // Input and output are in the Montgomery domain.
+  U256 Inverse(const U256& a) const;
+  // Reduces an arbitrary 256-bit value into [0, m).
+  U256 Reduce(const U256& a) const;
+
+  U256 one_mont() const { return one_mont_; }
+
+ private:
+  U256 m_;
+  uint64_t m0_inv_neg_;  // -m^-1 mod 2^64
+  U256 r2_;              // R^2 mod m
+  U256 one_mont_;        // R mod m
+};
+
+}  // namespace bolted::crypto
+
+#endif  // SRC_CRYPTO_U256_H_

@@ -1,0 +1,68 @@
+#include "src/firmware/firmware.h"
+
+namespace bolted::firmware {
+namespace {
+
+crypto::Digest BuildDigest(std::string_view domain, std::string_view input) {
+  crypto::Sha256 h;
+  h.Update(crypto::ToBytes(domain));
+  h.Update(crypto::ToBytes(input));
+  return h.Finish();
+}
+
+}  // namespace
+
+FirmwareImage BuildLinuxBoot(std::string_view source_manifest) {
+  return FirmwareImage{
+      .name = "linuxboot",
+      .digest = BuildDigest("linuxboot-build", source_manifest),
+      .post_time = sim::Duration::Seconds(40),
+      .deterministic_build = true,
+      .scrubs_memory = true,
+      .image_bytes = 24ull << 20,  // kernel + initrd runtime
+  };
+}
+
+FirmwareImage BuildHeadsRuntime(std::string_view source_manifest) {
+  FirmwareImage image = BuildLinuxBoot(source_manifest);
+  image.name = "heads-runtime";
+  image.digest = BuildDigest("heads-runtime-build", source_manifest);
+  // Chain-loaded runtime: no POST of its own, only boot time (modelled by
+  // the boot flow), but it still scrubs and is deterministic.
+  image.post_time = sim::Duration::Zero();
+  return image;
+}
+
+FirmwareImage VendorUefi(std::string_view vendor_version) {
+  return FirmwareImage{
+      .name = "vendor-uefi",
+      .digest = BuildDigest("vendor-uefi-blob", vendor_version),
+      .post_time = sim::Duration::Seconds(240),
+      .deterministic_build = false,
+      .scrubs_memory = false,
+      .image_bytes = 16ull << 20,
+  };
+}
+
+FirmwareImage ModifiedIpxe(std::string_view version) {
+  return FirmwareImage{
+      .name = "ipxe-measured",
+      .digest = BuildDigest("ipxe-measured", version),
+      .post_time = sim::Duration::Zero(),
+      .deterministic_build = true,
+      .scrubs_memory = false,
+      .image_bytes = 1ull << 20,
+  };
+}
+
+FirmwareImage CompromisedVariant(const FirmwareImage& original,
+                                 std::string_view implant_id) {
+  FirmwareImage compromised = original;
+  crypto::Sha256 h;
+  h.Update(crypto::DigestView(original.digest));
+  h.Update(crypto::ToBytes(implant_id));
+  compromised.digest = h.Finish();
+  return compromised;
+}
+
+}  // namespace bolted::firmware

@@ -1,0 +1,59 @@
+// Firmware artifacts and the measured-boot chain building blocks.
+//
+// Two firmware families from the paper (§5):
+//  * Vendor UEFI: opaque blob, slow POST (~4 min on their R630s), not
+//    reproducible — a tenant can only match its digest against the
+//    provider-published whitelist.
+//  * LinuxBoot/Heads: deterministic build — the digest is a pure function
+//    of the source manifest, so a tenant can rebuild from audited source
+//    and independently predict the PCR values.  3x faster POST and it
+//    scrubs memory before handing the machine over.
+//
+// iPXE is modelled as the paper modified it: it measures whatever runtime
+// it downloads into a TPM PCR before jumping to it, keeping the chain of
+// trust unbroken for machines whose flash cannot be reflashed.
+
+#ifndef SRC_FIRMWARE_FIRMWARE_H_
+#define SRC_FIRMWARE_FIRMWARE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/crypto/sha256.h"
+#include "src/sim/time.h"
+
+namespace bolted::firmware {
+
+struct FirmwareImage {
+  std::string name;
+  crypto::Digest digest{};       // what gets extended into PCR 0 (or 4)
+  sim::Duration post_time;       // power-on self test duration
+  bool deterministic_build = false;
+  bool scrubs_memory = false;
+  uint64_t image_bytes = 0;      // network size when chain-loaded
+};
+
+// Deterministically builds LinuxBoot from a source manifest: the digest
+// depends only on the manifest, so any party building the same source gets
+// the same measurement.  post_time reflects the paper's 40 s.
+FirmwareImage BuildLinuxBoot(std::string_view source_manifest);
+
+// The Heads runtime as a network-loadable payload (for machines that keep
+// vendor UEFI in flash and chain-load LinuxBoot via iPXE).
+FirmwareImage BuildHeadsRuntime(std::string_view source_manifest);
+
+// A vendor UEFI blob: opaque, slow, signed-but-unreproducible.
+FirmwareImage VendorUefi(std::string_view vendor_version);
+
+// The iPXE network bootloader (paper-modified to measure its download).
+FirmwareImage ModifiedIpxe(std::string_view version);
+
+// A firmware image with a backdoor planted by a previous tenant or rogue
+// admin: same name/timing as the original but a different digest —
+// attestation is what catches it.
+FirmwareImage CompromisedVariant(const FirmwareImage& original,
+                                 std::string_view implant_id);
+
+}  // namespace bolted::firmware
+
+#endif  // SRC_FIRMWARE_FIRMWARE_H_

@@ -1,0 +1,177 @@
+#include "src/hil/hil.h"
+
+namespace bolted::hil {
+
+Hil::Hil(net::Network& fabric) : fabric_(fabric) {}
+
+void Hil::RegisterNode(const std::string& node, net::Address port, BmcHandle* bmc) {
+  nodes_[node] = Node{port, bmc, std::nullopt, {}};
+}
+
+void Hil::SetNodeMetadata(const std::string& node, const std::string& key,
+                          const std::string& value) {
+  const auto it = nodes_.find(node);
+  if (it != nodes_.end()) {
+    it->second.metadata[key] = value;
+  }
+}
+
+std::optional<std::string> Hil::GetNodeMetadata(const std::string& node,
+                                                const std::string& key) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    return std::nullopt;
+  }
+  const auto meta = it->second.metadata.find(key);
+  if (meta == it->second.metadata.end()) {
+    return std::nullopt;
+  }
+  return meta->second;
+}
+
+void Hil::PublishPlatformMeasurement(const crypto::Digest& digest,
+                                     const std::string& description) {
+  whitelist_.push_back(PlatformMeasurement{digest, description});
+}
+
+bool Hil::CreateProject(const std::string& project) {
+  return projects_.insert(project).second;
+}
+
+bool Hil::DeleteProject(const std::string& project) {
+  if (!projects_.contains(project)) {
+    return false;
+  }
+  for (const auto& [name, node] : nodes_) {
+    if (node.owner == project) {
+      return false;
+    }
+  }
+  for (const auto& [name, record] : networks_) {
+    if (record.owner == project) {
+      return false;
+    }
+  }
+  projects_.erase(project);
+  return true;
+}
+
+bool Hil::ConnectNode(const std::string& project, const std::string& node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.owner.has_value() ||
+      !projects_.contains(project)) {
+    return false;
+  }
+  it->second.owner = project;
+  return true;
+}
+
+bool Hil::DetachNode(const std::string& project, const std::string& node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.owner != project) {
+    return false;
+  }
+  // Scorched-earth release: off the wire, power-cycled.
+  fabric_.DetachFromAllVlans(it->second.port);
+  if (it->second.bmc != nullptr) {
+    it->second.bmc->PowerCycle();
+  }
+  it->second.owner.reset();
+  return true;
+}
+
+std::optional<std::string> Hil::NodeOwner(const std::string& node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? std::nullopt : it->second.owner;
+}
+
+std::vector<std::string> Hil::FreeNodes() const {
+  std::vector<std::string> free;
+  for (const auto& [name, node] : nodes_) {
+    if (!node.owner.has_value() && node.bmc != nullptr) {
+      free.push_back(name);
+    }
+  }
+  return free;
+}
+
+net::VlanId Hil::CreateNetwork(const std::string& project, const std::string& network) {
+  if (!projects_.contains(project) || networks_.contains(network)) {
+    return 0;
+  }
+  const net::VlanId vlan = next_vlan_++;
+  networks_[network] = NetworkRecord{vlan, project, {}};
+  return vlan;
+}
+
+net::VlanId Hil::CreatePublicNetwork(const std::string& network) {
+  if (networks_.contains(network)) {
+    return 0;
+  }
+  const net::VlanId vlan = next_vlan_++;
+  networks_[network] = NetworkRecord{vlan, std::nullopt, {}};
+  return vlan;
+}
+
+bool Hil::DeleteNetwork(const std::string& project, const std::string& network) {
+  const auto it = networks_.find(network);
+  if (it == networks_.end() || it->second.owner != project) {
+    return false;
+  }
+  networks_.erase(it);
+  return true;
+}
+
+bool Hil::GrantNetworkAccess(const std::string& network, const std::string& project) {
+  const auto it = networks_.find(network);
+  if (it == networks_.end() || !projects_.contains(project)) {
+    return false;
+  }
+  it->second.granted.insert(project);
+  return true;
+}
+
+bool Hil::ProjectMayUse(const std::string& project,
+                        const NetworkRecord& record) const {
+  if (record.owner == project) {
+    return true;
+  }
+  return record.granted.contains(project);
+}
+
+bool Hil::ConnectNodeToNetwork(const std::string& project, const std::string& node,
+                               const std::string& network) {
+  const auto node_it = nodes_.find(node);
+  const auto net_it = networks_.find(network);
+  if (node_it == nodes_.end() || net_it == networks_.end()) {
+    return false;
+  }
+  if (node_it->second.owner != project || !ProjectMayUse(project, net_it->second)) {
+    return false;
+  }
+  fabric_.AttachToVlan(node_it->second.port, net_it->second.vlan);
+  return true;
+}
+
+bool Hil::DetachNodeFromNetwork(const std::string& project, const std::string& node,
+                                const std::string& network) {
+  const auto node_it = nodes_.find(node);
+  const auto net_it = networks_.find(network);
+  if (node_it == nodes_.end() || net_it == networks_.end() ||
+      node_it->second.owner != project) {
+    return false;
+  }
+  fabric_.DetachFromVlan(node_it->second.port, net_it->second.vlan);
+  return true;
+}
+
+bool Hil::PowerCycleNode(const std::string& project, const std::string& node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.owner != project || it->second.bmc == nullptr) {
+    return false;
+  }
+  it->second.bmc->PowerCycle();
+  return true;
+}
+
+}  // namespace bolted::hil

@@ -1,0 +1,127 @@
+// Hardware Isolation Layer (HIL) — the only provider-trusted component.
+//
+// HIL is the paper's minimal TCB (~3 kLOC in their prototype; this module
+// is intentionally the smallest in the repository).  It does exactly
+// three things:
+//   (i)  allocates physical nodes to projects (tenants),
+//   (ii) allocates networks (VLANs) and connects/disconnects node ports,
+//   (iii) proxies narrow BMC operations (power cycling) so tenants never
+//        touch the BMC directly.
+// It additionally acts as the provider's source of truth: per-node
+// metadata (e.g. the TPM endorsement key, protecting tenants from server
+// spoofing) and the provider-published whitelist of platform PCR
+// measurements (vendor firmware a tenant cannot rebuild).
+//
+// HIL never sees tenant secrets and is not attested; everything else in
+// Bolted can be deployed by the tenant.  Dependency rule: this module may
+// use only src/sim and src/net.
+
+#ifndef SRC_HIL_HIL_H_
+#define SRC_HIL_HIL_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/net/network.h"
+
+namespace bolted::hil {
+
+// Narrow BMC access; implemented by the machine layer.
+class BmcHandle {
+ public:
+  virtual ~BmcHandle() = default;
+  virtual void PowerCycle() = 0;
+};
+
+struct PlatformMeasurement {
+  crypto::Digest digest{};
+  std::string description;
+};
+
+class Hil {
+ public:
+  explicit Hil(net::Network& fabric);
+
+  // --- Provider administration ------------------------------------------
+
+  // Registers a physical node (its switch port and BMC).  Service hosts
+  // (attestation/provisioning servers) register with a null BMC.
+  void RegisterNode(const std::string& node, net::Address port, BmcHandle* bmc);
+  // Admin-modifiable metadata; the provider publishes each node's TPM EK
+  // here so tenants can detect server spoofing.
+  void SetNodeMetadata(const std::string& node, const std::string& key,
+                       const std::string& value);
+  std::optional<std::string> GetNodeMetadata(const std::string& node,
+                                             const std::string& key) const;
+  // Provider-published whitelist of platform firmware measurements.
+  void PublishPlatformMeasurement(const crypto::Digest& digest,
+                                  const std::string& description);
+  const std::vector<PlatformMeasurement>& platform_whitelist() const {
+    return whitelist_;
+  }
+
+  // --- Projects and node allocation --------------------------------------
+
+  bool CreateProject(const std::string& project);
+  // Fails when the project still owns nodes or networks.
+  bool DeleteProject(const std::string& project);
+  // Allocates a free node to the project.
+  bool ConnectNode(const std::string& project, const std::string& node);
+  // Releases the node: power-cycled and detached from every network, so
+  // no tenant state survives on the wire.
+  bool DetachNode(const std::string& project, const std::string& node);
+  std::optional<std::string> NodeOwner(const std::string& node) const;
+  std::vector<std::string> FreeNodes() const;
+
+  // --- Networks -----------------------------------------------------------
+
+  // Creates a project-owned network; returns its VLAN or 0 on failure.
+  net::VlanId CreateNetwork(const std::string& project, const std::string& network);
+  bool DeleteNetwork(const std::string& project, const std::string& network);
+  // Provider-owned network reachable by any project it is granted to.
+  net::VlanId CreatePublicNetwork(const std::string& network);
+  bool GrantNetworkAccess(const std::string& network, const std::string& project);
+
+  // Connects a node the project owns to a network it may use.
+  bool ConnectNodeToNetwork(const std::string& project, const std::string& node,
+                            const std::string& network);
+  bool DetachNodeFromNetwork(const std::string& project, const std::string& node,
+                             const std::string& network);
+
+  // --- BMC proxy ----------------------------------------------------------
+
+  bool PowerCycleNode(const std::string& project, const std::string& node);
+
+  // Approximate implementation size guard used by tests: HIL must stay
+  // small (paper: ~3 kLOC).  See tests/hil_test.cc.
+
+ private:
+  struct Node {
+    net::Address port = 0;
+    BmcHandle* bmc = nullptr;
+    std::optional<std::string> owner;
+    std::map<std::string, std::string> metadata;
+  };
+  struct NetworkRecord {
+    net::VlanId vlan = 0;
+    std::optional<std::string> owner;  // nullopt = provider/public
+    std::set<std::string> granted;
+  };
+
+  bool ProjectMayUse(const std::string& project, const NetworkRecord& record) const;
+
+  net::Network& fabric_;
+  std::map<std::string, Node> nodes_;
+  std::set<std::string> projects_;
+  std::map<std::string, NetworkRecord> networks_;
+  std::vector<PlatformMeasurement> whitelist_;
+  net::VlanId next_vlan_ = 100;
+};
+
+}  // namespace bolted::hil
+
+#endif  // SRC_HIL_HIL_H_

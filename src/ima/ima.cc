@@ -1,0 +1,33 @@
+#include "src/ima/ima.h"
+
+namespace bolted::ima {
+
+Ima::Ima(tpm::Tpm& tpm, const ImaPolicy& policy) : tpm_(tpm), policy_(policy) {}
+
+crypto::Digest Ima::TemplateDigest(const std::string& path,
+                                   const crypto::Digest& content_digest) {
+  crypto::Sha256 h;
+  h.Update(crypto::ToBytes("ima-ng:"));
+  h.Update(crypto::ToBytes(path));
+  h.Update(crypto::DigestView(content_digest));
+  return h.Finish();
+}
+
+bool Ima::OnFileAccess(const FileAccess& access) {
+  const bool covered = (policy_.measure_executables && access.is_executable) ||
+                       (policy_.measure_root_reads && access.by_root);
+  if (!covered) {
+    return false;
+  }
+  const auto key = std::make_pair(access.path, access.content_digest);
+  if (!measured_.insert(key).second) {
+    return false;  // already on the list
+  }
+  bytes_hashed_ += access.size_bytes;
+  const crypto::Digest entry = TemplateDigest(access.path, access.content_digest);
+  tpm_.ExtendPcr(tpm::kPcrIma, entry);
+  list_.Add(tpm::kPcrIma, entry, access.path);
+  return true;
+}
+
+}  // namespace bolted::ima

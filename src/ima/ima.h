@@ -1,0 +1,70 @@
+// Linux Integrity Measurement Architecture (IMA) model (§5, §7.4).
+//
+// IMA hashes every file the policy covers on first use, appends a
+// template entry to the runtime measurement list, and extends the
+// aggregate into TPM PCR 10.  The Keylime verifier replays the list and
+// checks each entry against the tenant's runtime whitelist; one
+// unwhitelisted entry (e.g. an attacker's script) is a policy violation.
+//
+// The paper's stress policy measures every executed file plus every file
+// read by root; re-accesses of already-measured content are not
+// re-measured, which is why kernel-compile overhead stays negligible
+// (Fig. 6).
+
+#ifndef SRC_IMA_IMA_H_
+#define SRC_IMA_IMA_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/tpm/event_log.h"
+#include "src/tpm/tpm.h"
+
+namespace bolted::ima {
+
+struct ImaPolicy {
+  bool measure_executables = true;
+  bool measure_root_reads = false;  // the paper's stress test enables this
+};
+
+struct FileAccess {
+  std::string path;
+  crypto::Digest content_digest{};
+  uint64_t size_bytes = 0;
+  bool is_executable = false;
+  bool by_root = false;
+};
+
+class Ima {
+ public:
+  Ima(tpm::Tpm& tpm, const ImaPolicy& policy);
+
+  // Reports a file access.  Returns true when the access produced a new
+  // measurement (hash + PCR extend); false when the policy skips it or it
+  // was already measured.
+  bool OnFileAccess(const FileAccess& access);
+
+  // The runtime measurement list shipped to the verifier with each quote.
+  const tpm::EventLog& measurement_list() const { return list_; }
+  size_t measurements_taken() const { return list_.size(); }
+  uint64_t bytes_hashed() const { return bytes_hashed_; }
+
+  // The IMA template digest for an entry (what lands in the list and the
+  // PCR): hash of path and content digest.
+  static crypto::Digest TemplateDigest(const std::string& path,
+                                       const crypto::Digest& content_digest);
+
+ private:
+  tpm::Tpm& tpm_;
+  ImaPolicy policy_;
+  tpm::EventLog list_;
+  std::set<std::pair<std::string, crypto::Digest>> measured_;
+  uint64_t bytes_hashed_ = 0;
+};
+
+}  // namespace bolted::ima
+
+#endif  // SRC_IMA_IMA_H_

@@ -1,0 +1,187 @@
+#include "src/keylime/agent.h"
+
+#include <algorithm>
+
+#include "src/crypto/ecies.h"
+#include "src/keylime/registrar.h"
+#include "src/net/wire.h"
+
+namespace bolted::keylime {
+
+Agent::Agent(machine::Machine& machine, uint64_t seed)
+    : machine_(machine), drbg_(seed), payload_ready_(machine.simulation()) {
+  const crypto::P256& curve = crypto::P256::Instance();
+  nk_private_ = curve.PrivateKeyFromSeed(drbg_.Generate(32));
+  nk_public_ = curve.PublicKey(nk_private_);
+
+  net::RpcNode& node = machine_.rpc();
+  node.RegisterHandler(std::string(kRpcQuote),
+                       [this](const net::Message& req, net::Message* resp) {
+                         return HandleQuote(req, resp);
+                       });
+  node.RegisterHandler(std::string(kRpcDeliverU),
+                       [this](const net::Message& req, net::Message* resp) {
+                         return HandleDeliverU(req, resp);
+                       });
+  node.RegisterHandler(std::string(kRpcDeliverV),
+                       [this](const net::Message& req, net::Message* resp) {
+                         return HandleDeliverV(req, resp);
+                       });
+  node.RegisterHandler(std::string(kRpcRevoke),
+                       [this](const net::Message& req, net::Message* resp) {
+                         return HandleRevoke(req, resp);
+                       });
+}
+
+sim::Task Agent::RegisterWithRegistrar(net::Address registrar,
+                                       const std::string& node_name, bool* ok) {
+  *ok = false;
+  sim::Simulation& sim = machine_.simulation();
+  tpm::Tpm& tpm = machine_.tpm();
+
+  // AIK creation is the slow TPM operation in registration.
+  co_await sim::Delay(sim, tpm.latency().create_aik);
+  tpm.CreateAik();
+
+  net::Message request;
+  request.kind = std::string(kRpcRegister);
+  request.payload = net::WireWriter()
+                        .Str(node_name)
+                        .Blob(tpm.ek_public().Encode())
+                        .Blob(tpm.aik_public().Encode())
+                        .Blob(nk_public_.Encode())
+                        .Take();
+  net::Message response;
+  bool rpc_ok = false;
+  co_await machine_.rpc().Call(registrar, std::move(request), &response, &rpc_ok);
+  if (!rpc_ok || response.kind == "kl.reg.error") {
+    co_return;
+  }
+
+  net::WireReader reader(response.payload);
+  const crypto::Bytes blob = reader.Blob();
+  if (!reader.AtEnd()) {
+    co_return;
+  }
+
+  co_await sim::Delay(sim, tpm.latency().activate_credential);
+  const auto secret = tpm.ActivateCredential(blob);
+  if (!secret) {
+    co_return;
+  }
+
+  net::Message activate;
+  activate.kind = std::string(kRpcActivate);
+  activate.payload = net::WireWriter()
+                         .Str(node_name)
+                         .Digest(crypto::Sha256::Hash(*secret))
+                         .Take();
+  net::Message activate_response;
+  co_await machine_.rpc().Call(registrar, std::move(activate), &activate_response,
+                               &rpc_ok);
+  if (!rpc_ok) {
+    co_return;
+  }
+  net::WireReader activate_reader(activate_response.payload);
+  *ok = activate_reader.U32() == 1 && activate_reader.AtEnd();
+}
+
+sim::Task Agent::HandleQuote(const net::Message& request, net::Message* response) {
+  net::WireReader reader(request.payload);
+  const crypto::Bytes nonce = reader.Blob();
+  const uint32_t mask = reader.U32();
+  // Incremental attestation: the verifier tells us how many IMA events it
+  // has already validated; only the suffix travels (real Keylime's
+  // behaviour — full lists grow to megabytes under IMA stress policies).
+  const uint64_t ima_since = reader.U64();
+  if (!reader.AtEnd() || !machine_.tpm().has_aik()) {
+    response->kind = "kl.agent.error";
+    co_return;
+  }
+  co_await sim::Delay(machine_.simulation(), machine_.tpm().latency().quote);
+  const tpm::Quote quote = machine_.tpm().MakeQuote(nonce, mask);
+  ++quotes_served_;
+
+  const tpm::EventLog empty;
+  const tpm::EventLog& full_ima =
+      ima_ != nullptr ? ima_->measurement_list() : empty;
+  const uint64_t total = full_ima.size();
+  const crypto::Bytes ima_delta =
+      full_ima.SubLog(static_cast<size_t>(std::min(ima_since, total))).Serialize();
+  response->payload = net::WireWriter()
+                          .Blob(quote.Serialize())
+                          .Blob(machine_.boot_log().Serialize())
+                          .U64(total)
+                          .Blob(ima_delta)
+                          .Take();
+}
+
+sim::Task Agent::HandleDeliverU(const net::Message& request, net::Message* response) {
+  net::WireReader reader(request.payload);
+  const crypto::Bytes sealed_u = reader.Blob();
+  uint32_t ok = 0;
+  if (reader.AtEnd()) {
+    if (auto u = crypto::EciesOpen(nk_private_, sealed_u)) {
+      u_half_ = std::move(*u);
+      ok = 1;
+      TryCombine();
+    }
+  }
+  response->payload = net::WireWriter().U32(ok).Take();
+  co_return;
+}
+
+sim::Task Agent::HandleDeliverV(const net::Message& request, net::Message* response) {
+  net::WireReader reader(request.payload);
+  const crypto::Bytes sealed_v = reader.Blob();
+  const crypto::Bytes sealed_payload = reader.Blob();
+  uint32_t ok = 0;
+  if (reader.AtEnd()) {
+    if (auto v = crypto::EciesOpen(nk_private_, sealed_v)) {
+      v_half_ = std::move(*v);
+      sealed_payload_ = sealed_payload;
+      ok = 1;
+      TryCombine();
+    }
+  }
+  response->payload = net::WireWriter().U32(ok).Take();
+  co_return;
+}
+
+void Agent::TryCombine() {
+  if (!u_half_ || !v_half_ || payload_ready_.is_set()) {
+    return;
+  }
+  auto payload = OpenPayload(*u_half_, *v_half_, sealed_payload_);
+  if (payload) {
+    payload_ = std::move(*payload);
+  } else {
+    combine_failed_ = true;
+  }
+  payload_ready_.Set();
+}
+
+sim::Task Agent::AwaitPayload(TenantPayload* payload, bool* ok) {
+  co_await payload_ready_;
+  if (payload_.has_value()) {
+    *payload = *payload_;
+    *ok = true;
+  } else {
+    *ok = false;
+  }
+}
+
+sim::Task Agent::HandleRevoke(const net::Message& request, net::Message* response) {
+  net::WireReader reader(request.payload);
+  const uint32_t peer = reader.U32();
+  if (reader.AtEnd()) {
+    // Cut the compromised node out of the mesh: drop its SA so further
+    // ESP traffic fails authentication.
+    machine_.ipsec().RemoveSa(peer);
+    ++revocations_received_;
+  }
+  response->payload = net::WireWriter().U32(1).Take();
+  co_return;
+}
+
+}  // namespace bolted::keylime

@@ -1,0 +1,58 @@
+// Tenant bootstrap payload and the U/V key split (§5 "Keylime").
+//
+// After a server passes initial attestation, Keylime delivers an
+// encrypted zip to the agent containing the tenant's kernel/initrd
+// identity, the LUKS disk secret, the IPsec key seed, and a boot script.
+// The bootstrap key K never exists at the verifier: the tenant splits it
+// as K = U xor V, hands V (plus the sealed payload) to the cloud
+// verifier, and sends U directly to the agent.  Both halves are sealed to
+// the agent's per-boot node key (ECIES), so a compromised verifier or a
+// snooping provider learns nothing.
+
+#ifndef SRC_KEYLIME_PAYLOAD_H_
+#define SRC_KEYLIME_PAYLOAD_H_
+
+#include <optional>
+#include <string>
+
+#include "src/crypto/bytes.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/sha256.h"
+
+namespace bolted::keylime {
+
+struct TenantPayload {
+  crypto::Digest kernel_digest{};
+  crypto::Digest initrd_digest{};
+  uint64_t kernel_bytes = 0;
+  uint64_t initrd_bytes = 0;
+  crypto::Bytes disk_secret;       // unlocks the LUKS volume
+  crypto::Bytes network_key_seed;  // derives pairwise IPsec keys
+  std::string boot_script;         // executed by the agent before kexec
+
+  crypto::Bytes Serialize() const;
+  static std::optional<TenantPayload> Deserialize(crypto::ByteView data);
+  bool operator==(const TenantPayload&) const = default;
+};
+
+// The tenant-side sealing result.
+struct SplitPayload {
+  crypto::Bytes u_half;           // 32 bytes, goes tenant -> agent
+  crypto::Bytes v_half;           // 32 bytes, goes tenant -> verifier -> agent
+  crypto::Bytes sealed_payload;   // nonce || GCM(payload) under K = U xor V
+};
+
+SplitPayload SealPayload(const TenantPayload& payload, crypto::Drbg& drbg);
+// Recombines the halves and opens the payload.
+std::optional<TenantPayload> OpenPayload(crypto::ByteView u_half,
+                                         crypto::ByteView v_half,
+                                         crypto::ByteView sealed_payload);
+
+// Derives the pairwise IPsec key for an (unordered) node pair from the
+// tenant's network key seed.
+crypto::Bytes DerivePairKey(crypto::ByteView network_key_seed, uint32_t node_a,
+                            uint32_t node_b);
+
+}  // namespace bolted::keylime
+
+#endif  // SRC_KEYLIME_PAYLOAD_H_

@@ -1,0 +1,59 @@
+// Keylime registrar: the trust root that binds AIKs to TPM EKs (§5).
+//
+// Agents register their EK, AIK, and per-boot node key (NK); the
+// registrar runs the TPM make/activate-credential exchange to prove the
+// AIK lives in the TPM with that EK, and only then marks the AIK valid.
+// Verifiers and tenants query it for a node's certified keys.  It stores
+// no tenant secrets.
+
+#ifndef SRC_KEYLIME_REGISTRAR_H_
+#define SRC_KEYLIME_REGISTRAR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/p256.h"
+#include "src/net/rpc.h"
+
+namespace bolted::keylime {
+
+inline constexpr std::string_view kRpcRegister = "kl.reg.register";
+inline constexpr std::string_view kRpcActivate = "kl.reg.activate";
+inline constexpr std::string_view kRpcGetKeys = "kl.reg.getkeys";
+
+struct NodeKeys {
+  crypto::EcPoint ek;
+  crypto::EcPoint aik;
+  crypto::EcPoint nk;  // agent's per-boot node key
+  bool activated = false;
+};
+
+class Registrar {
+ public:
+  Registrar(sim::Simulation& sim, net::Endpoint& endpoint, uint64_t seed);
+
+  net::Address address() const { return node_.address(); }
+
+  // Local (test/inspection) view.
+  std::optional<NodeKeys> Lookup(const std::string& node) const;
+
+ private:
+  sim::Task HandleRegister(const net::Message& request, net::Message* response);
+  sim::Task HandleActivate(const net::Message& request, net::Message* response);
+  sim::Task HandleGetKeys(const net::Message& request, net::Message* response);
+
+  sim::Simulation& sim_;
+  net::RpcNode node_;
+  crypto::Drbg drbg_;
+  struct Record {
+    NodeKeys keys;
+    crypto::Digest expected_secret_hash{};
+  };
+  std::map<std::string, Record> records_;
+};
+
+}  // namespace bolted::keylime
+
+#endif  // SRC_KEYLIME_REGISTRAR_H_

@@ -1,0 +1,278 @@
+#include "src/keylime/verifier.h"
+
+#include "src/crypto/ecies.h"
+#include "src/keylime/agent.h"
+#include "src/net/wire.h"
+#include "src/tpm/tpm.h"
+
+namespace bolted::keylime {
+namespace {
+
+// Extracts the quoted value for a PCR from a quote's (mask, values) pair.
+const crypto::Digest* QuotedPcr(const tpm::Quote& quote, int pcr) {
+  if ((quote.pcr_mask & (1u << pcr)) == 0) {
+    return nullptr;
+  }
+  size_t index = 0;
+  for (int i = 0; i < pcr; ++i) {
+    if (quote.pcr_mask & (1u << i)) {
+      ++index;
+    }
+  }
+  return &quote.pcr_values[index];
+}
+
+}  // namespace
+
+Verifier::Verifier(sim::Simulation& sim, net::Endpoint& endpoint,
+                   net::Address registrar, uint64_t seed)
+    : sim_(sim), node_(sim, endpoint), registrar_(registrar), drbg_(seed) {
+  node_.Start();
+}
+
+void Verifier::AddNode(const std::string& name, NodeConfig config) {
+  NodeState state;
+  state.config = std::move(config);
+  nodes_[name] = std::move(state);
+}
+
+void Verifier::RemoveNode(const std::string& name) { nodes_.erase(name); }
+
+void Verifier::UpdatePeers(const std::string& name, std::vector<net::Address> peers) {
+  const auto it = nodes_.find(name);
+  if (it != nodes_.end()) {
+    it->second.config.peers = std::move(peers);
+  }
+}
+
+sim::Task Verifier::DeliverPayload(const std::string& name, const crypto::EcPoint& nk,
+                                   bool* ok) {
+  *ok = false;
+  auto& state = nodes_.at(name);
+  const crypto::Bytes sealed_v = crypto::EciesSeal(nk, state.config.v_half, drbg_);
+
+  net::Message message;
+  message.kind = std::string(kRpcDeliverV);
+  message.payload =
+      net::WireWriter().Blob(sealed_v).Blob(state.config.sealed_payload).Take();
+  net::Message response;
+  bool rpc_ok = false;
+  co_await node_.Call(state.config.agent, std::move(message), &response, &rpc_ok);
+  if (!rpc_ok) {
+    co_return;
+  }
+  net::WireReader reader(response.payload);
+  *ok = reader.U32() == 1 && reader.AtEnd();
+  if (*ok) {
+    state.payload_delivered = true;
+  }
+}
+
+sim::Task Verifier::VerifyNode(const std::string& name, VerificationResult* result) {
+  result->passed = false;
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    result->failure = "unknown node";
+    co_return;
+  }
+  NodeState& state = it->second;
+  ++verifications_;
+
+  // 1. Certified keys from the registrar.
+  net::Message key_request;
+  key_request.kind = std::string(kRpcGetKeys);
+  key_request.payload = net::WireWriter().Str(name).Take();
+  net::Message key_response;
+  bool rpc_ok = false;
+  co_await node_.Call(registrar_, std::move(key_request), &key_response, &rpc_ok);
+  if (!rpc_ok || key_response.kind == "kl.reg.error") {
+    result->failure = "registrar lookup failed";
+    co_return;
+  }
+  net::WireReader key_reader(key_response.payload);
+  key_reader.Blob();  // EK (checked by the tenant against HIL metadata)
+  const auto aik = crypto::EcPoint::Decode(key_reader.Blob());
+  const auto nk = crypto::EcPoint::Decode(key_reader.Blob());
+  const bool activated = key_reader.U32() == 1;
+  if (!key_reader.AtEnd() || !aik || !nk) {
+    result->failure = "malformed registrar response";
+    co_return;
+  }
+  if (!activated) {
+    result->failure = "AIK not activated";
+    co_return;
+  }
+
+  // 2. Fresh nonce, quote request.  The request carries the incremental
+  // cursor so the agent only ships new IMA measurements.
+  const crypto::Bytes nonce = drbg_.Generate(20);
+  net::Message quote_request;
+  quote_request.kind = std::string(kRpcQuote);
+  quote_request.payload =
+      net::WireWriter().Blob(nonce).U32(kQuotePcrMask).U64(state.ima_seen).Take();
+  net::Message quote_response;
+  co_await node_.Call(state.config.agent, std::move(quote_request), &quote_response,
+                      &rpc_ok);
+  if (!rpc_ok || quote_response.kind == "kl.agent.error") {
+    result->failure = "agent unreachable";
+    co_return;
+  }
+  net::WireReader reader(quote_response.payload);
+  const auto quote = tpm::Quote::Deserialize(reader.Blob());
+  const auto boot_log = tpm::EventLog::Deserialize(reader.Blob());
+  const uint64_t ima_total = reader.U64();
+  const auto ima_log = tpm::EventLog::Deserialize(reader.Blob());
+  if (!reader.AtEnd() || !quote || !boot_log || !ima_log) {
+    result->failure = "malformed quote response";
+    co_return;
+  }
+  if (ima_total < state.ima_seen) {
+    // The measurement list can only grow within one boot; a shrink means
+    // the node rebooted out from under continuous attestation.
+    result->failure = "IMA measurement list regressed (unexpected reboot?)";
+    co_return;
+  }
+  if (ima_log->size() != ima_total - state.ima_seen) {
+    result->failure = "IMA delta is inconsistent with the advertised total";
+    co_return;
+  }
+
+  // 3a. Signature and freshness.
+  if (!tpm::Tpm::VerifyQuote(*quote, *aik)) {
+    result->failure = "quote signature invalid";
+    co_return;
+  }
+  if (quote->nonce != nonce) {
+    result->failure = "stale quote (nonce mismatch)";
+    co_return;
+  }
+  if (quote->pcr_mask != kQuotePcrMask) {
+    result->failure = "wrong PCR selection";
+    co_return;
+  }
+
+  // 3b. Log replay must reproduce the quoted PCR values exactly.  The
+  // IMA PCR continues from the validated prefix's value; everything else
+  // replays from the (static) boot log.
+  std::array<crypto::Digest, tpm::kNumPcrs> replayed{};
+  for (const tpm::MeasurementEvent& event : boot_log->events()) {
+    auto& pcr = replayed[static_cast<size_t>(event.pcr_index)];
+    pcr = tpm::ExtendDigest(pcr, event.measurement);
+  }
+  crypto::Digest ima_pcr = state.ima_pcr;
+  for (const tpm::MeasurementEvent& event : ima_log->events()) {
+    if (event.pcr_index != tpm::kPcrIma) {
+      result->failure = "IMA delta contains a non-IMA event";
+      co_return;
+    }
+    ima_pcr = tpm::ExtendDigest(ima_pcr, event.measurement);
+  }
+  replayed[static_cast<size_t>(tpm::kPcrIma)] = ima_pcr;
+  for (int pcr = 0; pcr < tpm::kNumPcrs; ++pcr) {
+    const crypto::Digest* quoted = QuotedPcr(*quote, pcr);
+    if (quoted != nullptr && *quoted != replayed[static_cast<size_t>(pcr)]) {
+      result->failure = "event log does not match quoted PCR " + std::to_string(pcr);
+      co_return;
+    }
+  }
+
+  // 3c. Whitelist checks.
+  if (state.config.whitelist == nullptr) {
+    result->failure = "no whitelist configured";
+    co_return;
+  }
+  for (const tpm::MeasurementEvent& event : boot_log->events()) {
+    if (!state.config.whitelist->boot.contains(event.measurement)) {
+      result->failure = "unwhitelisted boot measurement: " + event.description;
+      co_return;
+    }
+  }
+  for (const tpm::MeasurementEvent& event : ima_log->events()) {
+    if (!state.config.whitelist->runtime.contains(event.measurement)) {
+      result->failure = "unwhitelisted runtime file: " + event.description;
+      co_return;
+    }
+  }
+
+  // 4. Bootstrap delivery on first success.
+  if (!state.payload_delivered && !state.config.v_half.empty()) {
+    bool delivered = false;
+    co_await DeliverPayload(name, *nk, &delivered);
+    if (!delivered) {
+      result->failure = "payload delivery failed";
+      co_return;
+    }
+  }
+  // Commit the incremental cursor only after full success so a failed
+  // verification never advances past unvalidated measurements.
+  state.ima_seen = ima_total;
+  state.ima_pcr = ima_pcr;
+  result->passed = true;
+}
+
+void Verifier::StartContinuous(const std::string& name, sim::Duration interval) {
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    return;
+  }
+  it->second.continuous = true;
+  sim_.Spawn(ContinuousLoop(name, interval, it->second.generation));
+}
+
+void Verifier::StopContinuous(const std::string& name) {
+  const auto it = nodes_.find(name);
+  if (it != nodes_.end()) {
+    it->second.continuous = false;
+    ++it->second.generation;
+  }
+}
+
+sim::Task Verifier::ContinuousLoop(std::string name, sim::Duration interval,
+                                   uint64_t generation) {
+  for (;;) {
+    co_await sim::Delay(sim_, interval);
+    const auto it = nodes_.find(name);
+    if (it == nodes_.end() || !it->second.continuous ||
+        it->second.generation != generation) {
+      co_return;
+    }
+    VerificationResult result;
+    co_await VerifyNode(name, &result);
+    if (!result.passed) {
+      ++violations_;
+      co_await Revoke(name);
+      if (violation_callback_) {
+        violation_callback_(name, result.failure);
+      }
+      co_return;
+    }
+  }
+}
+
+sim::Task Verifier::Revoke(const std::string& name) {
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    co_return;
+  }
+  const net::Address bad = it->second.config.agent;
+  // Notify every enclave peer concurrently; each drops the bad node's SA.
+  sim::TaskGroup group(sim_);
+  for (const net::Address peer : it->second.config.peers) {
+    if (peer != bad) {
+      group.Spawn(NotifyRevocation(peer, bad));
+    }
+  }
+  co_await group.WaitAll();
+}
+
+sim::Task Verifier::NotifyRevocation(net::Address peer, net::Address bad) {
+  net::Message message;
+  message.kind = std::string(kRpcRevoke);
+  message.payload = net::WireWriter().U32(bad).Take();
+  net::Message response;
+  bool ok = false;
+  co_await node_.Call(peer, std::move(message), &response, &ok,
+                      sim::Duration::Seconds(5));
+}
+
+}  // namespace bolted::keylime

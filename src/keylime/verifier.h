@@ -1,0 +1,121 @@
+// Keylime cloud verifier (CV): checks server integrity against tenant
+// whitelists and runs continuous attestation (§5, §7.4).
+//
+// For each node the tenant registers, the verifier:
+//   1. fetches the certified AIK (and agent NK) from the registrar,
+//   2. sends a fresh nonce, receives a signed quote plus the boot event
+//      log and IMA runtime measurement list,
+//   3. verifies the signature, the nonce, that replaying the logs yields
+//      exactly the quoted PCR values, and that every measurement is
+//      whitelisted,
+//   4. on first success, delivers the V key half and the sealed tenant
+//      payload to the agent,
+//   5. in continuous mode, repeats on an interval; a failure triggers the
+//      revocation flow: every enclave peer is told to drop the
+//      compromised node's IPsec SA, and the tenant callback fires.
+
+#ifndef SRC_KEYLIME_VERIFIER_H_
+#define SRC_KEYLIME_VERIFIER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/crypto/drbg.h"
+#include "src/keylime/payload.h"
+#include "src/keylime/registrar.h"
+#include "src/net/rpc.h"
+#include "src/tpm/event_log.h"
+
+namespace bolted::keylime {
+
+struct Whitelist {
+  std::set<crypto::Digest> boot;     // allowed boot-chain measurements
+  std::set<crypto::Digest> runtime;  // allowed IMA template digests
+
+  void AllowBoot(const crypto::Digest& digest) { boot.insert(digest); }
+  void AllowRuntime(const crypto::Digest& digest) { runtime.insert(digest); }
+};
+
+struct VerificationResult {
+  bool passed = false;
+  std::string failure;  // empty when passed
+};
+
+class Verifier {
+ public:
+  Verifier(sim::Simulation& sim, net::Endpoint& endpoint, net::Address registrar,
+           uint64_t seed);
+
+  net::Address address() const { return node_.address(); }
+
+  struct NodeConfig {
+    net::Address agent = 0;
+    // Shared with the tenant, who may extend it at run time (application
+    // rollout) — mirrors Keylime's tenant-pushed whitelist updates.
+    std::shared_ptr<const Whitelist> whitelist;
+    // Bootstrap delivery material (empty when the tenant handles its own
+    // payload, e.g. attestation-only profiles).
+    crypto::Bytes v_half;
+    crypto::Bytes sealed_payload;
+    // Enclave peers to notify on revocation.
+    std::vector<net::Address> peers;
+  };
+
+  void AddNode(const std::string& name, NodeConfig config);
+  void RemoveNode(const std::string& name);
+  void UpdatePeers(const std::string& name, std::vector<net::Address> peers);
+
+  // One-shot attestation; delivers the payload on first success.
+  sim::Task VerifyNode(const std::string& name, VerificationResult* result);
+
+  // Continuous attestation loop.  Stops on violation (after running the
+  // revocation flow) or StopContinuous().
+  void StartContinuous(const std::string& name, sim::Duration interval);
+  void StopContinuous(const std::string& name);
+
+  using ViolationCallback =
+      std::function<void(const std::string& node, const std::string& reason)>;
+  void SetViolationCallback(ViolationCallback callback) {
+    violation_callback_ = std::move(callback);
+  }
+
+  uint64_t verifications() const { return verifications_; }
+  uint64_t violations() const { return violations_; }
+
+ private:
+  struct NodeState {
+    NodeConfig config;
+    bool payload_delivered = false;
+    bool continuous = false;
+    uint64_t generation = 0;  // bumps on StopContinuous to kill old loops
+    // Incremental-attestation cursor: how much of the node's IMA
+    // measurement list has been validated, and the PCR-10 value that
+    // prefix replays to.  Only the suffix travels on each quote.
+    uint64_t ima_seen = 0;
+    crypto::Digest ima_pcr{};
+  };
+
+  sim::Task ContinuousLoop(std::string name, sim::Duration interval,
+                           uint64_t generation);
+  sim::Task Revoke(const std::string& name);
+  sim::Task NotifyRevocation(net::Address peer, net::Address bad);
+  sim::Task DeliverPayload(const std::string& name, const crypto::EcPoint& nk,
+                           bool* ok);
+
+  sim::Simulation& sim_;
+  net::RpcNode node_;
+  net::Address registrar_;
+  crypto::Drbg drbg_;
+  std::map<std::string, NodeState> nodes_;
+  ViolationCallback violation_callback_;
+  uint64_t verifications_ = 0;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace bolted::keylime
+
+#endif  // SRC_KEYLIME_VERIFIER_H_

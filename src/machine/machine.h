@@ -1,0 +1,119 @@
+// Bare-metal server model.
+//
+// A Machine bundles the hardware a Bolted node exposes: CPU cores (a fluid
+// resource for workloads plus a dedicated crypto core for ESP), memory, a
+// NIC on the provider switch, SPI flash holding firmware, a TPM, a local
+// disk, and a BMC reachable only by the provider (HIL).  Boot-flow
+// coroutines (src/provision) drive its primitives: power-cycle, POST with
+// SRTM measurement, chain-loading with iPXE measurement, memory scrub,
+// and kexec into a tenant kernel.
+
+#ifndef SRC_MACHINE_MACHINE_H_
+#define SRC_MACHINE_MACHINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/firmware/firmware.h"
+#include "src/machine/peripheral.h"
+#include "src/net/ipsec.h"
+#include "src/net/network.h"
+#include "src/net/rpc.h"
+#include "src/storage/block_device.h"
+#include "src/tpm/event_log.h"
+#include "src/tpm/tpm.h"
+
+namespace bolted::machine {
+
+struct MachineConfig {
+  int cores = 16;                        // M620: 2x8 cores
+  double core_hz = 2.6e9;
+  uint64_t memory_bytes = 64ull << 30;   // 64 GB
+  double memory_scrub_bytes_per_second = 8e9;
+  double nic_bandwidth_bytes_per_second = 1.25e9;  // 10 Gbit
+  firmware::FirmwareImage flash_firmware;
+  tpm::TpmLatencyModel tpm_latency;
+  uint64_t local_disk_sectors = (600ull << 30) / storage::kSectorSize;
+  double local_disk_bandwidth_bytes_per_second = 110e6;
+};
+
+enum class PowerState {
+  kOff,
+  kFirmware,   // POST / firmware environment (incl. Heads runtime)
+  kAgent,      // attestation agent running pre-kexec
+  kTenantOs,   // kexec'd into the tenant's kernel
+};
+
+class Machine {
+ public:
+  Machine(sim::Simulation& sim, net::Network& network, std::string name,
+          const MachineConfig& config);
+
+  const std::string& name() const { return name_; }
+  const MachineConfig& config() const { return config_; }
+  sim::Simulation& simulation() { return sim_; }
+
+  tpm::Tpm& tpm() { return tpm_; }
+  net::Endpoint& endpoint() { return endpoint_; }
+  net::RpcNode& rpc() { return rpc_; }
+  net::Address address() const { return endpoint_.address(); }
+  net::SharedResource& cpu() { return cpu_; }
+  net::SharedResource& crypto_cpu() { return crypto_cpu_; }
+  net::IpsecContext& ipsec() { return ipsec_; }
+  tpm::EventLog& boot_log() { return boot_log_; }
+  storage::DiskModel& local_disk() { return *local_disk_; }
+  PeripheralSet& peripherals() { return peripherals_; }
+
+  PowerState power_state() const { return power_state_; }
+  void set_power_state(PowerState state) { power_state_ = state; }
+
+  // --- BMC-level operations (provider/HIL only) -------------------------
+
+  // Cold reset: clears PCRs and the boot log, marks memory dirty (the
+  // previous tenant's data is still in DRAM until firmware scrubs it).
+  void PowerCycleReset();
+  // Reflashing firmware requires BMC access; legitimate for upgrades,
+  // also the attack vector attestation must catch.
+  void ReflashFirmware(const firmware::FirmwareImage& image);
+  const firmware::FirmwareImage& flash_firmware() const {
+    return config_.flash_firmware;
+  }
+
+  // --- Boot primitives (driven by the boot-flow coroutines) -------------
+
+  // POST: measures the flash firmware into PCR 0 (SRTM) and waits the
+  // firmware's POST time.
+  sim::Task PowerOnSelfTest();
+  // Scrubs all DRAM (LinuxBoot's guarantee to the *next* tenant).
+  sim::Task ScrubMemory();
+  bool memory_dirty() const { return memory_dirty_; }
+  // Measures a downloaded artifact into `pcr` (the modified-iPXE rule:
+  // measure before you jump).
+  void MeasureIntoPcr(int pcr, const crypto::Digest& digest,
+                      const std::string& description);
+  // kexec into a tenant kernel: measures kernel+initrd into PCR 8 and
+  // transitions to the tenant OS.
+  sim::Task KexecInto(const crypto::Digest& kernel_digest,
+                      const crypto::Digest& initrd_digest);
+
+ private:
+  sim::Simulation& sim_;
+  std::string name_;
+  MachineConfig config_;
+  net::Endpoint& endpoint_;
+  net::RpcNode rpc_;
+  net::SharedResource cpu_;         // all cores, for workloads
+  net::SharedResource crypto_cpu_;  // the ESP core
+  net::IpsecContext ipsec_;
+  tpm::Tpm tpm_;
+  tpm::EventLog boot_log_;
+  std::unique_ptr<storage::DiskModel> local_disk_;
+  PeripheralSet peripherals_;
+  PowerState power_state_ = PowerState::kOff;
+  bool memory_dirty_ = false;
+};
+
+}  // namespace bolted::machine
+
+#endif  // SRC_MACHINE_MACHINE_H_

@@ -1,0 +1,58 @@
+#include "src/machine/peripheral.h"
+
+namespace bolted::machine {
+
+bool PeripheralSet::Compromise(PeripheralKind kind, std::string_view implant_id) {
+  for (PeripheralDevice& device : devices_) {
+    if (device.kind == kind) {
+      crypto::Sha256 h;
+      h.Update(crypto::DigestView(device.firmware_digest));
+      h.Update(crypto::ToBytes(implant_id));
+      device.firmware_digest = h.Finish();
+      device.compromised = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PeripheralSet::AnyCompromised() const {
+  for (const PeripheralDevice& device : devices_) {
+    if (device.compromised) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<crypto::Digest> PeripheralSet::MeasurableDigests() const {
+  std::vector<crypto::Digest> digests;
+  for (const PeripheralDevice& device : devices_) {
+    if (device.supports_measurement) {
+      digests.push_back(device.firmware_digest);
+    }
+  }
+  return digests;
+}
+
+PeripheralSet PeripheralSet::StandardComplement(std::string_view host_name) {
+  auto digest_for = [&](std::string_view what) {
+    crypto::Sha256 h;
+    h.Update(crypto::ToBytes(what));
+    return h.Finish();
+  };
+  (void)host_name;  // firmware ships identical across the fleet
+  PeripheralSet set;
+  set.Add(PeripheralDevice{.kind = PeripheralKind::kNic,
+                           .model = "bcm57810-10gbe",
+                           .firmware_digest = digest_for("bcm57810-fw-7.10")});
+  set.Add(PeripheralDevice{.kind = PeripheralKind::kStorageController,
+                           .model = "perc-h710",
+                           .firmware_digest = digest_for("perc-h710-fw-21.3")});
+  set.Add(PeripheralDevice{.kind = PeripheralKind::kBmc,
+                           .model = "idrac7",
+                           .firmware_digest = digest_for("idrac7-fw-2.65")});
+  return set;
+}
+
+}  // namespace bolted::machine

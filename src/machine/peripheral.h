@@ -1,0 +1,73 @@
+// Peripheral devices with their own persistent firmware (§6, §9).
+//
+// The paper is explicit that its prototype cannot attest peripheral
+// firmware: NICs, GPUs, storage controllers, and BMCs run code the main
+// CPU's SRTM chain never measures, and "there are no standardized and
+// implemented methods to attest those ... to an external party."  We
+// model that blind spot faithfully: peripherals carry firmware that can
+// be compromised, the boot chain does NOT measure it (so attestation
+// passes regardless — see tests/peripheral_test.cc), and the §6
+// mitigations are expressible:
+//
+//   * data-path mitigations: disk/network encryption keys bootstrapped by
+//     the TPM deny a malicious NIC/storage controller plaintext access;
+//   * an opt-in vendor measurement hook models the NIST SP 800-193-style
+//     platform-resiliency extensions the paper expects to adopt later.
+
+#ifndef SRC_MACHINE_PERIPHERAL_H_
+#define SRC_MACHINE_PERIPHERAL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+
+namespace bolted::machine {
+
+enum class PeripheralKind {
+  kNic,
+  kGpu,
+  kStorageController,
+  kBmc,
+};
+
+struct PeripheralDevice {
+  PeripheralKind kind = PeripheralKind::kNic;
+  std::string model;
+  crypto::Digest firmware_digest{};
+  // True once a previous tenant or insider has implanted the firmware.
+  bool compromised = false;
+  // Whether the device implements an SP 800-193-style measurement
+  // interface the host can read (rare in the paper's era).
+  bool supports_measurement = false;
+};
+
+class PeripheralSet {
+ public:
+  void Add(PeripheralDevice device) { devices_.push_back(std::move(device)); }
+  std::vector<PeripheralDevice>& devices() { return devices_; }
+  const std::vector<PeripheralDevice>& devices() const { return devices_; }
+
+  // Implants persistent malware into the first device of the given kind;
+  // returns false if absent.  Peripheral firmware survives power cycles
+  // and reprovisioning — that is the threat.
+  bool Compromise(PeripheralKind kind, std::string_view implant_id);
+
+  bool AnyCompromised() const;
+
+  // The digests a measurement-capable platform would feed into the boot
+  // log (only devices with supports_measurement participate; the rest are
+  // the blind spot).
+  std::vector<crypto::Digest> MeasurableDigests() const;
+
+  // A default M620-like complement: 10 GbE NIC, storage controller, BMC —
+  // none measurement-capable (faithful to the paper's hardware).
+  static PeripheralSet StandardComplement(std::string_view host_name);
+
+ private:
+  std::vector<PeripheralDevice> devices_;
+};
+
+}  // namespace bolted::machine
+
+#endif  // SRC_MACHINE_PERIPHERAL_H_

@@ -1,0 +1,125 @@
+#include "src/net/ipsec.h"
+
+#include <cassert>
+
+#include "src/crypto/hmac.h"
+
+namespace bolted::net {
+
+double IpsecPayloadPerPacket(const IpsecCostModel& model, uint64_t mtu) {
+  const double payload = static_cast<double>(mtu) -
+                         static_cast<double>(model.esp_overhead_bytes);
+  assert(payload > 0);
+  return payload;
+}
+
+double IpsecWireBytes(const IpsecCostModel& model, uint64_t mtu, double payload_bytes) {
+  const double per_packet = IpsecPayloadPerPacket(model, mtu);
+  const double packets = payload_bytes / per_packet;
+  return payload_bytes + packets * static_cast<double>(model.esp_overhead_bytes);
+}
+
+double IpsecCryptoCycles(const IpsecCostModel& model, bool hardware_aes, uint64_t mtu,
+                         double payload_bytes) {
+  const double cycles_per_byte =
+      hardware_aes ? model.cycles_per_byte_hw : model.cycles_per_byte_sw;
+  const double per_packet = IpsecPayloadPerPacket(model, mtu);
+  const double packets = payload_bytes / per_packet;
+  return payload_bytes * cycles_per_byte + packets * model.cycles_per_packet;
+}
+
+double IpsecCpuBoundThroughput(const IpsecCostModel& model, bool hardware_aes,
+                               uint64_t mtu) {
+  const double cycles_per_app_byte =
+      IpsecCryptoCycles(model, hardware_aes, mtu, 1.0);
+  return model.cpu_hz / cycles_per_app_byte;
+}
+
+void IpsecContext::InstallSa(Address peer, const crypto::Bytes& key) {
+  assert(key.size() == 32);
+  SecurityAssociation sa;
+  sa.key = key;
+  sa.salt = crypto::Hkdf({}, key, crypto::ToBytes("esp-salt"), 4);
+  sas_[peer] = std::move(sa);
+}
+
+void IpsecContext::RemoveSa(Address peer) { sas_.erase(peer); }
+
+bool IpsecContext::HasSa(Address peer) const { return sas_.contains(peer); }
+
+std::optional<crypto::Bytes> IpsecContext::Seal(Address peer,
+                                                crypto::ByteView plaintext) {
+  const auto it = sas_.find(peer);
+  if (it == sas_.end()) {
+    return std::nullopt;
+  }
+  SecurityAssociation& sa = it->second;
+  const uint64_t sequence = ++sa.tx_sequence;
+
+  // Nonce = 4-byte salt || 8-byte sequence (RFC 4106 style).
+  crypto::Bytes nonce = sa.salt;
+  crypto::AppendU64(nonce, sequence);
+
+  crypto::Bytes aad;
+  crypto::AppendU64(aad, sequence);
+
+  crypto::Bytes wire;
+  crypto::AppendU64(wire, sequence);
+  crypto::Append(wire, crypto::AesGcm(sa.key).Seal(nonce, plaintext, aad));
+  return wire;
+}
+
+std::optional<crypto::Bytes> IpsecContext::Open(Address peer, crypto::ByteView wire) {
+  const auto it = sas_.find(peer);
+  if (it == sas_.end() || wire.size() < 8 + crypto::AesGcm::kTagSize) {
+    return std::nullopt;
+  }
+  SecurityAssociation& sa = it->second;
+
+  uint64_t sequence = 0;
+  for (int i = 0; i < 8; ++i) {
+    sequence = (sequence << 8) | wire[static_cast<size_t>(i)];
+  }
+  // Strictly-increasing replay protection.
+  if (sequence <= sa.rx_window) {
+    return std::nullopt;
+  }
+
+  crypto::Bytes nonce = sa.salt;
+  crypto::AppendU64(nonce, sequence);
+  crypto::Bytes aad;
+  crypto::AppendU64(aad, sequence);
+
+  auto plaintext = crypto::AesGcm(sa.key).Open(nonce, wire.subspan(8), aad);
+  if (!plaintext) {
+    return std::nullopt;
+  }
+  sa.rx_window = sequence;
+  return plaintext;
+}
+
+sim::Task BulkTransfer(sim::Simulation& sim, PathEnd src, PathEnd dst,
+                       double payload_bytes, const IpsecParams& params,
+                       const IpsecCostModel& model) {
+  std::vector<WeightedDemand> demands;
+  if (!params.enabled) {
+    // Plain TCP: header overhead only.
+    const double payload_per_packet =
+        static_cast<double>(params.mtu) - static_cast<double>(model.ip_tcp_header_bytes);
+    const double wire =
+        payload_bytes * (static_cast<double>(params.mtu) / payload_per_packet);
+    demands.push_back({src.nic, wire});
+    demands.push_back({dst.nic, wire});
+  } else {
+    const double wire = IpsecWireBytes(model, params.mtu, payload_bytes);
+    const double cycles =
+        IpsecCryptoCycles(model, params.hardware_aes, params.mtu, payload_bytes);
+    demands.push_back({src.nic, wire});
+    demands.push_back({dst.nic, wire});
+    demands.push_back({src.crypto_cpu, cycles});
+    demands.push_back({dst.crypto_cpu, cycles});
+  }
+  co_await ConsumeAllWeighted(sim, std::move(demands));
+}
+
+}  // namespace bolted::net

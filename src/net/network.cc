@@ -1,0 +1,168 @@
+#include "src/net/network.h"
+
+#include <utility>
+
+namespace bolted::net {
+
+Endpoint::Endpoint(sim::Simulation& sim, Network& network, Address address,
+                   std::string name, double bandwidth_bytes_per_second)
+    : sim_(sim),
+      network_(network),
+      address_(address),
+      name_(std::move(name)),
+      tx_(sim, bandwidth_bytes_per_second, name_ + ".tx"),
+      rx_(sim, bandwidth_bytes_per_second, name_ + ".rx"),
+      inbox_(sim) {}
+
+// Plain (non-coroutine) shim: boxes the aggregate before the coroutine
+// boundary — see the header note on the GCC 12 parameter-copy bug.
+sim::Task Endpoint::Send(Address dst, Message message) {
+  return SendBoxed(dst, std::make_shared<Message>(std::move(message)));
+}
+
+sim::Task Endpoint::SendBoxed(Address dst, std::shared_ptr<Message> message) {
+  message->src = address_;
+  message->dst = dst;
+  ++messages_sent_;
+
+  Endpoint* receiver = network_.FindEndpoint(dst);
+  const VlanId vlan = network_.SharedVlan(address_, dst);
+  if (receiver == nullptr || vlan == 0) {
+    ++messages_dropped_;
+    ++network_.total_drops_;
+    co_return;
+  }
+
+  const double wire_bytes = static_cast<double>(message->EffectiveWireBytes());
+  std::vector<WeightedDemand> demands;
+  demands.push_back(WeightedDemand{&tx_, wire_bytes});
+  demands.push_back(WeightedDemand{&receiver->rx_, wire_bytes});
+  // Cross-switch frames also traverse the top-of-rack uplinks.
+  const int src_switch = network_.SwitchOf(address_);
+  const int dst_switch = network_.SwitchOf(dst);
+  if (src_switch != dst_switch) {
+    if (src_switch != 0) {
+      demands.push_back(WeightedDemand{&network_.uplink(src_switch), wire_bytes});
+    }
+    if (dst_switch != 0) {
+      demands.push_back(WeightedDemand{&network_.uplink(dst_switch), wire_bytes});
+    }
+  }
+  co_await ConsumeAllWeighted(sim_, std::move(demands));
+  co_await sim::Delay(sim_, network_.propagation_latency());
+
+  // Re-check reachability at delivery time: HIL may have moved ports while
+  // the frame was in flight.
+  if (network_.SharedVlan(address_, dst) == 0) {
+    ++messages_dropped_;
+    ++network_.total_drops_;
+    co_return;
+  }
+  if (network_.sniffer_) {
+    network_.sniffer_(vlan, *message);
+  }
+  receiver->inbox_.Send(std::move(*message));
+}
+
+void Endpoint::Post(Address dst, Message message) {
+  sim_.Spawn(Send(dst, std::move(message)));
+}
+
+Network::Network(sim::Simulation& sim, sim::Duration propagation_latency,
+                 double default_bandwidth_bytes_per_second)
+    : sim_(sim),
+      latency_(propagation_latency),
+      default_bandwidth_(default_bandwidth_bytes_per_second) {}
+
+Endpoint& Network::CreateEndpoint(const std::string& name) {
+  return CreateEndpoint(name, default_bandwidth_);
+}
+
+Endpoint& Network::CreateEndpoint(const std::string& name,
+                                  double bandwidth_bytes_per_second) {
+  const Address address = next_address_++;
+  auto endpoint = std::make_unique<Endpoint>(sim_, *this, address, name,
+                                             bandwidth_bytes_per_second);
+  Endpoint& ref = *endpoint;
+  endpoints_.emplace(address, std::move(endpoint));
+  endpoint_switch_[address] = 0;
+  return ref;
+}
+
+Endpoint& Network::CreateEndpointOnSwitch(const std::string& name, int switch_id) {
+  Endpoint& endpoint = CreateEndpoint(name);
+  endpoint_switch_[endpoint.address()] = switch_id;
+  return endpoint;
+}
+
+int Network::AddSwitch(double uplink_bandwidth_bytes_per_second) {
+  uplinks_.push_back(std::make_unique<SharedResource>(
+      sim_, uplink_bandwidth_bytes_per_second,
+      "uplink-" + std::to_string(uplinks_.size() + 1)));
+  return static_cast<int>(uplinks_.size());
+}
+
+SharedResource& Network::uplink(int switch_id) {
+  return *uplinks_.at(static_cast<size_t>(switch_id - 1));
+}
+
+void Network::AssignToSwitch(Address endpoint, int switch_id) {
+  endpoint_switch_[endpoint] = switch_id;
+}
+
+int Network::SwitchOf(Address endpoint) const {
+  const auto it = endpoint_switch_.find(endpoint);
+  return it == endpoint_switch_.end() ? 0 : it->second;
+}
+
+Endpoint* Network::FindEndpoint(Address address) {
+  const auto it = endpoints_.find(address);
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+Endpoint* Network::FindByName(const std::string& name) {
+  for (auto& [address, endpoint] : endpoints_) {
+    if (endpoint->name() == name) {
+      return endpoint.get();
+    }
+  }
+  return nullptr;
+}
+
+void Network::AttachToVlan(Address endpoint, VlanId vlan) {
+  if (Endpoint* e = FindEndpoint(endpoint)) {
+    e->vlans_.insert(vlan);
+  }
+}
+
+void Network::DetachFromVlan(Address endpoint, VlanId vlan) {
+  if (Endpoint* e = FindEndpoint(endpoint)) {
+    e->vlans_.erase(vlan);
+  }
+}
+
+void Network::DetachFromAllVlans(Address endpoint) {
+  if (Endpoint* e = FindEndpoint(endpoint)) {
+    e->vlans_.clear();
+  }
+}
+
+bool Network::Reachable(Address a, Address b) const {
+  return const_cast<Network*>(this)->SharedVlan(a, b) != 0;
+}
+
+VlanId Network::SharedVlan(Address a, Address b) const {
+  const auto ita = endpoints_.find(a);
+  const auto itb = endpoints_.find(b);
+  if (ita == endpoints_.end() || itb == endpoints_.end()) {
+    return 0;
+  }
+  for (VlanId vlan : ita->second->vlans()) {
+    if (itb->second->vlans().contains(vlan)) {
+      return vlan;
+    }
+  }
+  return 0;
+}
+
+}  // namespace bolted::net

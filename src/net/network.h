@@ -1,0 +1,174 @@
+// Simulated L2 network with 802.1Q-style VLAN isolation.
+//
+// This models the provider's switching infrastructure that HIL drives
+// (§5): endpoints (server NICs and service NICs) attach to switch ports;
+// each port belongs to a set of VLANs; a frame is deliverable only when
+// the source and destination ports share a VLAN.  Isolation is therefore
+// structural — exactly the property the Hardware Isolation Layer
+// manipulates to build enclaves, airlocks, and the rejected pool.
+//
+// Control-plane messages carry real bytes.  Delivery consumes the sender's
+// TX and the receiver's RX NIC resources (fluid model), so concurrent
+// traffic contends naturally.  A provider-level sniffer hook sees every
+// delivered frame — used by tests and examples to demonstrate that only
+// encryption (not VLANs) protects payloads from the provider itself.
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/crypto/bytes.h"
+#include "src/net/resource.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace bolted::net {
+
+using Address = uint32_t;
+using VlanId = uint16_t;
+
+struct Message {
+  Address src = 0;
+  Address dst = 0;
+  std::string kind;       // protocol tag, e.g. "keylime.quote"
+  crypto::Bytes payload;  // real bytes (may be encrypted)
+  // Bytes accounted on the wire; defaults to the payload size but can be
+  // larger for messages that model bulk data without carrying it.
+  uint64_t wire_bytes = 0;
+  // RPC correlation (see src/net/rpc.h).
+  uint64_t rpc_id = 0;
+  bool rpc_response = false;
+
+  uint64_t EffectiveWireBytes() const {
+    return wire_bytes != 0 ? wire_bytes : payload.size();
+  }
+};
+
+class Network;
+
+// A NIC attached to a switch port.  Endpoint lifetime is managed by the
+// Network.
+class Endpoint {
+ public:
+  Endpoint(sim::Simulation& sim, Network& network, Address address, std::string name,
+           double bandwidth_bytes_per_second);
+
+  Address address() const { return address_; }
+  const std::string& name() const { return name_; }
+
+  // VLAN membership of this endpoint's switch port.
+  const std::set<VlanId>& vlans() const { return vlans_; }
+  bool InVlan(VlanId vlan) const { return vlans_.contains(vlan); }
+
+  SharedResource& tx() { return tx_; }
+  SharedResource& rx() { return rx_; }
+
+  // Incoming messages, in delivery order.
+  sim::Channel<Message>& inbox() { return inbox_; }
+
+  // Sends a message, suspending until the bytes clear both NICs.  Returns
+  // without delivering (silently dropped, counter bumped) when no shared
+  // VLAN exists — i.e. isolation is enforced here.
+  //
+  // Implementation note: Message is an aggregate, and GCC 12 miscompiles
+  // by-value aggregate parameters of coroutines (the frame copy is a
+  // bitwise copy, aliasing the caller's SSO string buffers).  Send is
+  // therefore a plain function that boxes the message before entering the
+  // coroutine (SendBoxed).
+  sim::Task Send(Address dst, Message message);
+  // Fire-and-forget variant.
+  void Post(Address dst, Message message);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  friend class Network;
+
+  sim::Task SendBoxed(Address dst, std::shared_ptr<Message> message);
+
+  sim::Simulation& sim_;
+  Network& network_;
+  Address address_;
+  std::string name_;
+  std::set<VlanId> vlans_;
+  SharedResource tx_;
+  SharedResource rx_;
+  sim::Channel<Message> inbox_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+class Network {
+ public:
+  // Called for every delivered frame (provider-visible traffic).
+  using Sniffer = std::function<void(VlanId, const Message&)>;
+
+  Network(sim::Simulation& sim, sim::Duration propagation_latency,
+          double default_bandwidth_bytes_per_second);
+
+  // --- Topology -----------------------------------------------------------
+  // By default all ports share one switch.  AddSwitch() grows a star
+  // topology: each top-of-rack switch has an uplink of the given
+  // bandwidth to the core, and frames between ports on different
+  // switches consume both uplinks — the classic oversubscription
+  // bottleneck HIL's VLANs stretch across.
+  //
+  // Switch 0 always exists.  Returns the new switch id.
+  int AddSwitch(double uplink_bandwidth_bytes_per_second);
+  int num_switches() const { return static_cast<int>(uplinks_.size()) + 1; }
+  // Uplink resource of a top-of-rack switch (1-based; switch 0 is the
+  // core and has none).
+  SharedResource& uplink(int switch_id);
+
+  // Creates an endpoint attached to a fresh switch port with no VLANs.
+  Endpoint& CreateEndpoint(const std::string& name);
+  Endpoint& CreateEndpoint(const std::string& name, double bandwidth_bytes_per_second);
+  Endpoint& CreateEndpointOnSwitch(const std::string& name, int switch_id);
+  // Moves an existing port to another switch (provider recabling).
+  void AssignToSwitch(Address endpoint, int switch_id);
+  int SwitchOf(Address endpoint) const;
+
+  Endpoint* FindEndpoint(Address address);
+  Endpoint* FindByName(const std::string& name);
+
+  // Switch-port VLAN management (privileged: used by HIL only).
+  void AttachToVlan(Address endpoint, VlanId vlan);
+  void DetachFromVlan(Address endpoint, VlanId vlan);
+  void DetachFromAllVlans(Address endpoint);
+
+  // True when the two ports share at least one VLAN.
+  bool Reachable(Address a, Address b) const;
+  // The lowest shared VLAN (frames are tagged with it), or 0.
+  VlanId SharedVlan(Address a, Address b) const;
+
+  void SetSniffer(Sniffer sniffer) { sniffer_ = std::move(sniffer); }
+
+  sim::Duration propagation_latency() const { return latency_; }
+  sim::Simulation& simulation() { return sim_; }
+  uint64_t total_drops() const { return total_drops_; }
+
+ private:
+  friend class Endpoint;
+
+  sim::Simulation& sim_;
+  sim::Duration latency_;
+  double default_bandwidth_;
+  Address next_address_ = 1;
+  std::map<Address, std::unique_ptr<Endpoint>> endpoints_;
+  std::map<Address, int> endpoint_switch_;
+  std::vector<std::unique_ptr<SharedResource>> uplinks_;  // switch 1..N
+  Sniffer sniffer_;
+  uint64_t total_drops_ = 0;
+};
+
+}  // namespace bolted::net
+
+#endif  // SRC_NET_NETWORK_H_

@@ -1,0 +1,110 @@
+#include "src/net/resource.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace bolted::net {
+
+SharedResource::SharedResource(sim::Simulation& sim, double capacity_per_second,
+                               std::string name)
+    : sim_(sim), capacity_(capacity_per_second), name_(std::move(name)),
+      last_update_(sim.now()) {
+  assert(capacity_ > 0);
+}
+
+SharedResource::~SharedResource() {
+  if (has_pending_event_) {
+    sim_.Cancel(pending_event_);
+  }
+}
+
+void SharedResource::AdvanceTo(sim::Time now) {
+  if (now <= last_update_ || jobs_.empty()) {
+    last_update_ = now;
+    return;
+  }
+  const double elapsed = (now - last_update_).ToSecondsF();
+  const double rate = capacity_ / static_cast<double>(jobs_.size());
+  const double served = rate * elapsed;
+  for (Job& job : jobs_) {
+    const double delta = std::min(job.remaining, served);
+    job.remaining -= delta;
+    total_served_ += delta;
+  }
+  last_update_ = now;
+}
+
+void SharedResource::Sync() {
+  AdvanceTo(sim_.now());
+
+  // Complete every drained job.  The threshold is relative to capacity:
+  // anything under a picosecond of work counts as done, which (together
+  // with the 1 ns minimum reschedule below) guarantees forward progress
+  // despite floating-point residue.
+  const double epsilon = capacity_ * 1e-12;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->remaining <= epsilon) {
+      it->done->Set();
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (has_pending_event_) {
+    sim_.Cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  if (jobs_.empty()) {
+    return;
+  }
+
+  double min_remaining = jobs_.front().remaining;
+  for (const Job& job : jobs_) {
+    min_remaining = std::min(min_remaining, job.remaining);
+  }
+  const double rate = capacity_ / static_cast<double>(jobs_.size());
+  const int64_t delay_ns = std::max<int64_t>(
+      1, static_cast<int64_t>(min_remaining / rate * 1e9));
+  pending_event_ =
+      sim_.Schedule(sim::Duration::Nanoseconds(delay_ns), [this]() {
+        has_pending_event_ = false;
+        Sync();
+      });
+  has_pending_event_ = true;
+}
+
+sim::Task SharedResource::Consume(double amount) {
+  if (amount <= 0) {
+    co_return;
+  }
+  // Settle existing jobs up to now before the new one starts competing.
+  AdvanceTo(sim_.now());
+  auto done = std::make_shared<sim::Event>(sim_);
+  jobs_.push_back(Job{amount, done});
+  Sync();
+  co_await *done;
+}
+
+sim::Task ConsumeAll(sim::Simulation& sim, std::vector<SharedResource*> resources,
+                     double amount) {
+  std::vector<WeightedDemand> demands;
+  demands.reserve(resources.size());
+  for (SharedResource* resource : resources) {
+    demands.push_back(WeightedDemand{resource, amount});
+  }
+  co_await ConsumeAllWeighted(sim, std::move(demands));
+}
+
+sim::Task ConsumeAllWeighted(sim::Simulation& sim, std::vector<WeightedDemand> demands) {
+  sim::TaskGroup group(sim);
+  for (const WeightedDemand& demand : demands) {
+    if (demand.resource != nullptr && demand.amount > 0) {
+      group.Spawn(demand.resource->Consume(demand.amount));
+    }
+  }
+  co_await group.WaitAll();
+}
+
+}  // namespace bolted::net

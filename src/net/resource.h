@@ -1,0 +1,87 @@
+// Processor-sharing fluid resources.
+//
+// A SharedResource models a capacity-limited device — a NIC, a disk
+// spindle aggregate, a CPU core doing crypto — whose capacity is shared
+// max-min fairly among concurrent consumers.  Consumers are coroutines:
+//
+//   co_await resource.Consume(bytes);
+//
+// suspends for exactly as long as the fluid model says the transfer takes
+// given all concurrent activity.  This is how every throughput number in
+// the benchmark harness (Figures 3, 5, 7) emerges from contention rather
+// than being hard-coded.
+
+#ifndef SRC_NET_RESOURCE_H_
+#define SRC_NET_RESOURCE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace bolted::net {
+
+class SharedResource {
+ public:
+  // capacity is in units (typically bytes) per simulated second.
+  SharedResource(sim::Simulation& sim, double capacity_per_second, std::string name);
+  SharedResource(const SharedResource&) = delete;
+  SharedResource& operator=(const SharedResource&) = delete;
+  ~SharedResource();
+
+  // Consumes `amount` units; completes when the fluid model has served
+  // them.  Zero/negative amounts complete immediately.
+  sim::Task Consume(double amount);
+
+  // Current number of active consumers (for tests and stats).
+  size_t active_consumers() const { return jobs_.size(); }
+  double capacity_per_second() const { return capacity_; }
+  const std::string& name() const { return name_; }
+  // Total units served since construction.
+  double total_served() const { return total_served_; }
+
+ private:
+  struct Job {
+    double remaining = 0;
+    // Shared with the consuming coroutine so the Event outlives job
+    // erasure inside Sync().
+    std::shared_ptr<sim::Event> done;
+  };
+
+  // Advances all jobs to the current time and reschedules the next
+  // completion event.
+  void Sync();
+  void AdvanceTo(sim::Time now);
+
+  sim::Simulation& sim_;
+  double capacity_;
+  std::string name_;
+  std::list<Job> jobs_;
+  sim::Time last_update_;
+  sim::EventId pending_event_ = 0;
+  bool has_pending_event_ = false;
+  double total_served_ = 0;
+};
+
+// Consumes `amount` from several resources concurrently and completes when
+// the slowest finishes — the standard approximation for a pipelined
+// transfer bottlenecked by its most contended stage (NIC -> wire -> NIC,
+// or NIC -> crypto engine).
+sim::Task ConsumeAll(sim::Simulation& sim, std::vector<SharedResource*> resources,
+                     double amount);
+
+// Like ConsumeAll but with a per-resource amount (e.g. wire bytes on the
+// NIC vs payload bytes on the crypto engine).
+struct WeightedDemand {
+  SharedResource* resource;
+  double amount;
+};
+sim::Task ConsumeAllWeighted(sim::Simulation& sim, std::vector<WeightedDemand> demands);
+
+}  // namespace bolted::net
+
+#endif  // SRC_NET_RESOURCE_H_

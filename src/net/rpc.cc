@@ -1,0 +1,94 @@
+#include "src/net/rpc.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bolted::net {
+
+RpcNode::RpcNode(sim::Simulation& sim, Endpoint& endpoint)
+    : sim_(sim), endpoint_(endpoint) {}
+
+void RpcNode::RegisterHandler(const std::string& kind, Handler handler) {
+  handlers_[kind] = std::move(handler);
+}
+
+void RpcNode::Start() {
+  assert(!started_);
+  started_ = true;
+  sim_.Spawn(Dispatch());
+}
+
+sim::Task RpcNode::Dispatch() {
+  for (;;) {
+    Message message = co_await endpoint_.inbox().Recv();
+    if (message.rpc_response) {
+      const auto it = pending_.find(message.rpc_id);
+      if (it == pending_.end()) {
+        continue;  // late response after timeout
+      }
+      PendingCall call = std::move(it->second);
+      pending_.erase(it);
+      if (call.response != nullptr) {
+        *call.response = std::move(message);
+      }
+      if (call.ok != nullptr) {
+        *call.ok = true;
+      }
+      call.done->Set();
+      continue;
+    }
+    sim_.Spawn(HandleRequest(std::make_shared<Message>(std::move(message))));
+  }
+}
+
+sim::Task RpcNode::HandleRequest(std::shared_ptr<Message> request) {
+  const auto it = handlers_.find(request->kind);
+  if (it == handlers_.end()) {
+    co_return;  // unknown service; drop like a closed port
+  }
+  Message response;
+  co_await it->second(*request, &response);
+  response.rpc_id = request->rpc_id;
+  response.rpc_response = true;
+  if (response.kind.empty()) {
+    response.kind = request->kind + ".resp";
+  }
+  co_await endpoint_.Send(request->src, std::move(response));
+}
+
+// Plain shim: boxes the aggregate before the coroutine boundary.
+sim::Task RpcNode::Call(Address dst, Message request, Message* response, bool* ok,
+                        sim::Duration timeout) {
+  return CallBoxed(dst, std::make_shared<Message>(std::move(request)), response, ok,
+                   timeout);
+}
+
+sim::Task RpcNode::CallBoxed(Address dst, std::shared_ptr<Message> request,
+                             Message* response, bool* ok, sim::Duration timeout) {
+  assert(started_ && "Start() the RpcNode before calling");
+  const uint64_t id = next_rpc_id_++;
+  request->rpc_id = id;
+  request->rpc_response = false;
+  if (ok != nullptr) {
+    *ok = false;
+  }
+
+  auto done = std::make_shared<sim::Event>(sim_);
+  pending_.emplace(id, PendingCall{done, response, ok});
+
+  const sim::EventId timer = sim_.Schedule(timeout, [this, id]() {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      return;
+    }
+    PendingCall call = std::move(it->second);
+    pending_.erase(it);
+    call.done->Set();  // ok stays false
+  });
+
+  co_await endpoint_.Send(dst, std::move(*request));
+  co_await *done;
+  sim_.Cancel(timer);
+}
+
+}  // namespace bolted::net

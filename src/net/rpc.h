@@ -1,0 +1,68 @@
+// Request/response messaging over the simulated network.
+//
+// Every Bolted service (HIL, BMI, Keylime registrar/verifier, the iSCSI
+// target) is an RpcNode: a dispatcher coroutine drains the endpoint inbox,
+// routes responses to pending calls, and spawns a handler per request.
+// Calls time out rather than hang when isolation (VLAN moves) silently
+// drops traffic — which is exactly what happens to a server stuck in the
+// airlock or the rejected pool.
+
+#ifndef SRC_NET_RPC_H_
+#define SRC_NET_RPC_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/net/network.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace bolted::net {
+
+class RpcNode {
+ public:
+  // Handlers fill in *response (kind/payload/wire_bytes); correlation
+  // fields are managed by the node.
+  using Handler = std::function<sim::Task(const Message& request, Message* response)>;
+
+  RpcNode(sim::Simulation& sim, Endpoint& endpoint);
+
+  Endpoint& endpoint() { return endpoint_; }
+  Address address() const { return endpoint_.address(); }
+
+  void RegisterHandler(const std::string& kind, Handler handler);
+
+  // Spawns the dispatcher; call once after registering handlers.
+  void Start();
+
+  // Issues a call; *ok is false on timeout (e.g. the peer is unreachable
+  // after an isolation change).  Plain shim over CallBoxed (see
+  // Endpoint::Send for the GCC 12 aggregate-parameter note).
+  sim::Task Call(Address dst, Message request, Message* response, bool* ok,
+                 sim::Duration timeout = sim::Duration::Seconds(30));
+
+ private:
+  struct PendingCall {
+    std::shared_ptr<sim::Event> done;
+    Message* response = nullptr;
+    bool* ok = nullptr;
+  };
+
+  sim::Task Dispatch();
+  sim::Task HandleRequest(std::shared_ptr<Message> request);
+  sim::Task CallBoxed(Address dst, std::shared_ptr<Message> request,
+                      Message* response, bool* ok, sim::Duration timeout);
+
+  sim::Simulation& sim_;
+  Endpoint& endpoint_;
+  std::map<std::string, Handler> handlers_;
+  std::map<uint64_t, PendingCall> pending_;
+  uint64_t next_rpc_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace bolted::net
+
+#endif  // SRC_NET_RPC_H_

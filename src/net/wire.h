@@ -1,0 +1,114 @@
+// Minimal wire-format serialization for protocol payloads.
+//
+// Big-endian integers, length-prefixed blobs/strings.  WireReader is
+// fail-safe: any malformed field flips ok() and subsequent reads return
+// zero values, so handlers can validate once at the end.
+
+#ifndef SRC_NET_WIRE_H_
+#define SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/crypto/bytes.h"
+#include "src/crypto/sha256.h"
+
+namespace bolted::net {
+
+class WireWriter {
+ public:
+  WireWriter& U32(uint32_t v) {
+    crypto::AppendU32(out_, v);
+    return *this;
+  }
+  WireWriter& U64(uint64_t v) {
+    crypto::AppendU64(out_, v);
+    return *this;
+  }
+  WireWriter& Blob(crypto::ByteView data) {
+    crypto::AppendU32(out_, static_cast<uint32_t>(data.size()));
+    crypto::Append(out_, data);
+    return *this;
+  }
+  WireWriter& Str(std::string_view s) {
+    return Blob(crypto::ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+  WireWriter& Digest(const crypto::Digest& d) {
+    crypto::Append(out_, crypto::DigestView(d));
+    return *this;
+  }
+  crypto::Bytes Take() { return std::move(out_); }
+
+ private:
+  crypto::Bytes out_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(crypto::ByteView data) : data_(data) {}
+
+  uint32_t U32() {
+    if (!Require(4)) {
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v = (v << 8) | data_[static_cast<size_t>(i)];
+    }
+    data_ = data_.subspan(4);
+    return v;
+  }
+  uint64_t U64() {
+    if (!Require(8)) {
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | data_[static_cast<size_t>(i)];
+    }
+    data_ = data_.subspan(8);
+    return v;
+  }
+  crypto::Bytes Blob() {
+    const uint32_t size = U32();
+    if (!Require(size)) {
+      return {};
+    }
+    crypto::Bytes out(data_.begin(), data_.begin() + size);
+    data_ = data_.subspan(size);
+    return out;
+  }
+  std::string Str() {
+    const crypto::Bytes blob = Blob();
+    return std::string(blob.begin(), blob.end());
+  }
+  crypto::Digest Digest() {
+    crypto::Digest d{};
+    if (!Require(32)) {
+      return d;
+    }
+    std::copy(data_.begin(), data_.begin() + 32, d.begin());
+    data_ = data_.subspan(32);
+    return d;
+  }
+
+  // True when every read so far was in bounds and the input is consumed.
+  bool AtEnd() const { return ok_ && data_.empty(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || data_.size() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  crypto::ByteView data_;
+  bool ok_ = true;
+};
+
+}  // namespace bolted::net
+
+#endif  // SRC_NET_WIRE_H_

@@ -1,0 +1,41 @@
+#include "src/provision/foreman.h"
+
+namespace bolted::provision {
+
+sim::Task ForemanProvision(machine::Machine& machine, const ForemanOptions& options,
+                           PhaseTrace* trace) {
+  sim::Simulation& sim = machine.simulation();
+
+  // First POST (vendor firmware).
+  co_await machine.PowerOnSelfTest();
+  trace->Mark("POST");
+
+  // PXE-boot the installer image.
+  co_await machine.endpoint().rx().Consume(
+      static_cast<double>(options.installer_image_bytes));
+  trace->Mark("PXE installer");
+
+  // Install: stream the full stack over the network onto the local disk;
+  // network fetch and disk write overlap, the slower side dominates.
+  {
+    sim::TaskGroup group(sim);
+    group.Spawn(machine.endpoint().rx().Consume(
+        static_cast<double>(options.install_bytes)));
+    group.Spawn(machine.local_disk().AccountWrite(options.install_bytes));
+    co_await group.WaitAll();
+  }
+  trace->Mark("install to disk");
+
+  // Reboot into the installed system: POST all over again.
+  machine.PowerCycleReset();
+  co_await machine.PowerOnSelfTest();
+  trace->Mark("POST (2nd)");
+
+  // Boot from local disk: scattered reads.
+  co_await machine.local_disk().AccountRandomRead(options.boot_read_bytes,
+                                                  128 * 1024);
+  machine.set_power_state(machine::PowerState::kTenantOs);
+  trace->Mark("OS boot");
+}
+
+}  // namespace bolted::provision

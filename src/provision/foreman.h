@@ -1,0 +1,30 @@
+// Foreman-style stateful provisioning baseline (Fig. 4's left bar).
+//
+// Foreman installs the OS onto the server's local disk: PXE-boot an
+// installer, copy the full software stack over the network to disk, then
+// reboot (paying POST a second time) and boot from local disk.  No
+// attestation, no security procedures — this is the fastest *stateful*
+// baseline, which Bolted's diskless flow beats while adding security.
+
+#ifndef SRC_PROVISION_FOREMAN_H_
+#define SRC_PROVISION_FOREMAN_H_
+
+#include "src/machine/machine.h"
+#include "src/provision/phase_trace.h"
+
+namespace bolted::provision {
+
+struct ForemanOptions {
+  uint64_t installer_image_bytes = 300ull << 20;  // netboot installer
+  uint64_t install_bytes = 12ull << 30;           // OS + packages to disk
+  uint64_t boot_read_bytes = 400ull << 20;        // what the OS reads to boot
+  net::Address provisioning_server = 0;
+};
+
+// Runs the full Foreman flow on `machine`; phases land in *trace.
+sim::Task ForemanProvision(machine::Machine& machine, const ForemanOptions& options,
+                           PhaseTrace* trace);
+
+}  // namespace bolted::provision
+
+#endif  // SRC_PROVISION_FOREMAN_H_

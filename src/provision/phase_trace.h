@@ -1,0 +1,74 @@
+// Phase timing traces for provisioning flows (the Fig. 4 breakdown).
+
+#ifndef SRC_PROVISION_PHASE_TRACE_H_
+#define SRC_PROVISION_PHASE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace bolted::provision {
+
+class PhaseTrace {
+ public:
+  // Default-constructed traces record nothing until Start() is called.
+  PhaseTrace() = default;
+  explicit PhaseTrace(sim::Simulation& sim) : sim_(&sim), last_(sim.now()) {}
+
+  void Start(sim::Simulation& sim) {
+    sim_ = &sim;
+    last_ = sim.now();
+    phases_.clear();
+  }
+
+  // Records the time elapsed since the previous mark under `name`.
+  void Mark(const std::string& name) {
+    if (sim_ == nullptr) {
+      return;
+    }
+    const sim::Time now = sim_->now();
+    phases_.push_back(Phase{name, now - last_});
+    last_ = now;
+  }
+
+  struct Phase {
+    std::string name;
+    sim::Duration duration;
+  };
+
+  const std::vector<Phase>& phases() const { return phases_; }
+  sim::Duration total() const {
+    sim::Duration sum = sim::Duration::Zero();
+    for (const Phase& phase : phases_) {
+      sum += phase.duration;
+    }
+    return sum;
+  }
+  sim::Duration DurationOf(const std::string& name) const {
+    for (const Phase& phase : phases_) {
+      if (phase.name == name) {
+        return phase.duration;
+      }
+    }
+    return sim::Duration::Zero();
+  }
+  std::string ToString() const {
+    std::string out;
+    for (const Phase& phase : phases_) {
+      out += "  " + phase.name + ": " + phase.duration.ToString() + "\n";
+    }
+    out += "  total: " + total().ToString() + "\n";
+    return out;
+  }
+
+ private:
+  sim::Simulation* sim_ = nullptr;
+  sim::Time last_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace bolted::provision
+
+#endif  // SRC_PROVISION_PHASE_TRACE_H_

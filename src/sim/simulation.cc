@@ -1,0 +1,81 @@
+#include "src/sim/simulation.h"
+
+#include <utility>
+
+#include "src/sim/task.h"
+
+namespace bolted::sim {
+
+Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+
+Simulation::~Simulation() = default;
+
+EventId Simulation::Schedule(Duration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::ScheduleAt(Time when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id,
+                    std::make_shared<std::function<void()>>(std::move(fn))});
+  return id;
+}
+
+void Simulation::Cancel(EventId id) { cancelled_.insert(id); }
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = entry.when;
+    ++events_processed_;
+    (*entry.fn)();
+    if ((events_processed_ & 0x3ff) == 0) {
+      ReapTasks();
+    }
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run() {
+  while (Step()) {
+  }
+  ReapTasks();
+}
+
+void Simulation::RunUntil(Time horizon) {
+  while (!queue_.empty() && queue_.top().when <= horizon) {
+    Step();
+  }
+  if (now_ < horizon) {
+    now_ = horizon;
+  }
+  ReapTasks();
+}
+
+void Simulation::Spawn(Task task) {
+  live_tasks_.push_back(std::move(task));
+  live_tasks_.back().Start();
+}
+
+void Simulation::ReapTasks() {
+  for (size_t i = 0; i < live_tasks_.size();) {
+    if (live_tasks_[i].done()) {
+      live_tasks_[i].RethrowIfFailed();
+      live_tasks_[i] = std::move(live_tasks_.back());
+      live_tasks_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace bolted::sim

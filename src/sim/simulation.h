@@ -1,0 +1,90 @@
+// Discrete-event simulation kernel.
+//
+// The simulator owns a virtual clock and a priority queue of pending
+// events.  Events scheduled for the same instant fire in insertion order,
+// which (together with the seeded Rng) makes every run deterministic.
+//
+// Higher-level flows (boot sequences, attestation protocols) are written
+// as C++20 coroutines (see src/sim/task.h) that suspend on Delay()
+// awaitables backed by this queue.
+
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace bolted::sim {
+
+class Task;
+
+// Identifies a scheduled event so it can be cancelled.
+using EventId = uint64_t;
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 0x626f6c746564u);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules fn to run after delay (>= 0) of simulated time.
+  EventId Schedule(Duration delay, std::function<void()> fn);
+  EventId ScheduleAt(Time when, std::function<void()> fn);
+  // Cancels a pending event; a no-op if it already fired or was cancelled.
+  void Cancel(EventId id);
+
+  // Runs until the event queue drains or the given horizon passes.
+  void Run();
+  void RunUntil(Time horizon);
+  // Fires the next event, if any; returns false when the queue is empty.
+  bool Step();
+
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Takes ownership of a coroutine task and starts it.  The task is
+  // destroyed once it completes.  Defined in task.cc.
+  void Spawn(Task task);
+
+ private:
+  struct Entry {
+    Time when;
+    uint64_t seq;  // tie-break: earlier scheduling fires first
+    EventId id;
+    // Shared so that Entry stays copyable for std::priority_queue's
+    // const-top API without cloning the callable.
+    std::shared_ptr<std::function<void()>> fn;
+    bool operator>(const Entry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void ReapTasks();
+
+  Time now_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::vector<Task> live_tasks_;
+  Rng rng_;
+};
+
+}  // namespace bolted::sim
+
+#endif  // SRC_SIM_SIMULATION_H_

@@ -1,0 +1,39 @@
+#include "src/sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bolted::sim {
+namespace {
+
+std::string Format(double value, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g%s", value, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::ToString() const {
+  const double ns = static_cast<double>(ns_);
+  const double abs_ns = std::fabs(ns);
+  if (abs_ns >= 60e9) {
+    return Format(ns / 60e9, "min");
+  }
+  if (abs_ns >= 1e9) {
+    return Format(ns / 1e9, "s");
+  }
+  if (abs_ns >= 1e6) {
+    return Format(ns / 1e6, "ms");
+  }
+  if (abs_ns >= 1e3) {
+    return Format(ns / 1e3, "us");
+  }
+  return Format(ns, "ns");
+}
+
+std::string Time::ToString() const {
+  return Duration::Nanoseconds(ns_).ToString();
+}
+
+}  // namespace bolted::sim

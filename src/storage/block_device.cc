@@ -1,0 +1,114 @@
+#include "src/storage/block_device.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bolted::storage {
+namespace {
+
+void CopyOutSectors(const std::map<uint64_t, crypto::Bytes>& sectors,
+                    uint64_t first_sector, uint64_t count, crypto::Bytes* out) {
+  out->assign(count * kSectorSize, 0);
+  for (uint64_t i = 0; i < count; ++i) {
+    const auto it = sectors.find(first_sector + i);
+    if (it != sectors.end()) {
+      std::copy(it->second.begin(), it->second.end(),
+                out->begin() + static_cast<ptrdiff_t>(i * kSectorSize));
+    }
+  }
+}
+
+void CopyInSectors(std::map<uint64_t, crypto::Bytes>* sectors, uint64_t first_sector,
+                   const crypto::Bytes& data) {
+  assert(data.size() % kSectorSize == 0);
+  const uint64_t count = data.size() / kSectorSize;
+  for (uint64_t i = 0; i < count; ++i) {
+    crypto::Bytes sector(data.begin() + static_cast<ptrdiff_t>(i * kSectorSize),
+                         data.begin() + static_cast<ptrdiff_t>((i + 1) * kSectorSize));
+    (*sectors)[first_sector + i] = std::move(sector);
+  }
+}
+
+}  // namespace
+
+RamDisk::RamDisk(sim::Simulation& sim, uint64_t num_sectors,
+                 double read_bytes_per_second, double write_bytes_per_second,
+                 std::string name)
+    : sim_(sim),
+      num_sectors_(num_sectors),
+      read_resource_(sim, read_bytes_per_second, name + ".read"),
+      write_resource_(sim, write_bytes_per_second, name + ".write") {}
+
+sim::Task RamDisk::ReadSectors(uint64_t first_sector, uint64_t count,
+                               crypto::Bytes* out) {
+  assert(first_sector + count <= num_sectors_);
+  co_await read_resource_.Consume(static_cast<double>(count * kSectorSize));
+  CopyOutSectors(sectors_, first_sector, count, out);
+}
+
+sim::Task RamDisk::WriteSectors(uint64_t first_sector, const crypto::Bytes& data) {
+  assert(first_sector + data.size() / kSectorSize <= num_sectors_);
+  co_await write_resource_.Consume(static_cast<double>(data.size()));
+  CopyInSectors(&sectors_, first_sector, data);
+}
+
+sim::Task RamDisk::AccountRead(uint64_t bytes) {
+  co_await read_resource_.Consume(static_cast<double>(bytes));
+}
+
+sim::Task RamDisk::AccountWrite(uint64_t bytes) {
+  co_await write_resource_.Consume(static_cast<double>(bytes));
+}
+
+DiskModel::DiskModel(sim::Simulation& sim, uint64_t num_sectors,
+                     double sequential_bytes_per_second, sim::Duration seek_latency,
+                     std::string name)
+    : sim_(sim),
+      num_sectors_(num_sectors),
+      bandwidth_(sim, sequential_bytes_per_second, std::move(name)),
+      seek_latency_(seek_latency) {}
+
+sim::Task DiskModel::Access(uint64_t first_sector, uint64_t bytes) {
+  if (first_sector != last_sector_) {
+    co_await sim::Delay(sim_, seek_latency_);
+  }
+  co_await bandwidth_.Consume(static_cast<double>(bytes));
+  last_sector_ = first_sector + (bytes + kSectorSize - 1) / kSectorSize;
+}
+
+sim::Task DiskModel::ReadSectors(uint64_t first_sector, uint64_t count,
+                                 crypto::Bytes* out) {
+  assert(first_sector + count <= num_sectors_);
+  co_await Access(first_sector, count * kSectorSize);
+  CopyOutSectors(sectors_, first_sector, count, out);
+}
+
+sim::Task DiskModel::WriteSectors(uint64_t first_sector, const crypto::Bytes& data) {
+  co_await Access(first_sector, data.size());
+  CopyInSectors(&sectors_, first_sector, data);
+}
+
+sim::Task DiskModel::AccountRead(uint64_t bytes) {
+  co_await Access(last_sector_, bytes);
+}
+
+sim::Task DiskModel::AccountRandomRead(uint64_t bytes, uint64_t chunk_bytes) {
+  const uint64_t chunks = (bytes + chunk_bytes - 1) / chunk_bytes;
+  // Jump by a large odd stride so every access seeks.
+  uint64_t sector = 1;
+  for (uint64_t i = 0; i < chunks; ++i) {
+    sector = (sector + 999983) % num_sectors_;
+    co_await Access(sector, std::min(chunk_bytes, bytes - i * chunk_bytes));
+  }
+}
+
+sim::Task DiskModel::AccountWrite(uint64_t bytes) {
+  co_await Access(last_sector_, bytes);
+}
+
+sim::Task BlockDevice::AccountRandomRead(uint64_t bytes, uint64_t chunk_bytes) {
+  (void)chunk_bytes;
+  co_await AccountRead(bytes);
+}
+
+}  // namespace bolted::storage

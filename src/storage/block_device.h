@@ -1,0 +1,107 @@
+// Block-device abstractions for the storage substrate.
+//
+// Devices expose coroutine read/write of sector ranges.  Data content is
+// carried for small, correctness-relevant I/O (boot blocks, keys); bulk
+// experiments use the byte-accounting path, with timing supplied by each
+// device's fluid-resource model.
+
+#ifndef SRC_STORAGE_BLOCK_DEVICE_H_
+#define SRC_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/crypto/bytes.h"
+#include "src/net/resource.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace bolted::storage {
+
+inline constexpr uint64_t kSectorSize = 4096;
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual uint64_t num_sectors() const = 0;
+  uint64_t capacity_bytes() const { return num_sectors() * kSectorSize; }
+
+  // Reads `count` sectors starting at `first_sector` into out (resized to
+  // count * kSectorSize).  Suspends for the modelled device time.
+  virtual sim::Task ReadSectors(uint64_t first_sector, uint64_t count,
+                                crypto::Bytes* out) = 0;
+  // Writes data (size must be a multiple of kSectorSize).
+  virtual sim::Task WriteSectors(uint64_t first_sector, const crypto::Bytes& data) = 0;
+
+  // Byte-accounting fast path for bulk benchmarks: models the time for a
+  // sequential transfer of `bytes` without materialising them.
+  virtual sim::Task AccountRead(uint64_t bytes) = 0;
+  virtual sim::Task AccountWrite(uint64_t bytes) = 0;
+  // Random-access read pattern in `chunk_bytes` units (OS boot, package
+  // loading).  Defaults to the sequential cost; devices with seek or
+  // per-request penalties override it.
+  virtual sim::Task AccountRandomRead(uint64_t bytes, uint64_t chunk_bytes);
+};
+
+// Memory-backed block device (the Fig. 3a "Block RAM disk").  Unwritten
+// sectors read as zero.  Separate read/write bandwidth models DDR
+// asymmetry under the dd access pattern.
+class RamDisk : public BlockDevice {
+ public:
+  RamDisk(sim::Simulation& sim, uint64_t num_sectors, double read_bytes_per_second,
+          double write_bytes_per_second, std::string name);
+
+  uint64_t num_sectors() const override { return num_sectors_; }
+  sim::Task ReadSectors(uint64_t first_sector, uint64_t count,
+                        crypto::Bytes* out) override;
+  sim::Task WriteSectors(uint64_t first_sector, const crypto::Bytes& data) override;
+  sim::Task AccountRead(uint64_t bytes) override;
+  sim::Task AccountWrite(uint64_t bytes) override;
+
+  net::SharedResource& read_resource() { return read_resource_; }
+  net::SharedResource& write_resource() { return write_resource_; }
+
+ private:
+  sim::Simulation& sim_;
+  uint64_t num_sectors_;
+  net::SharedResource read_resource_;
+  net::SharedResource write_resource_;
+  std::map<uint64_t, crypto::Bytes> sectors_;  // sparse content
+};
+
+// Rotational-disk model: sequential bandwidth plus a per-operation seek
+// penalty (used for Foreman's local-disk install path and the disk-scrub
+// cost analysis).
+class DiskModel : public BlockDevice {
+ public:
+  DiskModel(sim::Simulation& sim, uint64_t num_sectors,
+            double sequential_bytes_per_second, sim::Duration seek_latency,
+            std::string name);
+
+  uint64_t num_sectors() const override { return num_sectors_; }
+  sim::Task ReadSectors(uint64_t first_sector, uint64_t count,
+                        crypto::Bytes* out) override;
+  sim::Task WriteSectors(uint64_t first_sector, const crypto::Bytes& data) override;
+  sim::Task AccountRead(uint64_t bytes) override;
+  sim::Task AccountWrite(uint64_t bytes) override;
+  sim::Task AccountRandomRead(uint64_t bytes, uint64_t chunk_bytes) override;
+
+  sim::Duration seek_latency() const { return seek_latency_; }
+
+ private:
+  sim::Task Access(uint64_t first_sector, uint64_t bytes);
+
+  sim::Simulation& sim_;
+  uint64_t num_sectors_;
+  net::SharedResource bandwidth_;
+  sim::Duration seek_latency_;
+  uint64_t last_sector_ = 0;
+  std::map<uint64_t, crypto::Bytes> sectors_;
+};
+
+}  // namespace bolted::storage
+
+#endif  // SRC_STORAGE_BLOCK_DEVICE_H_

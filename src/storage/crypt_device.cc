@@ -1,0 +1,130 @@
+#include "src/storage/crypt_device.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/crypto/aes_gcm.h"
+#include "src/crypto/hmac.h"
+
+namespace bolted::storage {
+
+CryptDevice::CryptDevice(sim::Simulation& sim, BlockDevice* backing,
+                         const crypto::Bytes& master_key, const CryptCostModel& cost,
+                         std::string name)
+    : sim_(sim),
+      backing_(backing),
+      xts_(master_key),
+      decrypt_resource_(sim, cost.decrypt_bytes_per_second, name + ".xts-dec"),
+      encrypt_resource_(sim, cost.encrypt_bytes_per_second, name + ".xts-enc") {
+  assert(master_key.size() == 64);
+}
+
+sim::Task CryptDevice::ReadSectors(uint64_t first_sector, uint64_t count,
+                                   crypto::Bytes* out) {
+  co_await backing_->ReadSectors(first_sector, count, out);
+  co_await decrypt_resource_.Consume(static_cast<double>(count * kSectorSize));
+  for (uint64_t i = 0; i < count; ++i) {
+    xts_.DecryptSector(first_sector + i,
+                       std::span<uint8_t>(out->data() + i * kSectorSize, kSectorSize));
+  }
+}
+
+sim::Task CryptDevice::WriteSectors(uint64_t first_sector, const crypto::Bytes& data) {
+  assert(data.size() % kSectorSize == 0);
+  crypto::Bytes ciphertext = data;
+  const uint64_t count = data.size() / kSectorSize;
+  co_await encrypt_resource_.Consume(static_cast<double>(data.size()));
+  for (uint64_t i = 0; i < count; ++i) {
+    xts_.EncryptSector(
+        first_sector + i,
+        std::span<uint8_t>(ciphertext.data() + i * kSectorSize, kSectorSize));
+  }
+  co_await backing_->WriteSectors(first_sector, ciphertext);
+}
+
+sim::Task CryptDevice::AccountRead(uint64_t bytes) {
+  // Decryption overlaps the device transfer; the slower stage dominates.
+  sim::TaskGroup group(sim_);
+  group.Spawn(backing_->AccountRead(bytes));
+  group.Spawn(decrypt_resource_.Consume(static_cast<double>(bytes)));
+  co_await group.WaitAll();
+}
+
+sim::Task CryptDevice::AccountRandomRead(uint64_t bytes, uint64_t chunk_bytes) {
+  sim::TaskGroup group(sim_);
+  group.Spawn(backing_->AccountRandomRead(bytes, chunk_bytes));
+  group.Spawn(decrypt_resource_.Consume(static_cast<double>(bytes)));
+  co_await group.WaitAll();
+}
+
+sim::Task CryptDevice::AccountWrite(uint64_t bytes) {
+  sim::TaskGroup group(sim_);
+  group.Spawn(backing_->AccountWrite(bytes));
+  group.Spawn(encrypt_resource_.Consume(static_cast<double>(bytes)));
+  co_await group.WaitAll();
+}
+
+LuksVolume::KeySlot LuksVolume::SealSlot(crypto::ByteView secret,
+                                         const crypto::Bytes& master_key,
+                                         crypto::Drbg& drbg) {
+  KeySlot slot;
+  slot.salt = drbg.Generate(16);
+  const crypto::Bytes kek =
+      crypto::Hkdf(slot.salt, secret, crypto::ToBytes("luks-kek"), 32);
+  const crypto::Bytes nonce = drbg.Generate(crypto::AesGcm::kNonceSize);
+  slot.sealed_master_key = nonce;
+  crypto::Append(slot.sealed_master_key,
+                 crypto::AesGcm(kek).Seal(nonce, master_key, {}));
+  return slot;
+}
+
+std::optional<crypto::Bytes> LuksVolume::OpenSlot(const KeySlot& slot,
+                                                  crypto::ByteView secret) {
+  const crypto::Bytes kek =
+      crypto::Hkdf(slot.salt, secret, crypto::ToBytes("luks-kek"), 32);
+  const crypto::ByteView nonce(slot.sealed_master_key.data(),
+                               crypto::AesGcm::kNonceSize);
+  const crypto::ByteView sealed(
+      slot.sealed_master_key.data() + crypto::AesGcm::kNonceSize,
+      slot.sealed_master_key.size() - crypto::AesGcm::kNonceSize);
+  return crypto::AesGcm(kek).Open(nonce, sealed, {});
+}
+
+LuksVolume LuksVolume::Format(crypto::ByteView secret, crypto::Drbg& drbg) {
+  LuksVolume volume;
+  const crypto::Bytes master_key = drbg.Generate(64);
+  volume.key_slots_.push_back(SealSlot(secret, master_key, drbg));
+  return volume;
+}
+
+bool LuksVolume::AddKeySlot(crypto::ByteView existing_secret,
+                            crypto::ByteView new_secret, crypto::Drbg& drbg) {
+  const auto master_key = Unlock(existing_secret);
+  if (!master_key) {
+    return false;
+  }
+  key_slots_.push_back(SealSlot(new_secret, *master_key, drbg));
+  return true;
+}
+
+std::optional<crypto::Bytes> LuksVolume::Unlock(crypto::ByteView secret) const {
+  for (const KeySlot& slot : key_slots_) {
+    if (auto master_key = OpenSlot(slot, secret)) {
+      return master_key;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::unique_ptr<CryptDevice>> LuksVolume::Open(
+    sim::Simulation& sim, BlockDevice* backing, crypto::ByteView secret,
+    const CryptCostModel& cost, std::string name) const {
+  const auto master_key = Unlock(secret);
+  if (!master_key) {
+    return std::nullopt;
+  }
+  return std::make_unique<CryptDevice>(sim, backing, *master_key, cost,
+                                       std::move(name));
+}
+
+}  // namespace bolted::storage

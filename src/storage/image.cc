@@ -1,0 +1,171 @@
+#include "src/storage/image.h"
+
+#include <cassert>
+
+namespace bolted::storage {
+
+ImageStore::ImageStore(sim::Simulation& sim, ObjectStore& objects)
+    : sim_(sim), objects_(objects) {}
+
+ImageId ImageStore::Create(const std::string& name, uint64_t virtual_size,
+                           BootInfo boot_info) {
+  const ImageId id = next_id_++;
+  ImageRecord record;
+  record.name = name;
+  record.virtual_size = virtual_size;
+  record.boot_info = std::move(boot_info);
+  images_.emplace(id, std::move(record));
+  return id;
+}
+
+std::optional<ImageId> ImageStore::Clone(ImageId parent, const std::string& name) {
+  const auto it = images_.find(parent);
+  if (it == images_.end()) {
+    return std::nullopt;
+  }
+  const ImageId id = next_id_++;
+  ImageRecord record;
+  record.name = name;
+  record.virtual_size = it->second.virtual_size;
+  record.parent = parent;
+  record.boot_info = it->second.boot_info;
+  images_.emplace(id, std::move(record));
+  return id;
+}
+
+std::optional<ImageId> ImageStore::Snapshot(ImageId image, const std::string& name) {
+  auto cloned = Clone(image, name);
+  if (cloned) {
+    images_.at(*cloned).read_only = true;
+  }
+  return cloned;
+}
+
+bool ImageStore::Delete(ImageId image) {
+  // Refuse to delete an image that still has children (mirrors RBD's
+  // "cannot delete image with clones").
+  for (const auto& [id, record] : images_) {
+    if (record.parent == image) {
+      return false;
+    }
+  }
+  return images_.erase(image) > 0;
+}
+
+uint64_t ImageStore::VirtualSize(ImageId image) const {
+  const auto it = images_.find(image);
+  return it == images_.end() ? 0 : it->second.virtual_size;
+}
+
+std::optional<BootInfo> ImageStore::ExtractBootInfo(ImageId image) const {
+  const auto it = images_.find(image);
+  if (it == images_.end()) {
+    return std::nullopt;
+  }
+  return it->second.boot_info;
+}
+
+std::optional<ImageId> ImageStore::FindByName(const std::string& name) const {
+  for (const auto& [id, record] : images_) {
+    if (record.name == name) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ImageId> ImageStore::ResolveObject(ImageId image,
+                                                 uint64_t object_index) const {
+  std::optional<ImageId> current = image;
+  while (current) {
+    const auto it = images_.find(*current);
+    if (it == images_.end()) {
+      return std::nullopt;
+    }
+    if (it->second.owned_objects.contains(object_index)) {
+      return current;
+    }
+    current = it->second.parent;
+  }
+  return std::nullopt;
+}
+
+void ImageStore::PrepopulateObjects(ImageId image, uint64_t first_object,
+                                    uint64_t count) {
+  auto it = images_.find(image);
+  assert(it != images_.end());
+  for (uint64_t i = 0; i < count; ++i) {
+    it->second.owned_objects.insert(first_object + i);
+  }
+}
+
+size_t ImageStore::OwnedObjectCount(ImageId image) const {
+  const auto it = images_.find(image);
+  return it == images_.end() ? 0 : it->second.owned_objects.size();
+}
+
+bool ImageStore::RangeOwnedLocally(ImageId image, uint64_t offset) const {
+  const auto it = images_.find(image);
+  if (it == images_.end()) {
+    return false;
+  }
+  return it->second.owned_objects.contains(offset / objects_.config().object_size);
+}
+
+sim::Task ImageStore::ReadRange(ImageId image, uint64_t offset, uint64_t bytes) {
+  [[maybe_unused]] const auto it = images_.find(image);
+  assert(it != images_.end());
+  assert(offset + bytes <= it->second.virtual_size);
+  const uint64_t object_size = objects_.config().object_size;
+
+  // RADOS issues per-object reads in parallel (they usually land on
+  // different OSDs), so a multi-object range costs max, not sum.
+  sim::TaskGroup group(sim_);
+  uint64_t remaining = bytes;
+  uint64_t position = offset;
+  while (remaining > 0) {
+    const uint64_t object_index = position / object_size;
+    const uint64_t within = position % object_size;
+    const uint64_t chunk = std::min(remaining, object_size - within);
+    const auto owner = ResolveObject(image, object_index);
+    if (owner) {
+      group.Spawn(objects_.ReadObject(ObjectId{*owner, object_index}, chunk));
+    }
+    // Unwritten ranges are zero-fill: no OSD traffic.
+    position += chunk;
+    remaining -= chunk;
+  }
+  co_await group.WaitAll();
+}
+
+sim::Task ImageStore::WriteRange(ImageId image, uint64_t offset, uint64_t bytes) {
+  auto it = images_.find(image);
+  assert(it != images_.end());
+  assert(!it->second.read_only && "snapshots are read-only");
+  assert(offset + bytes <= it->second.virtual_size);
+  const uint64_t object_size = objects_.config().object_size;
+
+  uint64_t remaining = bytes;
+  uint64_t position = offset;
+  while (remaining > 0) {
+    const uint64_t object_index = position / object_size;
+    const uint64_t within = position % object_size;
+    const uint64_t chunk = std::min(remaining, object_size - within);
+    const bool owned = it->second.owned_objects.contains(object_index);
+    if (!owned) {
+      const auto ancestor_owner = ResolveObject(image, object_index);
+      if (ancestor_owner && chunk < object_size) {
+        // Copy-up: partial write to a shared object pulls the rest from
+        // the ancestor first.
+        co_await objects_.ReadObject(ObjectId{*ancestor_owner, object_index},
+                                     object_size - chunk);
+      }
+      it->second.owned_objects.insert(object_index);
+    }
+    co_await objects_.WriteObject(ObjectId{image, object_index}, chunk);
+    position += chunk;
+    remaining -= chunk;
+  }
+}
+
+}  // namespace bolted::storage

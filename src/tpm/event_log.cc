@@ -1,0 +1,82 @@
+#include "src/tpm/event_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bolted::tpm {
+
+void EventLog::Add(int pcr_index, const crypto::Digest& measurement,
+                   std::string description) {
+  assert(pcr_index >= 0 && pcr_index < kNumPcrs);
+  events_.push_back(MeasurementEvent{pcr_index, measurement, std::move(description)});
+}
+
+std::array<crypto::Digest, kNumPcrs> EventLog::ReplayPcrs() const {
+  std::array<crypto::Digest, kNumPcrs> pcrs{};
+  for (const MeasurementEvent& event : events_) {
+    auto& pcr = pcrs[static_cast<size_t>(event.pcr_index)];
+    pcr = ExtendDigest(pcr, event.measurement);
+  }
+  return pcrs;
+}
+
+EventLog EventLog::SubLog(size_t from) const {
+  EventLog out;
+  if (from < events_.size()) {
+    out.events_.assign(events_.begin() + static_cast<ptrdiff_t>(from), events_.end());
+  }
+  return out;
+}
+
+crypto::Bytes EventLog::Serialize() const {
+  crypto::Bytes out;
+  crypto::AppendU32(out, static_cast<uint32_t>(events_.size()));
+  for (const MeasurementEvent& event : events_) {
+    crypto::AppendU32(out, static_cast<uint32_t>(event.pcr_index));
+    crypto::Append(out, crypto::DigestView(event.measurement));
+    crypto::AppendU32(out, static_cast<uint32_t>(event.description.size()));
+    crypto::Append(out, crypto::ToBytes(event.description));
+  }
+  return out;
+}
+
+std::optional<EventLog> EventLog::Deserialize(crypto::ByteView data) {
+  auto read_u32 = [&](uint32_t& v) -> bool {
+    if (data.size() < 4) {
+      return false;
+    }
+    v = (static_cast<uint32_t>(data[0]) << 24) | (static_cast<uint32_t>(data[1]) << 16) |
+        (static_cast<uint32_t>(data[2]) << 8) | data[3];
+    data = data.subspan(4);
+    return true;
+  };
+
+  uint32_t count = 0;
+  if (!read_u32(count) || count > 1u << 20) {
+    return std::nullopt;
+  }
+  EventLog log;
+  for (uint32_t i = 0; i < count; ++i) {
+    MeasurementEvent event;
+    uint32_t pcr = 0;
+    if (!read_u32(pcr) || pcr >= static_cast<uint32_t>(kNumPcrs) || data.size() < 32) {
+      return std::nullopt;
+    }
+    event.pcr_index = static_cast<int>(pcr);
+    std::copy_n(data.begin(), 32, event.measurement.begin());
+    data = data.subspan(32);
+    uint32_t desc_size = 0;
+    if (!read_u32(desc_size) || data.size() < desc_size) {
+      return std::nullopt;
+    }
+    event.description.assign(data.begin(), data.begin() + desc_size);
+    data = data.subspan(desc_size);
+    log.events_.push_back(std::move(event));
+  }
+  if (!data.empty()) {
+    return std::nullopt;
+  }
+  return log;
+}
+
+}  // namespace bolted::tpm

@@ -1,0 +1,57 @@
+// TCG-style measured-boot event log.
+//
+// Each stage of the boot chain records what it measured (and into which
+// PCR) before extending the TPM.  A verifier replays the log to recompute
+// expected PCR values and checks them against a signed quote — the
+// mechanism behind the paper's firmware attestation (§5, Figure 4 steps
+// i–vii) and IMA's runtime measurement list (§7.4).
+
+#ifndef SRC_TPM_EVENT_LOG_H_
+#define SRC_TPM_EVENT_LOG_H_
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crypto/bytes.h"
+#include "src/crypto/sha256.h"
+#include "src/tpm/tpm.h"
+
+namespace bolted::tpm {
+
+struct MeasurementEvent {
+  int pcr_index = 0;
+  crypto::Digest measurement{};
+  std::string description;
+
+  bool operator==(const MeasurementEvent&) const = default;
+};
+
+class EventLog {
+ public:
+  void Add(int pcr_index, const crypto::Digest& measurement, std::string description);
+  void Clear() { events_.clear(); }
+
+  const std::vector<MeasurementEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  // Recomputes the PCR values this log would produce from power-on.
+  std::array<crypto::Digest, kNumPcrs> ReplayPcrs() const;
+
+  // The suffix of the log starting at event index `from` (clamped) — used
+  // for incremental attestation, where only new measurements travel.
+  EventLog SubLog(size_t from) const;
+
+  crypto::Bytes Serialize() const;
+  static std::optional<EventLog> Deserialize(crypto::ByteView data);
+
+  bool operator==(const EventLog&) const = default;
+
+ private:
+  std::vector<MeasurementEvent> events_;
+};
+
+}  // namespace bolted::tpm
+
+#endif  // SRC_TPM_EVENT_LOG_H_

@@ -1,0 +1,240 @@
+#include "src/tpm/tpm.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/crypto/hmac.h"
+
+namespace bolted::tpm {
+namespace {
+
+constexpr std::string_view kQuoteContext = "BOLTED_TPM_QUOTE_V1";
+constexpr std::string_view kCredentialContext = "BOLTED_TPM_CREDENTIAL_V1";
+
+crypto::Bytes CredentialKdfInfo(const crypto::EcPoint& aik_public) {
+  crypto::Bytes info = crypto::ToBytes(kCredentialContext);
+  const crypto::Digest aik_digest = crypto::Sha256::Hash(aik_public.Encode());
+  crypto::Append(info, crypto::DigestView(aik_digest));
+  return info;
+}
+
+}  // namespace
+
+crypto::Digest ExtendDigest(const crypto::Digest& old_value,
+                            const crypto::Digest& measurement) {
+  crypto::Sha256 h;
+  h.Update(crypto::DigestView(old_value));
+  h.Update(crypto::DigestView(measurement));
+  return h.Finish();
+}
+
+crypto::Digest Quote::MessageDigest() const {
+  crypto::Bytes message = crypto::ToBytes(kQuoteContext);
+  crypto::Append(message, nonce);
+  crypto::AppendU32(message, pcr_mask);
+  for (const crypto::Digest& value : pcr_values) {
+    crypto::Append(message, crypto::DigestView(value));
+  }
+  return crypto::Sha256::Hash(message);
+}
+
+crypto::Bytes Quote::Serialize() const {
+  crypto::Bytes out;
+  crypto::AppendU32(out, static_cast<uint32_t>(nonce.size()));
+  crypto::Append(out, nonce);
+  crypto::AppendU32(out, pcr_mask);
+  crypto::AppendU32(out, static_cast<uint32_t>(pcr_values.size()));
+  for (const crypto::Digest& value : pcr_values) {
+    crypto::Append(out, crypto::DigestView(value));
+  }
+  crypto::Append(out, signature.Encode());
+  return out;
+}
+
+std::optional<Quote> Quote::Deserialize(crypto::ByteView data) {
+  auto read_u32 = [&](uint32_t& v) -> bool {
+    if (data.size() < 4) {
+      return false;
+    }
+    v = (static_cast<uint32_t>(data[0]) << 24) | (static_cast<uint32_t>(data[1]) << 16) |
+        (static_cast<uint32_t>(data[2]) << 8) | data[3];
+    data = data.subspan(4);
+    return true;
+  };
+
+  Quote quote;
+  uint32_t nonce_size = 0;
+  if (!read_u32(nonce_size) || data.size() < nonce_size || nonce_size > 1024) {
+    return std::nullopt;
+  }
+  quote.nonce.assign(data.begin(), data.begin() + nonce_size);
+  data = data.subspan(nonce_size);
+
+  uint32_t value_count = 0;
+  if (!read_u32(quote.pcr_mask) || !read_u32(value_count) ||
+      value_count > kNumPcrs || data.size() != value_count * 32 + 64) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < value_count; ++i) {
+    crypto::Digest value;
+    std::copy_n(data.begin(), 32, value.begin());
+    data = data.subspan(32);
+    quote.pcr_values.push_back(value);
+  }
+  const auto signature = crypto::EcdsaSignature::Decode(data);
+  if (!signature) {
+    return std::nullopt;
+  }
+  quote.signature = *signature;
+  return quote;
+}
+
+Tpm::Tpm(crypto::ByteView endorsement_seed, const TpmLatencyModel& latency)
+    : latency_(latency), drbg_(endorsement_seed) {
+  const crypto::P256& curve = crypto::P256::Instance();
+  ek_private_ = curve.PrivateKeyFromSeed(drbg_.Generate(32));
+  ek_public_ = curve.PublicKey(ek_private_);
+  storage_root_key_ = drbg_.Generate(32);  // SRK: survives power cycles
+}
+
+crypto::Digest Tpm::PolicyDigest(uint32_t pcr_mask) const {
+  crypto::Sha256 h;
+  h.Update(crypto::ToBytes("BOLTED_TPM_PCR_POLICY_V1"));
+  crypto::Bytes mask_bytes;
+  crypto::AppendU32(mask_bytes, pcr_mask);
+  h.Update(mask_bytes);
+  for (int i = 0; i < kNumPcrs; ++i) {
+    if (pcr_mask & (1u << i)) {
+      h.Update(crypto::DigestView(pcrs_[static_cast<size_t>(i)]));
+    }
+  }
+  return h.Finish();
+}
+
+Tpm::SealedBlob Tpm::Seal(crypto::ByteView secret, uint32_t pcr_mask,
+                          crypto::Drbg& drbg) const {
+  const crypto::Digest policy = PolicyDigest(pcr_mask);
+  const crypto::Bytes key =
+      crypto::Hkdf(crypto::DigestView(policy), storage_root_key_,
+                   crypto::ToBytes("tpm-seal"), 32);
+  const crypto::Bytes nonce = drbg.Generate(crypto::AesGcm::kNonceSize);
+  SealedBlob blob;
+  blob.pcr_mask = pcr_mask;
+  blob.ciphertext = nonce;
+  crypto::Append(blob.ciphertext, crypto::AesGcm(key).Seal(nonce, secret, {}));
+  return blob;
+}
+
+std::optional<crypto::Bytes> Tpm::Unseal(const SealedBlob& blob) const {
+  if (blob.ciphertext.size() < crypto::AesGcm::kNonceSize + crypto::AesGcm::kTagSize) {
+    return std::nullopt;
+  }
+  // The policy key is derived from the PCRs *as they are now*; any drift
+  // since Seal() yields a different key and authentication fails.
+  const crypto::Digest policy = PolicyDigest(blob.pcr_mask);
+  const crypto::Bytes key =
+      crypto::Hkdf(crypto::DigestView(policy), storage_root_key_,
+                   crypto::ToBytes("tpm-seal"), 32);
+  const crypto::ByteView nonce(blob.ciphertext.data(), crypto::AesGcm::kNonceSize);
+  return crypto::AesGcm(key).Open(
+      nonce,
+      crypto::ByteView(blob.ciphertext.data() + crypto::AesGcm::kNonceSize,
+                       blob.ciphertext.size() - crypto::AesGcm::kNonceSize),
+      {});
+}
+
+void Tpm::CreateAik() {
+  const crypto::P256& curve = crypto::P256::Instance();
+  aik_private_ = curve.PrivateKeyFromSeed(drbg_.Generate(32));
+  aik_public_ = curve.PublicKey(*aik_private_);
+}
+
+void Tpm::ExtendPcr(int index, const crypto::Digest& measurement) {
+  assert(index >= 0 && index < kNumPcrs);
+  pcrs_[static_cast<size_t>(index)] =
+      ExtendDigest(pcrs_[static_cast<size_t>(index)], measurement);
+}
+
+const crypto::Digest& Tpm::ReadPcr(int index) const {
+  assert(index >= 0 && index < kNumPcrs);
+  return pcrs_[static_cast<size_t>(index)];
+}
+
+void Tpm::Reset() { pcrs_.fill(crypto::Digest{}); }
+
+bool Tpm::PcrIsClean(int index) const { return ReadPcr(index) == crypto::Digest{}; }
+
+Quote Tpm::MakeQuote(crypto::ByteView nonce, uint32_t pcr_mask) const {
+  assert(aik_private_.has_value() && "CreateAik() must be called before quoting");
+  Quote quote;
+  quote.nonce.assign(nonce.begin(), nonce.end());
+  quote.pcr_mask = pcr_mask;
+  for (int i = 0; i < kNumPcrs; ++i) {
+    if (pcr_mask & (1u << i)) {
+      quote.pcr_values.push_back(pcrs_[static_cast<size_t>(i)]);
+    }
+  }
+  quote.signature =
+      crypto::P256::Instance().Sign(*aik_private_, quote.MessageDigest());
+  return quote;
+}
+
+bool Tpm::VerifyQuote(const Quote& quote, const crypto::EcPoint& aik_public) {
+  // The value list must match the mask's population count.
+  uint32_t bits = quote.pcr_mask;
+  size_t expected = 0;
+  while (bits != 0) {
+    expected += bits & 1;
+    bits >>= 1;
+  }
+  if (quote.pcr_values.size() != expected) {
+    return false;
+  }
+  return crypto::P256::Instance().Verify(aik_public, quote.MessageDigest(),
+                                         quote.signature);
+}
+
+crypto::Bytes MakeCredential(const crypto::EcPoint& ek_public,
+                             const crypto::EcPoint& aik_public,
+                             crypto::ByteView secret, crypto::Drbg& drbg) {
+  const crypto::P256& curve = crypto::P256::Instance();
+  const crypto::U256 ephemeral = curve.PrivateKeyFromSeed(drbg.Generate(32));
+  const crypto::EcPoint ephemeral_public = curve.PublicKey(ephemeral);
+  const auto shared = curve.SharedSecret(ephemeral, ek_public);
+  assert(shared.has_value());
+
+  const crypto::Bytes key =
+      crypto::Hkdf({}, *shared, CredentialKdfInfo(aik_public), 32);
+  const crypto::Bytes nonce = drbg.Generate(crypto::AesGcm::kNonceSize);
+  const crypto::Bytes sealed = crypto::AesGcm(key).Seal(nonce, secret, {});
+
+  crypto::Bytes blob = ephemeral_public.Encode();  // 65 bytes
+  crypto::Append(blob, nonce);
+  crypto::Append(blob, sealed);
+  return blob;
+}
+
+std::optional<crypto::Bytes> Tpm::ActivateCredential(crypto::ByteView blob) const {
+  if (!aik_private_.has_value() || blob.size() < 65 + crypto::AesGcm::kNonceSize) {
+    return std::nullopt;
+  }
+  const auto ephemeral_public = crypto::EcPoint::Decode(blob.subspan(0, 65));
+  if (!ephemeral_public) {
+    return std::nullopt;
+  }
+  const crypto::ByteView nonce = blob.subspan(65, crypto::AesGcm::kNonceSize);
+  const crypto::ByteView sealed = blob.subspan(65 + crypto::AesGcm::kNonceSize);
+
+  const auto shared =
+      crypto::P256::Instance().SharedSecret(ek_private_, *ephemeral_public);
+  if (!shared) {
+    return std::nullopt;
+  }
+  // Binding: the KDF mixes in *this TPM's current AIK*; a different AIK
+  // yields a different key and authentication fails.
+  const crypto::Bytes key =
+      crypto::Hkdf({}, *shared, CredentialKdfInfo(aik_public_), 32);
+  return crypto::AesGcm(key).Open(nonce, sealed, {});
+}
+
+}  // namespace bolted::tpm

@@ -1,0 +1,138 @@
+// Software TPM emulator.
+//
+// Mirrors the slice of TPM functionality Bolted depends on (§2, §5 of the
+// paper): SHA-256 PCR banks with extend/read/reset, an Endorsement Key
+// burned in at manufacture, Attestation Identity Keys, signed quotes over
+// selected PCRs, and the make/activate-credential exchange the Keylime
+// registrar uses to prove an AIK lives in the same TPM as an EK.
+//
+// The paper's M620 cluster also ran a software TPM with injected R630
+// latencies; TpmLatencyModel plays that role here.  All keys are P-256
+// (substitution documented in DESIGN.md).
+
+#ifndef SRC_TPM_TPM_H_
+#define SRC_TPM_TPM_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crypto/aes_gcm.h"
+#include "src/crypto/bytes.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/p256.h"
+#include "src/crypto/sha256.h"
+#include "src/sim/time.h"
+
+namespace bolted::tpm {
+
+inline constexpr int kNumPcrs = 24;
+
+// PCR allocation used by the Bolted boot chain (matches the Linux/TCG
+// conventions the paper relies on).
+inline constexpr int kPcrFirmware = 0;       // platform firmware (SRTM)
+inline constexpr int kPcrFirmwareConfig = 1; // firmware settings
+inline constexpr int kPcrBootloader = 4;     // iPXE + downloaded runtime
+inline constexpr int kPcrKernel = 8;         // kexec'd kernel/initrd
+inline constexpr int kPcrIma = 10;           // IMA runtime measurement list
+
+// Command latencies, defaulting to values in the ballpark of the paper's
+// Dell R630 hardware TPM measurements.
+struct TpmLatencyModel {
+  sim::Duration extend = sim::Duration::Milliseconds(12);
+  sim::Duration read = sim::Duration::Milliseconds(5);
+  sim::Duration quote = sim::Duration::Milliseconds(1500);
+  sim::Duration activate_credential = sim::Duration::Milliseconds(500);
+  sim::Duration create_aik = sim::Duration::Seconds(20);
+};
+
+// A signed attestation of a PCR selection.
+struct Quote {
+  crypto::Bytes nonce;
+  uint32_t pcr_mask = 0;
+  std::vector<crypto::Digest> pcr_values;  // ascending PCR index order
+  crypto::EcdsaSignature signature;        // by the quoting AIK
+
+  // Digest the signature covers.
+  crypto::Digest MessageDigest() const;
+
+  crypto::Bytes Serialize() const;
+  static std::optional<Quote> Deserialize(crypto::ByteView data);
+};
+
+class Tpm {
+ public:
+  // endorsement_seed determines the EK; latency models command cost.
+  Tpm(crypto::ByteView endorsement_seed, const TpmLatencyModel& latency);
+
+  const crypto::EcPoint& ek_public() const { return ek_public_; }
+  const TpmLatencyModel& latency() const { return latency_; }
+
+  // Generates (or regenerates) the attestation identity key.
+  void CreateAik();
+  bool has_aik() const { return aik_private_.has_value(); }
+  const crypto::EcPoint& aik_public() const { return aik_public_; }
+
+  // PCR operations.
+  void ExtendPcr(int index, const crypto::Digest& measurement);
+  const crypto::Digest& ReadPcr(int index) const;
+  // Power-cycle semantics: PCRs reset to zero, EK and (persisted) AIK
+  // survive.
+  void Reset();
+  // True if the PCR still holds its power-on value.
+  bool PcrIsClean(int index) const;
+
+  // Produces a quote over the PCRs selected by pcr_mask (bit i = PCR i),
+  // signed with the AIK.  Requires CreateAik() first.
+  Quote MakeQuote(crypto::ByteView nonce, uint32_t pcr_mask) const;
+
+  // Verifies signature and internal consistency of a quote against an
+  // expected AIK public key.
+  static bool VerifyQuote(const Quote& quote, const crypto::EcPoint& aik_public);
+
+  // TPM2_ActivateCredential: recovers the secret from MakeCredential's
+  // blob iff this TPM holds the EK private key and its current AIK matches
+  // the AIK the blob was bound to.
+  std::optional<crypto::Bytes> ActivateCredential(crypto::ByteView blob) const;
+
+  // TPM2 sealed storage: binds a secret to the *current* values of the
+  // selected PCRs.  Unseal succeeds only on this TPM and only while those
+  // PCRs hold the same values — e.g. a disk key sealed in a known-good
+  // boot state becomes unrecoverable after booting modified firmware.
+  struct SealedBlob {
+    uint32_t pcr_mask = 0;
+    crypto::Bytes ciphertext;  // nonce || GCM(secret) under a policy key
+  };
+  SealedBlob Seal(crypto::ByteView secret, uint32_t pcr_mask, crypto::Drbg& drbg) const;
+  std::optional<crypto::Bytes> Unseal(const SealedBlob& blob) const;
+
+ private:
+  crypto::Digest PolicyDigest(uint32_t pcr_mask) const;
+
+  TpmLatencyModel latency_;
+  crypto::Drbg drbg_;
+  crypto::Bytes storage_root_key_;
+  crypto::U256 ek_private_;
+  crypto::EcPoint ek_public_;
+  std::optional<crypto::U256> aik_private_;
+  crypto::EcPoint aik_public_;
+  std::array<crypto::Digest, kNumPcrs> pcrs_{};
+};
+
+// Registrar-side half of the credential-activation protocol: encrypts
+// secret so that only the TPM holding ek_public can recover it, and only
+// if its AIK equals aik_public.
+crypto::Bytes MakeCredential(const crypto::EcPoint& ek_public,
+                             const crypto::EcPoint& aik_public,
+                             crypto::ByteView secret, crypto::Drbg& drbg);
+
+// The hash-extend rule PCRs obey; exposed so verifiers can replay event
+// logs: new = SHA256(old || measurement).
+crypto::Digest ExtendDigest(const crypto::Digest& old_value,
+                            const crypto::Digest& measurement);
+
+}  // namespace bolted::tpm
+
+#endif  // SRC_TPM_TPM_H_

@@ -1,0 +1,93 @@
+// Synthetic workload engine for the macro-benchmarks (§7.5, Fig. 7) and
+// the IMA kernel-compile stress test (§7.4, Fig. 6).
+//
+// Each application is a bulk-synchronous loop of per-node phases:
+// compute (consumes the machine's cores), neighbour/all-to-all
+// communication (real transfers through the NIC + ESP cost models), and
+// storage I/O (through the node's root device: iSCSI, optionally LUKS and
+// IPsec).  The phase parameters are calibrated to each application's
+// published communication/computation character, so the encryption
+// overheads of Fig. 7 — EP barely caring, CG tripling, TeraSort ~30 %,
+// Filebench-in-a-VM ~50 % — emerge from the same cost models as the
+// micro-benchmarks.
+
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/cloud.h"
+#include "src/core/enclave.h"
+
+namespace bolted::workload {
+
+struct WorkloadSpec {
+  std::string name;
+  int iterations = 1;
+  // Per node, per iteration.
+  double compute_seconds = 0;          // wall seconds with all cores busy
+  uint64_t comm_bytes = 0;             // bytes exchanged with neighbours
+  uint64_t message_bytes = 256 * 1024; // MPI message granularity
+  int concurrent_streams = 1;          // simultaneous peer exchanges
+  uint64_t storage_read_bytes = 0;
+  uint64_t storage_write_bytes = 0;
+  uint64_t storage_chunk_bytes = 8 * 1024 * 1024;
+  bool storage_random = false;         // Filebench-style scattered I/O
+};
+
+// NAS Parallel Benchmarks, class D on 16 nodes (§7.5).
+WorkloadSpec NasEp();
+WorkloadSpec NasCg();
+WorkloadSpec NasFt();
+WorkloadSpec NasMg();
+// Spark TeraSort on a 260 GB data set over 16 servers.
+WorkloadSpec SparkTeraSort();
+// Filebench (1000 x 12 MB files) inside a KVM guest on one server.
+WorkloadSpec FilebenchVm();
+
+class WorkloadRunner {
+ public:
+  WorkloadRunner(core::Cloud& cloud, core::Enclave& enclave);
+
+  // Runs the workload across every allocated enclave member; *elapsed is
+  // the wall-clock (simulated) duration.
+  sim::Task Run(const WorkloadSpec& spec, sim::Duration* elapsed);
+
+ private:
+  sim::Task RunNodeIteration(const WorkloadSpec& spec, const std::string& node);
+  sim::Task CommPhase(const WorkloadSpec& spec, const std::string& node);
+  sim::Task ExchangeStream(const WorkloadSpec& spec, machine::Machine& self,
+                           machine::Machine& peer, uint64_t bytes);
+
+  core::Cloud& cloud_;
+  core::Enclave& enclave_;
+};
+
+// --- Fig. 6: Linux kernel compile under IMA ------------------------------
+
+struct KernelCompileSpec {
+  int source_files = 25000;
+  uint64_t avg_file_bytes = 14 * 1024;
+  // Single-threaded compile time for kernel 4.16 on the M620.
+  double serial_compile_seconds = 3200;
+  double parallel_fraction = 0.97;
+  // IMA per-measurement cost: hash setup + PCR extend on the soft TPM.
+  double per_measurement_seconds = 0.003;
+  double hash_bytes_per_second = 500e6;
+};
+
+struct KernelCompileResult {
+  sim::Duration elapsed;
+  uint64_t measurements = 0;
+};
+
+// Compiles with `threads`; when ima is non-null every source file and
+// tool invocation is measured (the paper's measure-everything-root-reads
+// stress policy).
+sim::Task RunKernelCompile(sim::Simulation& sim, const KernelCompileSpec& spec,
+                           int threads, ima::Ima* ima, KernelCompileResult* result);
+
+}  // namespace bolted::workload
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,126 @@
+// BMI tests: golden images, per-node clones, stateless release with
+// optional snapshots, boot-info extraction, and the artifact server.
+
+#include <gtest/gtest.h>
+
+#include "src/bmi/bmi.h"
+#include "src/net/rpc.h"
+
+namespace bolted::bmi {
+namespace {
+
+using sim::Task;
+
+struct BmiFixture : public ::testing::Test {
+  sim::Simulation sim;
+  net::Network fabric{sim, sim::Duration::Microseconds(10), 1.25e9};
+  storage::ObjectStore ceph{sim, storage::ObjectStoreConfig{}};
+  storage::ImageStore images{sim, ceph};
+  net::Endpoint& bmi_ep{fabric.CreateEndpoint("bmi")};
+  BmiService bmi{sim, bmi_ep, images};
+  storage::ImageId golden = 0;
+
+  void SetUp() override {
+    storage::BootInfo boot;
+    boot.kernel_bytes = 8 << 20;
+    boot.kernel_cmdline = "quiet";
+    golden = bmi.RegisterGoldenImage("fedora28", 20ull << 30, boot);
+  }
+};
+
+TEST_F(BmiFixture, NodeImagesAreClones) {
+  const auto image = bmi.CreateNodeImage("node-1", golden);
+  ASSERT_TRUE(image.has_value());
+  EXPECT_NE(*image, golden);
+  EXPECT_EQ(bmi.NodeImage("node-1"), *image);
+  EXPECT_EQ(images.VirtualSize(*image), 20ull << 30);
+  // Boot info propagates through the clone (BMI's extraction feature).
+  const auto boot = bmi.ExtractBootInfo(*image);
+  ASSERT_TRUE(boot.has_value());
+  EXPECT_EQ(boot->kernel_cmdline, "quiet");
+
+  EXPECT_FALSE(bmi.CreateNodeImage("node-2", 9999).has_value());
+}
+
+TEST_F(BmiFixture, StatelessReleaseDeletesClone) {
+  const auto image = bmi.CreateNodeImage("node-1", golden);
+  ASSERT_TRUE(image.has_value());
+  EXPECT_TRUE(bmi.ReleaseNodeImage("node-1", /*keep_snapshot=*/false));
+  EXPECT_FALSE(bmi.NodeImage("node-1").has_value());
+  EXPECT_FALSE(images.Exists(*image));
+  EXPECT_FALSE(bmi.ReleaseNodeImage("node-1", false));  // idempotence
+}
+
+TEST_F(BmiFixture, ReleaseWithSnapshotPreservesState) {
+  const auto image = bmi.CreateNodeImage("node-1", golden);
+  ASSERT_TRUE(image.has_value());
+  EXPECT_TRUE(bmi.ReleaseNodeImage("node-1", /*keep_snapshot=*/true));
+  EXPECT_FALSE(bmi.NodeImage("node-1").has_value());
+  // The snapshot (and thus the clone chain) survives — the elasticity
+  // property: restart the image later on any compatible node.
+  EXPECT_TRUE(images.FindByName("saved:node-1:0").has_value());
+}
+
+TEST_F(BmiFixture, ArtifactServerServesPublishedArtifacts) {
+  bmi.PublishArtifact("agent", Artifact{30 << 20, crypto::Sha256::Hash("agent")});
+  EXPECT_TRUE(bmi.FindArtifact("agent").has_value());
+  EXPECT_FALSE(bmi.FindArtifact("ghost").has_value());
+
+  net::Endpoint& client_ep = fabric.CreateEndpoint("client");
+  fabric.AttachToVlan(client_ep.address(), 33);
+  fabric.AttachToVlan(bmi_ep.address(), 33);
+  net::RpcNode client(sim, client_ep);
+  client.Start();
+
+  crypto::Digest digest{};
+  uint64_t bytes = 0;
+  bool ok = false;
+  auto flow = [&]() -> Task {
+    co_await FetchArtifact(client, bmi_ep.address(), "agent", &digest, &bytes, &ok);
+  };
+  sim.Spawn(flow());
+  sim.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(bytes, 30u << 20);
+  EXPECT_EQ(digest, crypto::Sha256::Hash("agent"));
+
+  // Unknown artifact: clean failure.
+  ok = true;
+  auto flow2 = [&]() -> Task {
+    co_await FetchArtifact(client, bmi_ep.address(), "ghost", &digest, &bytes, &ok);
+  };
+  sim.Spawn(flow2());
+  sim.Run();
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(BmiFixture, HttpRateLimitsArtifactDownloads) {
+  bmi.PublishArtifact("big", Artifact{100 << 20, crypto::Sha256::Hash("big")});
+  bmi.SetHttpRate(10e6);  // 10 MB/s HTTP server
+
+  net::Endpoint& client_ep = fabric.CreateEndpoint("client");
+  fabric.AttachToVlan(client_ep.address(), 34);
+  fabric.AttachToVlan(bmi_ep.address(), 34);
+  net::RpcNode client(sim, client_ep);
+  client.Start();
+
+  crypto::Digest digest{};
+  uint64_t bytes = 0;
+  bool ok = false;
+  double elapsed = 0;
+  auto flow = [&]() -> Task {
+    const double t0 = sim.now().ToSecondsF();
+    co_await FetchArtifact(client, client.address() == 0 ? 0 : bmi_ep.address(),
+                           "big", &digest, &bytes, &ok);
+    elapsed = sim.now().ToSecondsF() - t0;
+  };
+  sim.Spawn(flow());
+  sim.Run();
+  ASSERT_TRUE(ok);
+  // 100 MB at 10 MB/s -> ~10.5 s including the wire.
+  EXPECT_GT(elapsed, 10.0);
+  EXPECT_LT(elapsed, 12.0);
+}
+
+}  // namespace
+}  // namespace bolted::bmi

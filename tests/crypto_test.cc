@@ -1,0 +1,470 @@
+// Crypto primitive tests: NIST/RFC vectors where we have them, plus
+// property sweeps (roundtrip, tamper detection, cross-implementation
+// invariants).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/crypto/aes.h"
+#include "src/crypto/aes_gcm.h"
+#include "src/crypto/aes_xts.h"
+#include "src/crypto/bytes.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/p256.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/u256.h"
+
+namespace bolted::crypto {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(ToHex(data), "0001abff");
+  EXPECT_EQ(FromHex("0001abff"), data);
+  EXPECT_EQ(FromHex("0001ABFF"), data);
+}
+
+TEST(BytesTest, FromHexRejectsMalformed) {
+  EXPECT_TRUE(FromHex("abc").empty());   // odd length
+  EXPECT_TRUE(FromHex("zz").empty());    // non-hex
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+}
+
+TEST(BytesTest, XorAndAppend) {
+  const Bytes a = {0xf0, 0x0f};
+  const Bytes b = {0xff, 0xff};
+  EXPECT_EQ(Xor(a, b), (Bytes{0x0f, 0xf0}));
+  Bytes dst = {1};
+  AppendU32(dst, 0x01020304);
+  EXPECT_EQ(dst, (Bytes{1, 1, 2, 3, 4}));
+}
+
+// FIPS 180-4 / NIST CAVS vectors.
+TEST(Sha256Test, NistVectors) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(DigestHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(DigestHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(ByteView(reinterpret_cast<const uint8_t*>(chunk.data()), chunk.size()));
+  }
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  Bytes data(1023);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  for (size_t chunk : {1u, 7u, 63u, 64u, 65u, 512u}) {
+    Sha256 h;
+    for (size_t off = 0; off < data.size(); off += chunk) {
+      const size_t n = std::min(chunk, data.size() - off);
+      h.Update(ByteView(data.data() + off, n));
+    }
+    EXPECT_EQ(h.Finish(), Sha256::Hash(data)) << "chunk=" << chunk;
+  }
+}
+
+// RFC 4231 test cases 1, 2 and 7.
+TEST(HmacTest, Rfc4231Vectors) {
+  {
+    const Bytes key(20, 0x0b);
+    EXPECT_EQ(ToHex(DigestView(HmacSha256(key, ToBytes("Hi There")))),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  }
+  {
+    EXPECT_EQ(
+        ToHex(DigestView(HmacSha256(ToBytes("Jefe"),
+                                    ToBytes("what do ya want for nothing?")))),
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  }
+  {
+    const Bytes key(131, 0xaa);
+    EXPECT_EQ(ToHex(DigestView(HmacSha256(
+                  key, ToBytes("Test Using Larger Than Block-Size Key - "
+                               "Hash Key First")))),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+  }
+}
+
+TEST(HkdfTest, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = FromHex("000102030405060708090a0b0c");
+  const Bytes info = FromHex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = Hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(ToHex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfTest, LengthHandling) {
+  const Bytes ikm = {1, 2, 3};
+  EXPECT_EQ(Hkdf({}, ikm, {}, 0).size(), 0u);
+  EXPECT_EQ(Hkdf({}, ikm, {}, 31).size(), 31u);
+  EXPECT_EQ(Hkdf({}, ikm, {}, 32).size(), 32u);
+  EXPECT_EQ(Hkdf({}, ikm, {}, 33).size(), 33u);
+  // Prefix property: a longer output extends a shorter one.
+  const Bytes long_out = Hkdf({}, ikm, {}, 64);
+  const Bytes short_out = Hkdf({}, ikm, {}, 16);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(), long_out.begin()));
+}
+
+// FIPS 197 Appendix C.3.
+TEST(AesTest, Fips197Vector) {
+  const Bytes key = FromHex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes plaintext = FromHex("00112233445566778899aabbccddeeff");
+  Aes256 aes(key);
+  uint8_t out[16];
+  aes.EncryptBlock(plaintext.data(), out);
+  EXPECT_EQ(ToHex(ByteView(out, 16)), "8ea2b7ca516745bfeafc49904b496089");
+  uint8_t back[16];
+  aes.DecryptBlock(out, back);
+  EXPECT_EQ(ToHex(ByteView(back, 16)), ToHex(plaintext));
+}
+
+TEST(AesTest, EncryptDecryptRoundTripSweep) {
+  Drbg drbg(uint64_t{99});
+  for (int i = 0; i < 50; ++i) {
+    const Bytes key = drbg.Generate(32);
+    const Bytes block = drbg.Generate(16);
+    Aes256 aes(key);
+    uint8_t ct[16];
+    uint8_t pt[16];
+    aes.EncryptBlock(block.data(), ct);
+    aes.DecryptBlock(ct, pt);
+    EXPECT_EQ(Bytes(pt, pt + 16), block);
+    EXPECT_NE(Bytes(ct, ct + 16), block);
+  }
+}
+
+TEST(AesXtsTest, RoundTripAndSectorIndependence) {
+  Drbg drbg(uint64_t{7});
+  const Bytes key = drbg.Generate(64);
+  AesXts xts(key);
+
+  Bytes sector = drbg.Generate(512);
+  const Bytes original = sector;
+  xts.EncryptSector(5, sector);
+  EXPECT_NE(sector, original);
+
+  // The same plaintext at a different sector number encrypts differently.
+  Bytes other = original;
+  xts.EncryptSector(6, other);
+  EXPECT_NE(other, sector);
+
+  xts.DecryptSector(5, sector);
+  EXPECT_EQ(sector, original);
+}
+
+TEST(AesXtsTest, BlocksWithinSectorDiffer) {
+  // Identical plaintext blocks within one sector must produce different
+  // ciphertext blocks (the tweak advances per block).
+  const Bytes key(64, 0x42);
+  AesXts xts(key);
+  Bytes sector(512, 0xaa);
+  xts.EncryptSector(0, sector);
+  const ByteView first(sector.data(), 16);
+  const ByteView second(sector.data() + 16, 16);
+  EXPECT_NE(Bytes(first.begin(), first.end()), Bytes(second.begin(), second.end()));
+}
+
+TEST(AesXtsTest, WrongKeyFailsToDecrypt) {
+  Drbg drbg(uint64_t{13});
+  const Bytes key1 = drbg.Generate(64);
+  const Bytes key2 = drbg.Generate(64);
+  AesXts a(key1);
+  AesXts b(key2);
+  Bytes sector = drbg.Generate(4096);
+  const Bytes original = sector;
+  a.EncryptSector(100, sector);
+  b.DecryptSector(100, sector);
+  EXPECT_NE(sector, original);
+}
+
+// NIST GCM reference vectors (AES-256): test cases 13 and 14.
+TEST(AesGcmTest, NistVectors) {
+  const Bytes key(32, 0x00);
+  const Bytes nonce(12, 0x00);
+  AesGcm gcm(key);
+  {
+    const Bytes sealed = gcm.Seal(nonce, {}, {});
+    EXPECT_EQ(ToHex(sealed), "530f8afbc74536b9a963b4f1c4cb738b");
+  }
+  {
+    const Bytes plaintext(16, 0x00);
+    const Bytes sealed = gcm.Seal(nonce, plaintext, {});
+    EXPECT_EQ(ToHex(sealed),
+              "cea7403d4d606b6e074ec5d3baf39d18d0d1c8a799996bf0265b98b5d48ab919");
+  }
+}
+
+TEST(AesGcmTest, SealOpenRoundTripWithAad) {
+  Drbg drbg(uint64_t{21});
+  const Bytes key = drbg.Generate(32);
+  AesGcm gcm(key);
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+    const Bytes nonce = drbg.Generate(12);
+    const Bytes plaintext = drbg.Generate(len);
+    const Bytes aad = drbg.Generate(len / 2);
+    const Bytes sealed = gcm.Seal(nonce, plaintext, aad);
+    EXPECT_EQ(sealed.size(), len + AesGcm::kTagSize);
+    const auto opened = gcm.Open(nonce, sealed, aad);
+    ASSERT_TRUE(opened.has_value()) << "len=" << len;
+    EXPECT_EQ(*opened, plaintext);
+  }
+}
+
+TEST(AesGcmTest, TamperDetection) {
+  Drbg drbg(uint64_t{22});
+  const Bytes key = drbg.Generate(32);
+  const Bytes nonce = drbg.Generate(12);
+  AesGcm gcm(key);
+  const Bytes plaintext = drbg.Generate(64);
+  const Bytes aad = ToBytes("header");
+  Bytes sealed = gcm.Seal(nonce, plaintext, aad);
+
+  // Flip one ciphertext bit.
+  Bytes corrupted = sealed;
+  corrupted[10] ^= 1;
+  EXPECT_FALSE(gcm.Open(nonce, corrupted, aad).has_value());
+
+  // Flip one tag bit.
+  corrupted = sealed;
+  corrupted.back() ^= 1;
+  EXPECT_FALSE(gcm.Open(nonce, corrupted, aad).has_value());
+
+  // Wrong AAD.
+  EXPECT_FALSE(gcm.Open(nonce, sealed, ToBytes("other")).has_value());
+
+  // Wrong nonce.
+  const Bytes other_nonce = drbg.Generate(12);
+  EXPECT_FALSE(gcm.Open(other_nonce, sealed, aad).has_value());
+
+  // Truncated input.
+  EXPECT_FALSE(gcm.Open(nonce, ByteView(sealed.data(), 8), aad).has_value());
+}
+
+TEST(U256Test, BytesRoundTrip) {
+  const U256 v = U256::FromHexString(
+      "00112233445566778899aabbccddeeff0123456789abcdef0011223344556677");
+  EXPECT_EQ(v.ToHexString(),
+            "00112233445566778899aabbccddeeff0123456789abcdef0011223344556677");
+  EXPECT_EQ(U256::FromBytes(v.ToBytes()), v);
+}
+
+TEST(U256Test, ComparisonAndBits) {
+  const U256 one = U256::One();
+  const U256 two{{2, 0, 0, 0}};
+  EXPECT_LT(one, two);
+  EXPECT_TRUE(one.IsOdd());
+  EXPECT_FALSE(two.IsOdd());
+  EXPECT_TRUE(one.Bit(0));
+  EXPECT_FALSE(one.Bit(1));
+  const U256 high = U256::FromHexString(
+      "8000000000000000000000000000000000000000000000000000000000000000");
+  EXPECT_TRUE(high.Bit(255));
+}
+
+TEST(U256Test, AddSubCarryBorrow) {
+  const U256 max = U256::FromHexString(
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  U256 out;
+  EXPECT_EQ(AddCarry(max, U256::One(), out), 1u);
+  EXPECT_TRUE(out.IsZero());
+  EXPECT_EQ(SubBorrow(U256::Zero(), U256::One(), out), 1u);
+  EXPECT_EQ(out, max);
+}
+
+TEST(MontgomeryTest, RoundTripAndIdentities) {
+  const Montgomery fp(U256::FromHexString(
+      "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"));
+  Drbg drbg(uint64_t{31});
+  for (int i = 0; i < 20; ++i) {
+    const U256 a = fp.Reduce(U256::FromBytes(drbg.Generate(32)));
+    EXPECT_EQ(fp.FromMont(fp.ToMont(a)), a);
+    const U256 am = fp.ToMont(a);
+    // a * 1 == a
+    EXPECT_EQ(fp.Mul(am, fp.one_mont()), am);
+    // a + (-a) == 0
+    EXPECT_TRUE(fp.Add(am, fp.Neg(am)).IsZero());
+    // a * a^-1 == 1 (skip zero)
+    if (!a.IsZero()) {
+      EXPECT_EQ(fp.Mul(am, fp.Inverse(am)), fp.one_mont());
+    }
+  }
+}
+
+TEST(MontgomeryTest, KnownProduct) {
+  // 3 * 5 = 15 mod p.
+  const Montgomery fp(U256::FromHexString(
+      "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"));
+  const U256 three{{3, 0, 0, 0}};
+  const U256 five{{5, 0, 0, 0}};
+  const U256 fifteen{{15, 0, 0, 0}};
+  EXPECT_EQ(fp.FromMont(fp.Mul(fp.ToMont(three), fp.ToMont(five))), fifteen);
+}
+
+TEST(MontgomeryTest, ExpMatchesRepeatedMul) {
+  const Montgomery fn(U256::FromHexString(
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"));
+  const U256 base = fn.ToMont(U256{{123456789, 0, 0, 0}});
+  U256 expected = fn.one_mont();
+  for (int i = 0; i < 13; ++i) {
+    expected = fn.Mul(expected, base);
+  }
+  EXPECT_EQ(fn.Exp(base, U256{{13, 0, 0, 0}}), expected);
+}
+
+TEST(P256Test, GeneratorOnCurveAndPrivateOneYieldsGenerator) {
+  const P256& curve = P256::Instance();
+  const EcPoint g = curve.PublicKey(U256::One());
+  EXPECT_EQ(g.x.ToHexString(),
+            "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+  EXPECT_EQ(g.y.ToHexString(),
+            "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+  EXPECT_TRUE(curve.IsOnCurve(g));
+}
+
+TEST(P256Test, ScalarTwoMatchesDoubling) {
+  // 2G computed via the public API must be on the curve and differ from G.
+  const P256& curve = P256::Instance();
+  const EcPoint g2 = curve.PublicKey(U256{{2, 0, 0, 0}});
+  EXPECT_TRUE(curve.IsOnCurve(g2));
+  const EcPoint g = curve.PublicKey(U256::One());
+  EXPECT_NE(g2, g);
+  // Known value: x(2G) for P-256.
+  EXPECT_EQ(g2.x.ToHexString(),
+            "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978");
+}
+
+TEST(P256Test, PointEncodingRoundTrip) {
+  const P256& curve = P256::Instance();
+  const U256 priv = curve.PrivateKeyFromSeed(ToBytes("seed-1"));
+  const EcPoint pub = curve.PublicKey(priv);
+  const Bytes encoded = pub.Encode();
+  EXPECT_EQ(encoded.size(), 65u);
+  const auto decoded = EcPoint::Decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, pub);
+}
+
+TEST(P256Test, DecodeRejectsInvalid) {
+  EXPECT_FALSE(EcPoint::Decode(Bytes(64, 0)).has_value());  // wrong length
+  Bytes bad(65, 0);
+  bad[0] = 0x04;
+  bad[64] = 7;  // (0, 7) is not on the curve
+  EXPECT_FALSE(EcPoint::Decode(bad).has_value());
+}
+
+TEST(P256Test, SignVerifyRoundTrip) {
+  const P256& curve = P256::Instance();
+  Drbg drbg(uint64_t{77});
+  for (int i = 0; i < 8; ++i) {
+    const U256 priv = curve.PrivateKeyFromSeed(drbg.Generate(32));
+    const EcPoint pub = curve.PublicKey(priv);
+    const Digest hash = Sha256::Hash("message-" + std::to_string(i));
+    const EcdsaSignature sig = curve.Sign(priv, hash);
+    EXPECT_TRUE(curve.Verify(pub, hash, sig));
+  }
+}
+
+TEST(P256Test, VerifyRejectsWrongMessageKeyOrSignature) {
+  const P256& curve = P256::Instance();
+  const U256 priv = curve.PrivateKeyFromSeed(ToBytes("signer"));
+  const EcPoint pub = curve.PublicKey(priv);
+  const Digest hash = Sha256::Hash("the message");
+  const EcdsaSignature sig = curve.Sign(priv, hash);
+
+  EXPECT_FALSE(curve.Verify(pub, Sha256::Hash("another message"), sig));
+
+  const U256 other_priv = curve.PrivateKeyFromSeed(ToBytes("impostor"));
+  EXPECT_FALSE(curve.Verify(curve.PublicKey(other_priv), hash, sig));
+
+  EcdsaSignature tampered = sig;
+  U256 bumped;
+  AddCarry(tampered.r, U256::One(), bumped);
+  tampered.r = bumped;
+  EXPECT_FALSE(curve.Verify(pub, hash, tampered));
+
+  EcdsaSignature zero_sig{U256::Zero(), U256::Zero()};
+  EXPECT_FALSE(curve.Verify(pub, hash, zero_sig));
+}
+
+TEST(P256Test, SignatureIsDeterministic) {
+  const P256& curve = P256::Instance();
+  const U256 priv = curve.PrivateKeyFromSeed(ToBytes("det"));
+  const Digest hash = Sha256::Hash("stable input");
+  const EcdsaSignature a = curve.Sign(priv, hash);
+  const EcdsaSignature b = curve.Sign(priv, hash);
+  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.s, b.s);
+}
+
+TEST(P256Test, EcdhSharedSecretAgrees) {
+  const P256& curve = P256::Instance();
+  const U256 a = curve.PrivateKeyFromSeed(ToBytes("alice"));
+  const U256 b = curve.PrivateKeyFromSeed(ToBytes("bob"));
+  const auto ab = curve.SharedSecret(a, curve.PublicKey(b));
+  const auto ba = curve.SharedSecret(b, curve.PublicKey(a));
+  ASSERT_TRUE(ab.has_value());
+  ASSERT_TRUE(ba.has_value());
+  EXPECT_EQ(*ab, *ba);
+
+  const U256 c = curve.PrivateKeyFromSeed(ToBytes("carol"));
+  const auto ac = curve.SharedSecret(a, curve.PublicKey(c));
+  ASSERT_TRUE(ac.has_value());
+  EXPECT_NE(*ab, *ac);
+}
+
+TEST(P256Test, OrderTimesGeneratorIsInfinity) {
+  const P256& curve = P256::Instance();
+  // n*G = infinity, so SharedSecret with scalar n must fail; (n-1)*G = -G.
+  const U256 n = curve.order();
+  U256 n_minus_1;
+  SubBorrow(n, U256::One(), n_minus_1);
+  const EcPoint neg_g = curve.PublicKey(n_minus_1);
+  const EcPoint g = curve.PublicKey(U256::One());
+  EXPECT_EQ(neg_g.x, g.x);
+  EXPECT_NE(neg_g.y, g.y);
+}
+
+TEST(DrbgTest, DeterministicAndSeedSensitive) {
+  Drbg a(uint64_t{5});
+  Drbg b(uint64_t{5});
+  Drbg c(uint64_t{6});
+  EXPECT_EQ(a.Generate(100), b.Generate(100));
+  Drbg a2(uint64_t{5});
+  EXPECT_NE(a2.Generate(100), c.Generate(100));
+}
+
+TEST(DrbgTest, ReseedChangesStream) {
+  Drbg a(uint64_t{5});
+  Drbg b(uint64_t{5});
+  b.Reseed(ToBytes("extra"));
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+}  // namespace
+}  // namespace bolted::crypto

@@ -1,0 +1,99 @@
+// System-level determinism: every experiment must be reproducible
+// bit-for-bit from its seed (README/DESIGN.md claim).  These tests run
+// full provisioning + workload scenarios twice and require identical
+// timing and event counts, and run with a different seed to check that
+// the seed actually matters where randomness is involved.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cloud.h"
+#include "src/core/enclave.h"
+#include "src/workload/workload.h"
+
+namespace bolted::core {
+namespace {
+
+using sim::Task;
+
+struct ScenarioResult {
+  double provision_seconds = 0;
+  double workload_seconds = 0;
+  uint64_t events = 0;
+  crypto::Digest pcr0{};
+
+  bool operator==(const ScenarioResult&) const = default;
+};
+
+ScenarioResult RunScenario(uint64_t seed) {
+  CloudConfig config;
+  config.num_machines = 3;
+  config.linuxboot_in_flash = true;
+  config.seed = seed;
+  Cloud cloud(config);
+  Enclave tenant(cloud, "t", TrustProfile::Charlie(), seed ^ 0xabc);
+
+  ScenarioResult result;
+  workload::WorkloadRunner runner(cloud, tenant);
+  auto flow = [&]() -> Task {
+    ProvisionOutcome o0;
+    ProvisionOutcome o1;
+    co_await tenant.ProvisionNode("node-0", &o0);
+    co_await tenant.ProvisionNode("node-1", &o1);
+    EXPECT_TRUE(o0.success && o1.success);
+    result.provision_seconds = cloud.sim().now().ToSecondsF();
+    sim::Duration elapsed = sim::Duration::Zero();
+    workload::WorkloadSpec spec = workload::NasMg();
+    spec.iterations = 1;
+    co_await runner.Run(spec, &elapsed);
+    result.workload_seconds = elapsed.ToSecondsF();
+  };
+  cloud.sim().Spawn(flow());
+  cloud.sim().RunUntil(sim::Time::FromNanoseconds(900'000'000'000));
+  result.events = cloud.sim().events_processed();
+  result.pcr0 = cloud.FindMachine("node-0")->tpm().ReadPcr(tpm::kPcrFirmware);
+  return result;
+}
+
+TEST(DeterminismTest, IdenticalSeedsGiveIdenticalRuns) {
+  const ScenarioResult a = RunScenario(12345);
+  const ScenarioResult b = RunScenario(12345);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.events, 1000u);
+  EXPECT_GT(a.provision_seconds, 100.0);
+  EXPECT_GT(a.workload_seconds, 1.0);
+}
+
+TEST(DeterminismTest, CryptoArtifactsAreSeedIndependentWhereTheyShouldBe) {
+  // PCR values depend on what was measured, not on the simulation seed:
+  // the same firmware and kernel produce the same chain.
+  const ScenarioResult a = RunScenario(1);
+  const ScenarioResult b = RunScenario(2);
+  EXPECT_EQ(a.pcr0, b.pcr0);
+}
+
+TEST(DeterminismTest, TimingIsSeedStableForDeterministicFlows) {
+  // The provisioning flow contains no random delays, so even different
+  // seeds agree on timing; what differs across seeds is key material.
+  const ScenarioResult a = RunScenario(1);
+  const ScenarioResult b = RunScenario(2);
+  EXPECT_DOUBLE_EQ(a.provision_seconds, b.provision_seconds);
+  EXPECT_DOUBLE_EQ(a.workload_seconds, b.workload_seconds);
+}
+
+TEST(DeterminismTest, EnclaveSeedChangesKeyMaterialOnly) {
+  CloudConfig config;
+  config.num_machines = 1;
+  config.linuxboot_in_flash = true;
+  Cloud cloud(config);
+  Enclave a(cloud, "a", TrustProfile::Charlie(), 111);
+  Enclave b(cloud, "b", TrustProfile::Charlie(), 222);
+  EXPECT_NE(a.payload().disk_secret, b.payload().disk_secret);
+  EXPECT_NE(a.payload().network_key_seed, b.payload().network_key_seed);
+  // Even with a reused seed, a different tenant identity yields
+  // different secrets (the Drbg mixes in the project name).
+  Enclave a2(cloud, "a2", TrustProfile::Charlie(), 111);
+  EXPECT_NE(a.payload().disk_secret, a2.payload().disk_secret);
+}
+
+}  // namespace
+}  // namespace bolted::core

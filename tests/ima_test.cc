@@ -1,0 +1,104 @@
+// IMA tests: policy coverage, measurement dedup, PCR-10 chaining, and the
+// verifier-facing measurement list.
+
+#include <gtest/gtest.h>
+
+#include "src/ima/ima.h"
+#include "src/tpm/tpm.h"
+
+namespace bolted::ima {
+namespace {
+
+using crypto::Sha256;
+using tpm::Tpm;
+
+Tpm MakeTpm() { return Tpm(crypto::ToBytes("ima-tpm"), tpm::TpmLatencyModel{}); }
+
+FileAccess Exec(const std::string& path, const std::string& content) {
+  return FileAccess{.path = path,
+                    .content_digest = Sha256::Hash(content),
+                    .size_bytes = 1000,
+                    .is_executable = true,
+                    .by_root = false};
+}
+
+FileAccess RootRead(const std::string& path, const std::string& content) {
+  return FileAccess{.path = path,
+                    .content_digest = Sha256::Hash(content),
+                    .size_bytes = 1000,
+                    .is_executable = false,
+                    .by_root = true};
+}
+
+TEST(ImaTest, ExecutablesMeasuredUnderDefaultPolicy) {
+  Tpm tpm = MakeTpm();
+  Ima ima(tpm, ImaPolicy{});
+  EXPECT_TRUE(ima.OnFileAccess(Exec("/bin/ls", "ls-v1")));
+  EXPECT_EQ(ima.measurements_taken(), 1u);
+  EXPECT_FALSE(tpm.PcrIsClean(tpm::kPcrIma));
+}
+
+TEST(ImaTest, RootReadsOnlyMeasuredUnderStressPolicy) {
+  Tpm tpm = MakeTpm();
+  Ima lax(tpm, ImaPolicy{.measure_executables = true, .measure_root_reads = false});
+  EXPECT_FALSE(lax.OnFileAccess(RootRead("/etc/passwd", "users")));
+
+  Tpm tpm2 = MakeTpm();
+  Ima strict(tpm2, ImaPolicy{.measure_executables = true, .measure_root_reads = true});
+  EXPECT_TRUE(strict.OnFileAccess(RootRead("/etc/passwd", "users")));
+}
+
+TEST(ImaTest, ReaccessIsDeduplicated) {
+  Tpm tpm = MakeTpm();
+  Ima ima(tpm, ImaPolicy{});
+  EXPECT_TRUE(ima.OnFileAccess(Exec("/bin/gcc", "gcc-8")));
+  EXPECT_FALSE(ima.OnFileAccess(Exec("/bin/gcc", "gcc-8")));
+  EXPECT_EQ(ima.measurements_taken(), 1u);
+  EXPECT_EQ(ima.bytes_hashed(), 1000u);
+}
+
+TEST(ImaTest, ModifiedContentIsRemeasured) {
+  Tpm tpm = MakeTpm();
+  Ima ima(tpm, ImaPolicy{});
+  EXPECT_TRUE(ima.OnFileAccess(Exec("/bin/sshd", "sshd-v1")));
+  const auto pcr_before = tpm.ReadPcr(tpm::kPcrIma);
+  // Same path, different bytes (trojaned binary): measured again.
+  EXPECT_TRUE(ima.OnFileAccess(Exec("/bin/sshd", "sshd-trojaned")));
+  EXPECT_EQ(ima.measurements_taken(), 2u);
+  EXPECT_NE(tpm.ReadPcr(tpm::kPcrIma), pcr_before);
+}
+
+TEST(ImaTest, MeasurementListReplaysToPcr10) {
+  Tpm tpm = MakeTpm();
+  Ima ima(tpm, ImaPolicy{});
+  ima.OnFileAccess(Exec("/a", "1"));
+  ima.OnFileAccess(Exec("/b", "2"));
+  ima.OnFileAccess(Exec("/c", "3"));
+  const auto replayed = ima.measurement_list().ReplayPcrs();
+  EXPECT_EQ(replayed[tpm::kPcrIma], tpm.ReadPcr(tpm::kPcrIma));
+  EXPECT_EQ(ima.measurement_list().size(), 3u);
+  // Descriptions carry the path for the verifier's failure messages.
+  EXPECT_EQ(ima.measurement_list().events()[0].description, "/a");
+}
+
+TEST(ImaTest, TemplateDigestBindsPathAndContent) {
+  const auto d1 = Ima::TemplateDigest("/bin/ls", Sha256::Hash("x"));
+  const auto d2 = Ima::TemplateDigest("/bin/cp", Sha256::Hash("x"));
+  const auto d3 = Ima::TemplateDigest("/bin/ls", Sha256::Hash("y"));
+  EXPECT_NE(d1, d2);
+  EXPECT_NE(d1, d3);
+  EXPECT_EQ(d1, Ima::TemplateDigest("/bin/ls", Sha256::Hash("x")));
+}
+
+TEST(ImaTest, NonRootNonExecAccessIgnored) {
+  Tpm tpm = MakeTpm();
+  Ima ima(tpm, ImaPolicy{.measure_executables = true, .measure_root_reads = true});
+  FileAccess access;
+  access.path = "/home/user/notes.txt";
+  access.content_digest = Sha256::Hash("notes");
+  EXPECT_FALSE(ima.OnFileAccess(access));
+  EXPECT_TRUE(tpm.PcrIsClean(tpm::kPcrIma));
+}
+
+}  // namespace
+}  // namespace bolted::ima

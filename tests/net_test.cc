@@ -1,0 +1,374 @@
+// Network substrate tests: fluid resource sharing, VLAN isolation,
+// message transport, IPsec ESP, and bulk-transfer cost modelling.
+
+#include <gtest/gtest.h>
+
+#include "src/net/ipsec.h"
+#include "src/net/network.h"
+#include "src/net/resource.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace bolted::net {
+namespace {
+
+using crypto::Bytes;
+using crypto::ToBytes;
+using sim::Duration;
+using sim::Simulation;
+using sim::Task;
+
+TEST(SharedResourceTest, SingleConsumerTakesFullCapacity) {
+  Simulation sim;
+  SharedResource resource(sim, 100.0, "r");  // 100 units/s
+  double finished_at = -1;
+  auto flow = [&]() -> Task {
+    co_await resource.Consume(50.0);
+    finished_at = sim.now().ToSecondsF();
+  };
+  sim.Spawn(flow());
+  sim.Run();
+  EXPECT_NEAR(finished_at, 0.5, 1e-9);
+}
+
+TEST(SharedResourceTest, TwoEqualConsumersShareFairly) {
+  Simulation sim;
+  SharedResource resource(sim, 100.0, "r");
+  std::vector<double> finish_times;
+  auto flow = [&]() -> Task {
+    co_await resource.Consume(100.0);
+    finish_times.push_back(sim.now().ToSecondsF());
+  };
+  sim.Spawn(flow());
+  sim.Spawn(flow());
+  sim.Run();
+  // Each gets 50 units/s -> both finish at t=2.
+  ASSERT_EQ(finish_times.size(), 2u);
+  EXPECT_NEAR(finish_times[0], 2.0, 1e-6);
+  EXPECT_NEAR(finish_times[1], 2.0, 1e-6);
+}
+
+TEST(SharedResourceTest, ShortJobLeavesAndLongJobSpeedsUp) {
+  Simulation sim;
+  SharedResource resource(sim, 100.0, "r");
+  double short_done = -1;
+  double long_done = -1;
+  auto short_flow = [&]() -> Task {
+    co_await resource.Consume(50.0);
+    short_done = sim.now().ToSecondsF();
+  };
+  auto long_flow = [&]() -> Task {
+    co_await resource.Consume(150.0);
+    long_done = sim.now().ToSecondsF();
+  };
+  sim.Spawn(short_flow());
+  sim.Spawn(long_flow());
+  sim.Run();
+  // Shared at 50/s each until the short job finishes at t=1 (50 served);
+  // the long job then has 100 left at 100/s -> finishes at t=2.
+  EXPECT_NEAR(short_done, 1.0, 1e-6);
+  EXPECT_NEAR(long_done, 2.0, 1e-6);
+}
+
+TEST(SharedResourceTest, LateArrivalSlowsExistingFlow) {
+  Simulation sim;
+  SharedResource resource(sim, 100.0, "r");
+  double first_done = -1;
+  double second_done = -1;
+  auto first = [&]() -> Task {
+    co_await resource.Consume(100.0);
+    first_done = sim.now().ToSecondsF();
+  };
+  auto second = [&]() -> Task {
+    co_await sim::Delay(sim, Duration::SecondsF(0.5));
+    co_await resource.Consume(100.0);
+    second_done = sim.now().ToSecondsF();
+  };
+  sim.Spawn(first());
+  sim.Spawn(second());
+  sim.Run();
+  // First: 50 served by t=0.5, then 50/s -> 50 more takes 1s -> done 1.5.
+  EXPECT_NEAR(first_done, 1.5, 1e-6);
+  // Second: 50 served between 0.5 and 1.5, then full rate -> done at 2.0.
+  EXPECT_NEAR(second_done, 2.0, 1e-6);
+}
+
+TEST(SharedResourceTest, ZeroAmountCompletesInstantly) {
+  Simulation sim;
+  SharedResource resource(sim, 100.0, "r");
+  bool done = false;
+  auto flow = [&]() -> Task {
+    co_await resource.Consume(0.0);
+    done = true;
+    EXPECT_EQ(sim.now().nanoseconds(), 0);
+  };
+  sim.Spawn(flow());
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(SharedResourceTest, TotalServedAccumulates) {
+  Simulation sim;
+  SharedResource resource(sim, 10.0, "r");
+  auto flow = [&]() -> Task { co_await resource.Consume(25.0); };
+  sim.Spawn(flow());
+  sim.Run();
+  EXPECT_NEAR(resource.total_served(), 25.0, 1e-6);
+}
+
+TEST(ConsumeAllTest, CompletesAtSlowestResource)
+{
+  Simulation sim;
+  SharedResource fast(sim, 100.0, "fast");
+  SharedResource slow(sim, 10.0, "slow");
+  double done_at = -1;
+  std::vector<SharedResource*> resources = {&fast, &slow};
+  auto flow = [&]() -> Task {
+    co_await ConsumeAll(sim, resources, 20.0);
+    done_at = sim.now().ToSecondsF();
+  };
+  sim.Spawn(flow());
+  sim.Run();
+  EXPECT_NEAR(done_at, 2.0, 1e-6);
+}
+
+Network MakeNet(Simulation& sim) {
+  // 10 microseconds latency, 1.25 GB/s (10 Gbit) NICs.
+  return Network(sim, Duration::Microseconds(10), 1.25e9);
+}
+
+TEST(NetworkTest, MessageDeliveredWithinSharedVlan) {
+  Simulation sim;
+  Network net = MakeNet(sim);
+  Endpoint& a = net.CreateEndpoint("a");
+  Endpoint& b = net.CreateEndpoint("b");
+  net.AttachToVlan(a.address(), 100);
+  net.AttachToVlan(b.address(), 100);
+
+  Message received;
+  auto receiver = [&]() -> Task { received = co_await b.inbox().Recv(); };
+  sim.Spawn(receiver());
+  a.Post(b.address(), Message{.kind = "hello", .payload = ToBytes("payload")});
+  sim.Run();
+  EXPECT_EQ(received.kind, "hello");
+  EXPECT_EQ(received.payload, ToBytes("payload"));
+  EXPECT_EQ(received.src, a.address());
+  EXPECT_EQ(net.total_drops(), 0u);
+}
+
+TEST(NetworkTest, CrossVlanTrafficIsDropped) {
+  Simulation sim;
+  Network net = MakeNet(sim);
+  Endpoint& a = net.CreateEndpoint("a");
+  Endpoint& b = net.CreateEndpoint("b");
+  net.AttachToVlan(a.address(), 100);
+  net.AttachToVlan(b.address(), 200);
+
+  a.Post(b.address(), Message{.kind = "attack", .payload = ToBytes("x")});
+  sim.Run();
+  EXPECT_EQ(net.total_drops(), 1u);
+  EXPECT_TRUE(b.inbox().empty());
+  EXPECT_FALSE(net.Reachable(a.address(), b.address()));
+}
+
+TEST(NetworkTest, DetachMidFlightDropsFrame) {
+  Simulation sim;
+  Network net = MakeNet(sim);
+  Endpoint& a = net.CreateEndpoint("a");
+  Endpoint& b = net.CreateEndpoint("b");
+  net.AttachToVlan(a.address(), 5);
+  net.AttachToVlan(b.address(), 5);
+
+  // A large frame that takes ~0.8s on the wire; detach after 0.1s.
+  a.Post(b.address(), Message{.kind = "bulk", .wire_bytes = 1'000'000'000});
+  sim.Schedule(Duration::SecondsF(0.1),
+               [&]() { net.DetachFromAllVlans(b.address()); });
+  sim.Run();
+  EXPECT_EQ(net.total_drops(), 1u);
+  EXPECT_TRUE(b.inbox().empty());
+}
+
+TEST(NetworkTest, VlanMembershipManagement) {
+  Simulation sim;
+  Network net = MakeNet(sim);
+  Endpoint& a = net.CreateEndpoint("a");
+  net.AttachToVlan(a.address(), 1);
+  net.AttachToVlan(a.address(), 2);
+  EXPECT_TRUE(a.InVlan(1));
+  EXPECT_TRUE(a.InVlan(2));
+  net.DetachFromVlan(a.address(), 1);
+  EXPECT_FALSE(a.InVlan(1));
+  net.DetachFromAllVlans(a.address());
+  EXPECT_TRUE(a.vlans().empty());
+}
+
+TEST(NetworkTest, SnifferSeesDeliveredFrames) {
+  Simulation sim;
+  Network net = MakeNet(sim);
+  Endpoint& a = net.CreateEndpoint("a");
+  Endpoint& b = net.CreateEndpoint("b");
+  net.AttachToVlan(a.address(), 7);
+  net.AttachToVlan(b.address(), 7);
+
+  std::vector<std::string> sniffed;
+  net.SetSniffer([&](VlanId vlan, const Message& m) {
+    EXPECT_EQ(vlan, 7);
+    sniffed.push_back(std::string(m.payload.begin(), m.payload.end()));
+  });
+  auto receiver = [&]() -> Task { (void)co_await b.inbox().Recv(); };
+  sim.Spawn(receiver());
+  a.Post(b.address(), Message{.kind = "m", .payload = ToBytes("visible-to-provider")});
+  sim.Run();
+  ASSERT_EQ(sniffed.size(), 1u);
+  EXPECT_EQ(sniffed[0], "visible-to-provider");
+}
+
+TEST(NetworkTest, TransferTimeMatchesBandwidth) {
+  Simulation sim;
+  Network net = MakeNet(sim);
+  Endpoint& a = net.CreateEndpoint("a");
+  Endpoint& b = net.CreateEndpoint("b");
+  net.AttachToVlan(a.address(), 1);
+  net.AttachToVlan(b.address(), 1);
+
+  double received_at = -1;
+  auto receiver = [&]() -> Task {
+    (void)co_await b.inbox().Recv();
+    received_at = sim.now().ToSecondsF();
+  };
+  sim.Spawn(receiver());
+  // 1.25 GB at 1.25 GB/s -> 1 second + 10us latency.
+  a.Post(b.address(), Message{.kind = "bulk", .wire_bytes = 1'250'000'000});
+  sim.Run();
+  EXPECT_NEAR(received_at, 1.00001, 1e-4);
+}
+
+TEST(IpsecModelTest, WireBytesAndCyclesScaleWithMtu) {
+  const IpsecCostModel model;
+  // Smaller MTU -> more packets -> more wire overhead and more cycles.
+  EXPECT_GT(IpsecWireBytes(model, 1500, 1e9), IpsecWireBytes(model, 9000, 1e9));
+  EXPECT_GT(IpsecCryptoCycles(model, true, 1500, 1e9),
+            IpsecCryptoCycles(model, true, 9000, 1e9));
+  // Software AES costs more than hardware.
+  EXPECT_GT(IpsecCryptoCycles(model, false, 9000, 1e9),
+            IpsecCryptoCycles(model, true, 9000, 1e9));
+}
+
+TEST(IpsecModelTest, CpuBoundThroughputOrdering) {
+  const IpsecCostModel model;
+  const double hw9000 = IpsecCpuBoundThroughput(model, true, 9000);
+  const double hw1500 = IpsecCpuBoundThroughput(model, true, 1500);
+  const double sw9000 = IpsecCpuBoundThroughput(model, false, 9000);
+  const double sw1500 = IpsecCpuBoundThroughput(model, false, 1500);
+  EXPECT_GT(hw9000, hw1500);
+  EXPECT_GT(hw9000, sw9000);
+  EXPECT_GT(sw9000, sw1500);
+  EXPECT_GT(hw1500, sw1500);
+  // The paper's best case (HW + jumbo) is about half of a 10Gbit line --
+  // i.e. somewhere between 400 MB/s and 1 GB/s.
+  EXPECT_GT(hw9000, 4e8);
+  EXPECT_LT(hw9000, 1.0e9);
+}
+
+TEST(IpsecContextTest, SealOpenRoundTrip) {
+  IpsecContext alice;
+  IpsecContext bob;
+  const Bytes key(32, 0x11);
+  alice.InstallSa(2, key);
+  bob.InstallSa(1, key);
+
+  const auto wire = alice.Seal(2, ToBytes("secret"));
+  ASSERT_TRUE(wire.has_value());
+  const auto plain = bob.Open(1, *wire);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(*plain, ToBytes("secret"));
+}
+
+TEST(IpsecContextTest, NoSaMeansNoTraffic) {
+  IpsecContext ctx;
+  EXPECT_FALSE(ctx.Seal(9, ToBytes("x")).has_value());
+  EXPECT_FALSE(ctx.Open(9, Bytes(64, 0)).has_value());
+  EXPECT_FALSE(ctx.HasSa(9));
+}
+
+TEST(IpsecContextTest, ReplayIsRejected) {
+  IpsecContext alice;
+  IpsecContext bob;
+  const Bytes key(32, 0x22);
+  alice.InstallSa(2, key);
+  bob.InstallSa(1, key);
+
+  const auto wire1 = alice.Seal(2, ToBytes("one"));
+  const auto wire2 = alice.Seal(2, ToBytes("two"));
+  ASSERT_TRUE(bob.Open(1, *wire1).has_value());
+  ASSERT_TRUE(bob.Open(1, *wire2).has_value());
+  // Replaying either fails.
+  EXPECT_FALSE(bob.Open(1, *wire1).has_value());
+  EXPECT_FALSE(bob.Open(1, *wire2).has_value());
+}
+
+TEST(IpsecContextTest, TamperAndWrongKeyRejected) {
+  IpsecContext alice;
+  IpsecContext bob;
+  alice.InstallSa(2, Bytes(32, 0x33));
+  bob.InstallSa(1, Bytes(32, 0x44));  // mismatched key
+
+  auto wire = alice.Seal(2, ToBytes("data"));
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_FALSE(bob.Open(1, *wire).has_value());
+
+  bob.RemoveSa(1);
+  bob.InstallSa(1, Bytes(32, 0x33));
+  (*wire)[wire->size() - 1] ^= 1;
+  EXPECT_FALSE(bob.Open(1, *wire).has_value());
+}
+
+TEST(IpsecContextTest, RevocationCutsTraffic) {
+  IpsecContext alice;
+  IpsecContext bob;
+  const Bytes key(32, 0x55);
+  alice.InstallSa(2, key);
+  bob.InstallSa(1, key);
+  ASSERT_TRUE(alice.Seal(2, ToBytes("pre")).has_value());
+
+  // Keylime revocation removes the SA on the healthy node.
+  bob.RemoveSa(1);
+  const auto wire = alice.Seal(2, ToBytes("post"));
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_FALSE(bob.Open(1, *wire).has_value());
+}
+
+TEST(BulkTransferTest, IpsecSlowerThanPlainAndMtuMatters) {
+  const IpsecCostModel model;
+  auto run = [&](IpsecParams params) {
+    Simulation sim;
+    SharedResource src_nic(sim, 1.25e9, "src");
+    SharedResource dst_nic(sim, 1.25e9, "dst");
+    SharedResource src_cpu(sim, model.cpu_hz, "scpu");
+    SharedResource dst_cpu(sim, model.cpu_hz, "dcpu");
+    double done = -1;
+    auto flow = [&]() -> Task {
+      co_await BulkTransfer(sim, {&src_nic, &src_cpu}, {&dst_nic, &dst_cpu}, 1e9,
+                            params, model);
+      done = sim.now().ToSecondsF();
+    };
+    sim.Spawn(flow());
+    sim.Run();
+    return done;
+  };
+
+  const double plain = run({.enabled = false, .mtu = 9000});
+  const double hw9000 = run({.enabled = true, .hardware_aes = true, .mtu = 9000});
+  const double hw1500 = run({.enabled = true, .hardware_aes = true, .mtu = 1500});
+  const double sw9000 = run({.enabled = true, .hardware_aes = false, .mtu = 9000});
+
+  EXPECT_LT(plain, hw9000);
+  EXPECT_LT(hw9000, hw1500);
+  EXPECT_LT(hw9000, sw9000);
+  // Paper Fig 3b: even HW + jumbo is about a factor of two off plain.
+  EXPECT_GT(hw9000 / plain, 1.5);
+  EXPECT_LT(hw9000 / plain, 3.5);
+}
+
+}  // namespace
+}  // namespace bolted::net

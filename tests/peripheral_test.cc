@@ -1,0 +1,110 @@
+// Peripheral-firmware threat tests (§6, §9): the documented attestation
+// blind spot, the data-path mitigations that still hold, and the
+// SP 800-193-style measurement hook the paper expects to adopt.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cloud.h"
+#include "src/core/enclave.h"
+#include "src/machine/peripheral.h"
+
+namespace bolted::machine {
+namespace {
+
+using sim::Task;
+
+TEST(PeripheralTest, StandardComplementAndCompromise) {
+  PeripheralSet set = PeripheralSet::StandardComplement("node-0");
+  ASSERT_EQ(set.devices().size(), 3u);
+  EXPECT_FALSE(set.AnyCompromised());
+  const auto clean_digest = set.devices()[0].firmware_digest;
+
+  EXPECT_TRUE(set.Compromise(PeripheralKind::kNic, "nic-implant"));
+  EXPECT_TRUE(set.AnyCompromised());
+  EXPECT_NE(set.devices()[0].firmware_digest, clean_digest);
+  // No GPU in the complement.
+  EXPECT_FALSE(set.Compromise(PeripheralKind::kGpu, "x"));
+}
+
+TEST(PeripheralTest, CompromisedNicSurvivesAttestation) {
+  // The paper's §6 admission, reproduced: "Since our current
+  // implementation is unable to attest the state of peripheral firmware,
+  // there could be malware embedded in those devices."  Attestation
+  // passes; the node is allocated.
+  core::CloudConfig config;
+  config.num_machines = 1;
+  config.linuxboot_in_flash = true;
+  core::Cloud cloud(config);
+
+  Machine* machine = cloud.FindMachine("node-0");
+  ASSERT_TRUE(machine->peripherals().Compromise(PeripheralKind::kNic,
+                                                "previous-tenant-implant"));
+
+  core::Enclave tenant(cloud, "victim", core::TrustProfile::Charlie(), 1);
+  core::ProvisionOutcome outcome;
+  auto flow = [&]() -> Task {
+    co_await tenant.ProvisionNode("node-0", &outcome);
+  };
+  cloud.sim().Spawn(flow());
+  cloud.sim().RunUntil(sim::Time::FromNanoseconds(600'000'000'000));
+
+  EXPECT_TRUE(outcome.success) << outcome.failure;  // the blind spot
+  EXPECT_TRUE(machine->peripherals().AnyCompromised());
+
+  // ...but the §6 mitigation holds: the malicious NIC sees only ESP
+  // ciphertext and XTS-encrypted sectors, because the keys were
+  // bootstrapped through the TPM, not through the network path the NIC
+  // controls.
+  EXPECT_TRUE(tenant.profile().encrypt_disk);
+  EXPECT_TRUE(tenant.profile().encrypt_network);
+  EXPECT_NE(tenant.node_root_device("node-0"), nullptr);
+}
+
+TEST(PeripheralTest, MeasurementCapableDeviceJoinsTheChain) {
+  // A future platform whose NIC implements SP 800-193 measurement: the
+  // digest enters the boot log, so the tenant whitelist governs it.
+  core::CloudConfig config;
+  config.num_machines = 1;
+  config.linuxboot_in_flash = true;
+  core::Cloud cloud(config);
+  Machine* machine = cloud.FindMachine("node-0");
+  machine->peripherals().devices()[0].supports_measurement = true;
+
+  auto boot = [&]() -> Task { co_await machine->PowerOnSelfTest(); };
+  cloud.sim().Spawn(boot());
+  cloud.sim().Run();
+
+  bool measured = false;
+  for (const auto& event : machine->boot_log().events()) {
+    if (event.description == "peripheral-fw") {
+      measured = true;
+    }
+  }
+  EXPECT_TRUE(measured);
+  EXPECT_FALSE(machine->tpm().PcrIsClean(tpm::kPcrFirmwareConfig));
+}
+
+TEST(PeripheralTest, MeasuredPeripheralCompromiseChangesPcr) {
+  core::CloudConfig config;
+  config.num_machines = 2;
+  config.linuxboot_in_flash = true;
+  core::Cloud cloud(config);
+  for (int i = 0; i < 2; ++i) {
+    cloud.machine(static_cast<size_t>(i)).peripherals().devices()[0]
+        .supports_measurement = true;
+  }
+  // Compromise only node-1's NIC.
+  cloud.FindMachine("node-1")->peripherals().Compromise(PeripheralKind::kNic,
+                                                        "implant");
+  auto boot = [&]() -> Task {
+    co_await cloud.FindMachine("node-0")->PowerOnSelfTest();
+    co_await cloud.FindMachine("node-1")->PowerOnSelfTest();
+  };
+  cloud.sim().Spawn(boot());
+  cloud.sim().Run();
+  EXPECT_NE(cloud.FindMachine("node-0")->tpm().ReadPcr(tpm::kPcrFirmwareConfig),
+            cloud.FindMachine("node-1")->tpm().ReadPcr(tpm::kPcrFirmwareConfig));
+}
+
+}  // namespace
+}  // namespace bolted::machine

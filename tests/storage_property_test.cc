@@ -1,0 +1,143 @@
+// Storage invariants under parameter sweeps: copy-on-write sharing
+// accounting, object-store byte conservation, and crypt-layer
+// transparency across device stacks.
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/drbg.h"
+#include "src/storage/block_device.h"
+#include "src/storage/crypt_device.h"
+#include "src/storage/image.h"
+#include "src/storage/object_store.h"
+
+namespace bolted::storage {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+ObjectStoreConfig Config() {
+  ObjectStoreConfig config;
+  config.per_op_overhead_bytes = 0;  // exact byte accounting for the sweeps
+  return config;
+}
+
+class CowChainSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CowChainSweep, CloneChainsResolveToTheRightOwner) {
+  // Build a chain golden -> c1 -> c2 -> ... -> cN, writing one distinct
+  // object at each layer, and check reads resolve to the nearest owner.
+  const int depth = GetParam();
+  Simulation sim;
+  ObjectStore objects(sim, Config());
+  ImageStore images(sim, objects);
+  const uint64_t object_size = objects.config().object_size;
+
+  std::vector<ImageId> chain;
+  chain.push_back(images.Create("golden", 64ull << 30, BootInfo{}));
+  auto write_layer = [&](ImageId image, uint64_t index) -> Task {
+    co_await images.WriteRange(image, index * object_size, object_size);
+  };
+  sim.Spawn(write_layer(chain[0], 0));
+  sim.Run();
+
+  for (int i = 1; i <= depth; ++i) {
+    const auto clone = images.Clone(chain.back(), "layer-" + std::to_string(i));
+    ASSERT_TRUE(clone.has_value());
+    chain.push_back(*clone);
+    sim.Spawn(write_layer(*clone, static_cast<uint64_t>(i)));
+    sim.Run();
+  }
+
+  // Each layer owns exactly its own object; the leaf sees the whole
+  // chain via resolution.
+  for (int i = 0; i <= depth; ++i) {
+    EXPECT_EQ(images.OwnedObjectCount(chain[static_cast<size_t>(i)]), 1u);
+  }
+  const ImageId leaf = chain.back();
+  for (int i = 0; i <= depth; ++i) {
+    EXPECT_TRUE(images.RangeOwnedLocally(chain[static_cast<size_t>(i)],
+                                         static_cast<uint64_t>(i) * object_size));
+    // The leaf does not own ancestor layers' objects...
+    if (i < depth) {
+      EXPECT_FALSE(images.RangeOwnedLocally(leaf,
+                                            static_cast<uint64_t>(i) * object_size));
+    }
+  }
+  // ...but reading them through the leaf still charges real object reads.
+  double before = 0;
+  for (int h = 0; h < objects.config().num_osd_hosts; ++h) {
+    before += objects.osd_resource(h).total_served();
+  }
+  auto read_all = [&]() -> Task {
+    co_await images.ReadRange(leaf, 0, static_cast<uint64_t>(depth + 1) * object_size);
+  };
+  sim.Spawn(read_all());
+  sim.Run();
+  double after = 0;
+  for (int h = 0; h < objects.config().num_osd_hosts; ++h) {
+    after += objects.osd_resource(h).total_served();
+  }
+  EXPECT_NEAR(after - before, static_cast<double>((depth + 1)) * object_size, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CowChainSweep, ::testing::Values(1, 2, 4, 8));
+
+class ReplicationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicationSweep, WriteAmplificationEqualsReplicationFactor) {
+  const int replication = GetParam();
+  Simulation sim;
+  ObjectStoreConfig config = Config();
+  config.replication = replication;
+  ObjectStore objects(sim, config);
+
+  const uint64_t bytes = 4ull << 20;
+  auto write = [&]() -> Task { co_await objects.WriteObject(ObjectId{1, 1}, bytes); };
+  sim.Spawn(write());
+  sim.Run();
+
+  double total = 0;
+  for (int h = 0; h < config.num_osd_hosts; ++h) {
+    total += objects.osd_resource(h).total_served();
+  }
+  EXPECT_NEAR(total, static_cast<double>(replication) * bytes, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ReplicationSweep, ::testing::Values(1, 2, 3));
+
+class CryptStackSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CryptStackSweep, CryptLayerIsContentTransparent) {
+  // Whatever is written through the crypt layer reads back identically,
+  // for any sector count, while the backing store never sees plaintext.
+  const uint64_t sectors = GetParam();
+  Simulation sim;
+  RamDisk backing(sim, 1 << 16, 5e9, 3.5e9, "ram");
+  crypto::Drbg drbg(sectors);
+  const crypto::Bytes key = drbg.Generate(64);
+  CryptDevice crypt(sim, &backing, key, CryptCostModel{}, "c");
+
+  const crypto::Bytes data = drbg.Generate(sectors * kSectorSize);
+  crypto::Bytes read_back;
+  crypto::Bytes raw;
+  auto flow = [&]() -> Task {
+    co_await crypt.WriteSectors(17, data);
+    co_await crypt.ReadSectors(17, sectors, &read_back);
+    co_await backing.ReadSectors(17, sectors, &raw);
+  };
+  sim.Spawn(flow());
+  sim.Run();
+  EXPECT_EQ(read_back, data);
+  EXPECT_NE(raw, data);
+  // Ciphertext must not contain any 64-byte plaintext run.
+  const std::string haystack(raw.begin(), raw.end());
+  const std::string needle(data.begin(), data.begin() + 64);
+  EXPECT_EQ(haystack.find(needle), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(SectorCounts, CryptStackSweep,
+                         ::testing::Values(1, 2, 7, 16));
+
+}  // namespace
+}  // namespace bolted::storage

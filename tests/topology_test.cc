@@ -1,0 +1,114 @@
+// Multi-switch (rack) topology tests: cross-rack frames pay the uplink,
+// same-rack frames do not, and VLAN isolation spans switches (trunked).
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+
+namespace bolted::net {
+namespace {
+
+using sim::Duration;
+using sim::Simulation;
+using sim::Task;
+
+struct TopologyFixture : public ::testing::Test {
+  Simulation sim;
+  Network fabric{sim, Duration::Microseconds(1), 1.25e9};
+  int rack1 = 0;
+  int rack2 = 0;
+
+  void SetUp() override {
+    rack1 = fabric.AddSwitch(1.25e9);  // 10 Gbit uplinks: 1:1 per node...
+    rack2 = fabric.AddSwitch(1.25e9);
+  }
+};
+
+TEST_F(TopologyFixture, SwitchAssignmentAndDefaults) {
+  Endpoint& core_host = fabric.CreateEndpoint("core");
+  Endpoint& racked = fabric.CreateEndpointOnSwitch("racked", rack1);
+  EXPECT_EQ(fabric.SwitchOf(core_host.address()), 0);
+  EXPECT_EQ(fabric.SwitchOf(racked.address()), rack1);
+  fabric.AssignToSwitch(core_host.address(), rack2);
+  EXPECT_EQ(fabric.SwitchOf(core_host.address()), rack2);
+  EXPECT_EQ(fabric.num_switches(), 3);
+}
+
+TEST_F(TopologyFixture, VlansSpanSwitches) {
+  Endpoint& a = fabric.CreateEndpointOnSwitch("a", rack1);
+  Endpoint& b = fabric.CreateEndpointOnSwitch("b", rack2);
+  fabric.AttachToVlan(a.address(), 7);
+  fabric.AttachToVlan(b.address(), 7);
+  EXPECT_TRUE(fabric.Reachable(a.address(), b.address()));
+
+  bool got = false;
+  auto drain = [&]() -> Task {
+    (void)co_await b.inbox().Recv();
+    got = true;
+  };
+  sim.Spawn(drain());
+  a.Post(b.address(), Message{.kind = "x", .payload = {1}});
+  sim.Run();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(TopologyFixture, CrossRackTransferPaysTheUplink) {
+  Endpoint& a = fabric.CreateEndpointOnSwitch("a", rack1);
+  Endpoint& b = fabric.CreateEndpointOnSwitch("b", rack2);
+  fabric.AttachToVlan(a.address(), 7);
+  fabric.AttachToVlan(b.address(), 7);
+  auto drain = [&]() -> Task { (void)co_await b.inbox().Recv(); };
+  sim.Spawn(drain());
+  a.Post(b.address(), Message{.kind = "bulk", .wire_bytes = 1'000'000'000});
+  sim.Run();
+  EXPECT_NEAR(fabric.uplink(rack1).total_served(), 1e9, 1.0);
+  EXPECT_NEAR(fabric.uplink(rack2).total_served(), 1e9, 1.0);
+}
+
+TEST_F(TopologyFixture, SameRackTransferSkipsTheUplink) {
+  Endpoint& a = fabric.CreateEndpointOnSwitch("a", rack1);
+  Endpoint& b = fabric.CreateEndpointOnSwitch("b", rack1);
+  fabric.AttachToVlan(a.address(), 7);
+  fabric.AttachToVlan(b.address(), 7);
+  auto drain = [&]() -> Task { (void)co_await b.inbox().Recv(); };
+  sim.Spawn(drain());
+  a.Post(b.address(), Message{.kind = "bulk", .wire_bytes = 1'000'000'000});
+  sim.Run();
+  EXPECT_EQ(fabric.uplink(rack1).total_served(), 0.0);
+}
+
+TEST_F(TopologyFixture, OversubscriptionSlowsConcurrentCrossRackFlows) {
+  // Two hosts per rack, all sending cross-rack at once: the shared
+  // 10 Gbit uplink halves each flow.
+  std::vector<Endpoint*> rack1_hosts;
+  std::vector<Endpoint*> rack2_hosts;
+  for (int i = 0; i < 2; ++i) {
+    rack1_hosts.push_back(
+        &fabric.CreateEndpointOnSwitch("r1-" + std::to_string(i), rack1));
+    rack2_hosts.push_back(
+        &fabric.CreateEndpointOnSwitch("r2-" + std::to_string(i), rack2));
+    fabric.AttachToVlan(rack1_hosts.back()->address(), 7);
+    fabric.AttachToVlan(rack2_hosts.back()->address(), 7);
+  }
+  int received = 0;
+  auto drain = [&](Endpoint* e) -> Task {
+    (void)co_await e->inbox().Recv();
+    ++received;
+  };
+  for (Endpoint* e : rack2_hosts) {
+    sim.Spawn(drain(e));
+  }
+  for (int i = 0; i < 2; ++i) {
+    rack1_hosts[static_cast<size_t>(i)]->Post(
+        rack2_hosts[static_cast<size_t>(i)]->address(),
+        Message{.kind = "bulk", .wire_bytes = 1'250'000'000});
+  }
+  sim.Run();
+  EXPECT_EQ(received, 2);
+  // Each flow is 1.25 GB; NICs alone would finish in ~1 s, but the shared
+  // uplink (1.25 GB/s for 2.5 GB total) stretches it to ~2 s.
+  EXPECT_NEAR(sim.now().ToSecondsF(), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace bolted::net

@@ -1,0 +1,125 @@
+// Workload engine tests: the encryption-overhead mechanics behind Fig. 7
+// and the kernel-compile model behind Fig. 6.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload.h"
+
+namespace bolted::workload {
+namespace {
+
+double RunOnEnclave(const WorkloadSpec& spec, bool luks, bool ipsec, int nodes) {
+  core::CloudConfig config;
+  config.num_machines = nodes;
+  config.linuxboot_in_flash = true;
+  core::Cloud cloud(config);
+  core::TrustProfile profile;
+  profile.use_attestation = false;
+  profile.encrypt_disk = luks;
+  profile.encrypt_network = ipsec;
+  core::Enclave enclave(cloud, "t", profile, 5);
+
+  sim::Duration elapsed = sim::Duration::Zero();
+  WorkloadRunner runner(cloud, enclave);
+  auto flow = [&]() -> sim::Task {
+    for (int i = 0; i < nodes; ++i) {
+      core::ProvisionOutcome outcome;
+      co_await enclave.ProvisionNode(cloud.node_name(static_cast<size_t>(i)),
+                                     &outcome);
+      EXPECT_TRUE(outcome.success) << outcome.failure;
+    }
+    co_await runner.Run(spec, &elapsed);
+  };
+  cloud.sim().Spawn(flow());
+  cloud.sim().Run();
+  return elapsed.ToSecondsF();
+}
+
+TEST(WorkloadTest, ComputeOnlyWorkloadIsEncryptionInsensitive) {
+  WorkloadSpec spec;
+  spec.name = "pure-compute";
+  spec.iterations = 1;
+  spec.compute_seconds = 30;
+  const double plain = RunOnEnclave(spec, false, false, 2);
+  const double secure = RunOnEnclave(spec, true, true, 2);
+  EXPECT_NEAR(plain, 30.0, 0.5);
+  EXPECT_NEAR(secure, plain, 0.5);
+}
+
+TEST(WorkloadTest, CommIntensiveWorkloadSuffersUnderIpsec) {
+  const double plain = RunOnEnclave(NasCg(), false, false, 4);
+  const double ipsec = RunOnEnclave(NasCg(), false, true, 4);
+  EXPECT_GT(ipsec / plain, 2.0);  // the paper's ~3x for CG
+  // LUKS alone does not hurt an MPI code.
+  const double luks = RunOnEnclave(NasCg(), true, false, 4);
+  EXPECT_NEAR(luks, plain, plain * 0.02);
+}
+
+TEST(WorkloadTest, EpSuffersOnlyMildly) {
+  const double plain = RunOnEnclave(NasEp(), false, false, 4);
+  const double ipsec = RunOnEnclave(NasEp(), false, true, 4);
+  const double overhead = (ipsec - plain) / plain;
+  EXPECT_GT(overhead, 0.02);
+  EXPECT_LT(overhead, 0.5);
+}
+
+TEST(WorkloadTest, OverheadOrderingMatchesCommunicationIntensity) {
+  // EP < MG < FT <= CG in communication intensity and therefore in IPsec
+  // overhead (the paper's Fig. 7 ordering).
+  auto overhead = [](const WorkloadSpec& spec) {
+    const double plain = RunOnEnclave(spec, false, false, 4);
+    const double ipsec = RunOnEnclave(spec, false, true, 4);
+    return (ipsec - plain) / plain;
+  };
+  const double ep = overhead(NasEp());
+  const double mg = overhead(NasMg());
+  const double cg = overhead(NasCg());
+  EXPECT_LT(ep, mg);
+  EXPECT_LT(mg, cg);
+}
+
+TEST(WorkloadTest, StorageWorkloadTouchesTheRootDevice) {
+  WorkloadSpec spec;
+  spec.name = "io";
+  spec.iterations = 1;
+  spec.storage_read_bytes = 1ull << 30;
+  spec.storage_chunk_bytes = 8ull << 20;
+  const double seconds = RunOnEnclave(spec, false, false, 1);
+  // 1 GB at several hundred MB/s: roughly a second, not zero, not minutes.
+  EXPECT_GT(seconds, 0.5);
+  EXPECT_LT(seconds, 20.0);
+}
+
+TEST(KernelCompileTest, ScalesWithThreadsAndImaIsCheap) {
+  sim::Simulation sim;
+  tpm::Tpm tpm(crypto::ToBytes("t"), tpm::TpmLatencyModel{});
+  ima::ImaPolicy policy{.measure_executables = true, .measure_root_reads = true};
+
+  KernelCompileSpec spec;
+  auto run = [&](int threads, bool with_ima) {
+    ima::Ima fresh(tpm, policy);
+    KernelCompileResult result;
+    auto flow = [&]() -> sim::Task {
+      co_await RunKernelCompile(sim, spec, threads, with_ima ? &fresh : nullptr,
+                                &result);
+    };
+    sim.Spawn(flow());
+    sim.Run();
+    return result;
+  };
+
+  const auto serial = run(1, false);
+  const auto parallel = run(16, false);
+  EXPECT_GT(serial.elapsed.ToSecondsF() / parallel.elapsed.ToSecondsF(), 8.0);
+
+  const auto with_ima = run(16, true);
+  EXPECT_EQ(with_ima.measurements, 25000u);
+  const double overhead = (with_ima.elapsed.ToSecondsF() -
+                           parallel.elapsed.ToSecondsF()) /
+                          parallel.elapsed.ToSecondsF();
+  EXPECT_LT(overhead, 0.05);  // "no noticeable overhead"
+  EXPECT_GT(overhead, 0.0);
+}
+
+}  // namespace
+}  // namespace bolted::workload
