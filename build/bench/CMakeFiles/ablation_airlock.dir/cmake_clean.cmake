@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_airlock.dir/ablation_airlock.cc.o"
+  "CMakeFiles/ablation_airlock.dir/ablation_airlock.cc.o.d"
+  "ablation_airlock"
+  "ablation_airlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_airlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_post.dir/ablation_post.cc.o"
+  "CMakeFiles/ablation_post.dir/ablation_post.cc.o.d"
+  "ablation_post"
+  "ablation_post.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

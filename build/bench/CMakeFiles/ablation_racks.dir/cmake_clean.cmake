@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_racks.dir/ablation_racks.cc.o"
+  "CMakeFiles/ablation_racks.dir/ablation_racks.cc.o.d"
+  "ablation_racks"
+  "ablation_racks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_racks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_release.dir/ablation_release.cc.o"
+  "CMakeFiles/ablation_release.dir/ablation_release.cc.o.d"
+  "ablation_release"
+  "ablation_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

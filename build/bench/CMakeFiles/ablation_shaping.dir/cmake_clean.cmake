@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shaping.dir/ablation_shaping.cc.o"
+  "CMakeFiles/ablation_shaping.dir/ablation_shaping.cc.o.d"
+  "ablation_shaping"
+  "ablation_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tpm.dir/ablation_tpm.cc.o"
+  "CMakeFiles/ablation_tpm.dir/ablation_tpm.cc.o.d"
+  "ablation_tpm"
+  "ablation_tpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_luks_ramdisk.dir/fig3a_luks_ramdisk.cc.o"
+  "CMakeFiles/fig3a_luks_ramdisk.dir/fig3a_luks_ramdisk.cc.o.d"
+  "fig3a_luks_ramdisk"
+  "fig3a_luks_ramdisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_luks_ramdisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

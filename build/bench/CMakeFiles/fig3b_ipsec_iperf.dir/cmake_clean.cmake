@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_ipsec_iperf.dir/fig3b_ipsec_iperf.cc.o"
+  "CMakeFiles/fig3b_ipsec_iperf.dir/fig3b_ipsec_iperf.cc.o.d"
+  "fig3b_ipsec_iperf"
+  "fig3b_ipsec_iperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_ipsec_iperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

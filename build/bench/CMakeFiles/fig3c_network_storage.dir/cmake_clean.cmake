@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_network_storage.dir/fig3c_network_storage.cc.o"
+  "CMakeFiles/fig3c_network_storage.dir/fig3c_network_storage.cc.o.d"
+  "fig3c_network_storage"
+  "fig3c_network_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_network_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_provisioning.dir/fig4_provisioning.cc.o"
+  "CMakeFiles/fig4_provisioning.dir/fig4_provisioning.cc.o.d"
+  "fig4_provisioning"
+  "fig4_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

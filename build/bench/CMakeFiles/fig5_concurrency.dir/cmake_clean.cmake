@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_concurrency.dir/fig5_concurrency.cc.o"
+  "CMakeFiles/fig5_concurrency.dir/fig5_concurrency.cc.o.d"
+  "fig5_concurrency"
+  "fig5_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

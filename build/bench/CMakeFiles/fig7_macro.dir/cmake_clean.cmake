@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_macro.dir/fig7_macro.cc.o"
+  "CMakeFiles/fig7_macro.dir/fig7_macro.cc.o.d"
+  "fig7_macro"
+  "fig7_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_continuous_attestation.dir/tab_continuous_attestation.cc.o"
+  "CMakeFiles/tab_continuous_attestation.dir/tab_continuous_attestation.cc.o.d"
+  "tab_continuous_attestation"
+  "tab_continuous_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_continuous_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colo_loan.dir/colo_loan.cpp.o"
+  "CMakeFiles/colo_loan.dir/colo_loan.cpp.o.d"
+  "colo_loan"
+  "colo_loan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colo_loan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for colo_loan.
+# This may be replaced when dependencies are built.

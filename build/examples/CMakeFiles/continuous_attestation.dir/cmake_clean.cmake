@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_attestation.dir/continuous_attestation.cpp.o"
+  "CMakeFiles/continuous_attestation.dir/continuous_attestation.cpp.o.d"
+  "continuous_attestation"
+  "continuous_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

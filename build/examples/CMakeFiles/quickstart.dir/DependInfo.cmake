@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bolted_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_bmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_hil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_keylime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_ima.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_provision.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

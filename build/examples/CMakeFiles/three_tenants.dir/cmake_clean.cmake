@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_tenants.dir/three_tenants.cpp.o"
+  "CMakeFiles/three_tenants.dir/three_tenants.cpp.o.d"
+  "three_tenants"
+  "three_tenants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_tenants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_bmi.dir/bmi/bmi.cc.o"
+  "CMakeFiles/bolted_bmi.dir/bmi/bmi.cc.o.d"
+  "libbolted_bmi.a"
+  "libbolted_bmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_bmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

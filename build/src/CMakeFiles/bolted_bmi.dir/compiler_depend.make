@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bolted_bmi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bolted_bmi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_core.dir/core/cloud.cc.o"
+  "CMakeFiles/bolted_core.dir/core/cloud.cc.o.d"
+  "CMakeFiles/bolted_core.dir/core/enclave.cc.o"
+  "CMakeFiles/bolted_core.dir/core/enclave.cc.o.d"
+  "libbolted_core.a"
+  "libbolted_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

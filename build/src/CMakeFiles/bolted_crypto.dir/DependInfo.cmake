@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/CMakeFiles/bolted_crypto.dir/crypto/aes.cc.o" "gcc" "src/CMakeFiles/bolted_crypto.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/crypto/aes_gcm.cc" "src/CMakeFiles/bolted_crypto.dir/crypto/aes_gcm.cc.o" "gcc" "src/CMakeFiles/bolted_crypto.dir/crypto/aes_gcm.cc.o.d"
+  "/root/repo/src/crypto/aes_xts.cc" "src/CMakeFiles/bolted_crypto.dir/crypto/aes_xts.cc.o" "gcc" "src/CMakeFiles/bolted_crypto.dir/crypto/aes_xts.cc.o.d"
+  "/root/repo/src/crypto/bytes.cc" "src/CMakeFiles/bolted_crypto.dir/crypto/bytes.cc.o" "gcc" "src/CMakeFiles/bolted_crypto.dir/crypto/bytes.cc.o.d"
+  "/root/repo/src/crypto/drbg.cc" "src/CMakeFiles/bolted_crypto.dir/crypto/drbg.cc.o" "gcc" "src/CMakeFiles/bolted_crypto.dir/crypto/drbg.cc.o.d"
+  "/root/repo/src/crypto/ecies.cc" "src/CMakeFiles/bolted_crypto.dir/crypto/ecies.cc.o" "gcc" "src/CMakeFiles/bolted_crypto.dir/crypto/ecies.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/bolted_crypto.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/bolted_crypto.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/p256.cc" "src/CMakeFiles/bolted_crypto.dir/crypto/p256.cc.o" "gcc" "src/CMakeFiles/bolted_crypto.dir/crypto/p256.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/bolted_crypto.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/bolted_crypto.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/u256.cc" "src/CMakeFiles/bolted_crypto.dir/crypto/u256.cc.o" "gcc" "src/CMakeFiles/bolted_crypto.dir/crypto/u256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_crypto.dir/crypto/aes.cc.o"
+  "CMakeFiles/bolted_crypto.dir/crypto/aes.cc.o.d"
+  "CMakeFiles/bolted_crypto.dir/crypto/aes_gcm.cc.o"
+  "CMakeFiles/bolted_crypto.dir/crypto/aes_gcm.cc.o.d"
+  "CMakeFiles/bolted_crypto.dir/crypto/aes_xts.cc.o"
+  "CMakeFiles/bolted_crypto.dir/crypto/aes_xts.cc.o.d"
+  "CMakeFiles/bolted_crypto.dir/crypto/bytes.cc.o"
+  "CMakeFiles/bolted_crypto.dir/crypto/bytes.cc.o.d"
+  "CMakeFiles/bolted_crypto.dir/crypto/drbg.cc.o"
+  "CMakeFiles/bolted_crypto.dir/crypto/drbg.cc.o.d"
+  "CMakeFiles/bolted_crypto.dir/crypto/ecies.cc.o"
+  "CMakeFiles/bolted_crypto.dir/crypto/ecies.cc.o.d"
+  "CMakeFiles/bolted_crypto.dir/crypto/hmac.cc.o"
+  "CMakeFiles/bolted_crypto.dir/crypto/hmac.cc.o.d"
+  "CMakeFiles/bolted_crypto.dir/crypto/p256.cc.o"
+  "CMakeFiles/bolted_crypto.dir/crypto/p256.cc.o.d"
+  "CMakeFiles/bolted_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/bolted_crypto.dir/crypto/sha256.cc.o.d"
+  "CMakeFiles/bolted_crypto.dir/crypto/u256.cc.o"
+  "CMakeFiles/bolted_crypto.dir/crypto/u256.cc.o.d"
+  "libbolted_crypto.a"
+  "libbolted_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

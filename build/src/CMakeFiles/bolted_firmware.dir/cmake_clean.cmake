@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_firmware.dir/firmware/firmware.cc.o"
+  "CMakeFiles/bolted_firmware.dir/firmware/firmware.cc.o.d"
+  "libbolted_firmware.a"
+  "libbolted_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_hil.dir/hil/hil.cc.o"
+  "CMakeFiles/bolted_hil.dir/hil/hil.cc.o.d"
+  "libbolted_hil.a"
+  "libbolted_hil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_hil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_ima.dir/ima/ima.cc.o"
+  "CMakeFiles/bolted_ima.dir/ima/ima.cc.o.d"
+  "libbolted_ima.a"
+  "libbolted_ima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_ima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_keylime.dir/keylime/agent.cc.o"
+  "CMakeFiles/bolted_keylime.dir/keylime/agent.cc.o.d"
+  "CMakeFiles/bolted_keylime.dir/keylime/payload.cc.o"
+  "CMakeFiles/bolted_keylime.dir/keylime/payload.cc.o.d"
+  "CMakeFiles/bolted_keylime.dir/keylime/registrar.cc.o"
+  "CMakeFiles/bolted_keylime.dir/keylime/registrar.cc.o.d"
+  "CMakeFiles/bolted_keylime.dir/keylime/verifier.cc.o"
+  "CMakeFiles/bolted_keylime.dir/keylime/verifier.cc.o.d"
+  "libbolted_keylime.a"
+  "libbolted_keylime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_keylime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

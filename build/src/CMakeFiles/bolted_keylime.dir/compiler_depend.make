@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bolted_keylime.
+# This may be replaced when dependencies are built.

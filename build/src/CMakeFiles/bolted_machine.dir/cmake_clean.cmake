@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_machine.dir/machine/machine.cc.o"
+  "CMakeFiles/bolted_machine.dir/machine/machine.cc.o.d"
+  "CMakeFiles/bolted_machine.dir/machine/peripheral.cc.o"
+  "CMakeFiles/bolted_machine.dir/machine/peripheral.cc.o.d"
+  "libbolted_machine.a"
+  "libbolted_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ipsec.cc" "src/CMakeFiles/bolted_net.dir/net/ipsec.cc.o" "gcc" "src/CMakeFiles/bolted_net.dir/net/ipsec.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/bolted_net.dir/net/network.cc.o" "gcc" "src/CMakeFiles/bolted_net.dir/net/network.cc.o.d"
+  "/root/repo/src/net/resource.cc" "src/CMakeFiles/bolted_net.dir/net/resource.cc.o" "gcc" "src/CMakeFiles/bolted_net.dir/net/resource.cc.o.d"
+  "/root/repo/src/net/rpc.cc" "src/CMakeFiles/bolted_net.dir/net/rpc.cc.o" "gcc" "src/CMakeFiles/bolted_net.dir/net/rpc.cc.o.d"
+  "/root/repo/src/net/shaping.cc" "src/CMakeFiles/bolted_net.dir/net/shaping.cc.o" "gcc" "src/CMakeFiles/bolted_net.dir/net/shaping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bolted_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_net.dir/net/ipsec.cc.o"
+  "CMakeFiles/bolted_net.dir/net/ipsec.cc.o.d"
+  "CMakeFiles/bolted_net.dir/net/network.cc.o"
+  "CMakeFiles/bolted_net.dir/net/network.cc.o.d"
+  "CMakeFiles/bolted_net.dir/net/resource.cc.o"
+  "CMakeFiles/bolted_net.dir/net/resource.cc.o.d"
+  "CMakeFiles/bolted_net.dir/net/rpc.cc.o"
+  "CMakeFiles/bolted_net.dir/net/rpc.cc.o.d"
+  "CMakeFiles/bolted_net.dir/net/shaping.cc.o"
+  "CMakeFiles/bolted_net.dir/net/shaping.cc.o.d"
+  "libbolted_net.a"
+  "libbolted_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

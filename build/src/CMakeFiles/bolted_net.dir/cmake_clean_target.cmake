@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbolted_net.a"
+)

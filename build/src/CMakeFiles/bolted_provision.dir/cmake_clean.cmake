@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_provision.dir/provision/foreman.cc.o"
+  "CMakeFiles/bolted_provision.dir/provision/foreman.cc.o.d"
+  "libbolted_provision.a"
+  "libbolted_provision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_provision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bolted_provision.
+# This may be replaced when dependencies are built.

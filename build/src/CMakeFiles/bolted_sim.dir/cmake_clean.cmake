@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_sim.dir/sim/random.cc.o"
+  "CMakeFiles/bolted_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/bolted_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/bolted_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/bolted_sim.dir/sim/time.cc.o"
+  "CMakeFiles/bolted_sim.dir/sim/time.cc.o.d"
+  "libbolted_sim.a"
+  "libbolted_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

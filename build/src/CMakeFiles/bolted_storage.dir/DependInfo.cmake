@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_device.cc" "src/CMakeFiles/bolted_storage.dir/storage/block_device.cc.o" "gcc" "src/CMakeFiles/bolted_storage.dir/storage/block_device.cc.o.d"
+  "/root/repo/src/storage/crypt_device.cc" "src/CMakeFiles/bolted_storage.dir/storage/crypt_device.cc.o" "gcc" "src/CMakeFiles/bolted_storage.dir/storage/crypt_device.cc.o.d"
+  "/root/repo/src/storage/image.cc" "src/CMakeFiles/bolted_storage.dir/storage/image.cc.o" "gcc" "src/CMakeFiles/bolted_storage.dir/storage/image.cc.o.d"
+  "/root/repo/src/storage/iscsi.cc" "src/CMakeFiles/bolted_storage.dir/storage/iscsi.cc.o" "gcc" "src/CMakeFiles/bolted_storage.dir/storage/iscsi.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/bolted_storage.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/bolted_storage.dir/storage/object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bolted_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bolted_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

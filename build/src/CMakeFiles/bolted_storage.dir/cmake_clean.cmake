@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_storage.dir/storage/block_device.cc.o"
+  "CMakeFiles/bolted_storage.dir/storage/block_device.cc.o.d"
+  "CMakeFiles/bolted_storage.dir/storage/crypt_device.cc.o"
+  "CMakeFiles/bolted_storage.dir/storage/crypt_device.cc.o.d"
+  "CMakeFiles/bolted_storage.dir/storage/image.cc.o"
+  "CMakeFiles/bolted_storage.dir/storage/image.cc.o.d"
+  "CMakeFiles/bolted_storage.dir/storage/iscsi.cc.o"
+  "CMakeFiles/bolted_storage.dir/storage/iscsi.cc.o.d"
+  "CMakeFiles/bolted_storage.dir/storage/object_store.cc.o"
+  "CMakeFiles/bolted_storage.dir/storage/object_store.cc.o.d"
+  "libbolted_storage.a"
+  "libbolted_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

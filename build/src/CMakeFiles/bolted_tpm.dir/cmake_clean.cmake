@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_tpm.dir/tpm/event_log.cc.o"
+  "CMakeFiles/bolted_tpm.dir/tpm/event_log.cc.o.d"
+  "CMakeFiles/bolted_tpm.dir/tpm/tpm.cc.o"
+  "CMakeFiles/bolted_tpm.dir/tpm/tpm.cc.o.d"
+  "libbolted_tpm.a"
+  "libbolted_tpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolted_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/bolted_workload.dir/workload/workload.cc.o.d"
+  "libbolted_workload.a"
+  "libbolted_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolted_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmi_test.dir/bmi_test.cc.o"
+  "CMakeFiles/bmi_test.dir/bmi_test.cc.o.d"
+  "bmi_test"
+  "bmi_test.pdb"
+  "bmi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

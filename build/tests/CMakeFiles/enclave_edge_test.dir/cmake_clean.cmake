@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclave_edge_test.dir/enclave_edge_test.cc.o"
+  "CMakeFiles/enclave_edge_test.dir/enclave_edge_test.cc.o.d"
+  "enclave_edge_test"
+  "enclave_edge_test.pdb"
+  "enclave_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclave_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hil_test.dir/hil_test.cc.o"
+  "CMakeFiles/hil_test.dir/hil_test.cc.o.d"
+  "hil_test"
+  "hil_test.pdb"
+  "hil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

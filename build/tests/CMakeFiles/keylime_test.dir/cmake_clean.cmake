@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keylime_test.dir/keylime_test.cc.o"
+  "CMakeFiles/keylime_test.dir/keylime_test.cc.o.d"
+  "keylime_test"
+  "keylime_test.pdb"
+  "keylime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keylime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

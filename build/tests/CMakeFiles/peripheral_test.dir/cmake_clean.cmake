@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peripheral_test.dir/peripheral_test.cc.o"
+  "CMakeFiles/peripheral_test.dir/peripheral_test.cc.o.d"
+  "peripheral_test"
+  "peripheral_test.pdb"
+  "peripheral_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peripheral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shaping_test.dir/shaping_test.cc.o"
+  "CMakeFiles/shaping_test.dir/shaping_test.cc.o.d"
+  "shaping_test"
+  "shaping_test.pdb"
+  "shaping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shaping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
