@@ -8,15 +8,33 @@
 #include "src/crypto/aes.h"
 #include "src/crypto/aes_gcm.h"
 #include "src/crypto/aes_xts.h"
+#include "src/crypto/cpu.h"
 #include "src/crypto/drbg.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/p256.h"
 #include "src/crypto/sha256.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
 
 namespace bolted::crypto {
 namespace {
 
+// Pins the crypto backend for the duration of one benchmark run; objects
+// capture their backend at construction, so construct inside the scope.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool on) : saved_(cpu::ForceScalarEnabled()) {
+    cpu::SetForceScalar(on);
+  }
+  ~ScopedForceScalar() { cpu::SetForceScalar(saved_); }
+
+ private:
+  bool saved_;
+};
+
+template <bool kForceScalar>
 void BM_Sha256(benchmark::State& state) {
+  ScopedForceScalar backend(kForceScalar);
   Drbg drbg(uint64_t{1});
   const Bytes data = drbg.Generate(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
@@ -24,9 +42,12 @@ void BM_Sha256(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+BENCHMARK_TEMPLATE(BM_Sha256, false)->Arg(64)->Arg(4096)->Arg(1 << 20);
+BENCHMARK_TEMPLATE(BM_Sha256, true)->Arg(4096)->Arg(1 << 20);
 
+template <bool kForceScalar>
 void BM_HmacSha256(benchmark::State& state) {
+  ScopedForceScalar backend(kForceScalar);
   Drbg drbg(uint64_t{2});
   const Bytes key = drbg.Generate(32);
   const Bytes data = drbg.Generate(static_cast<size_t>(state.range(0)));
@@ -35,7 +56,8 @@ void BM_HmacSha256(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_HmacSha256)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_HmacSha256, false)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_HmacSha256, true)->Arg(4096);
 
 void BM_AesEncryptBlock(benchmark::State& state) {
   Drbg drbg(uint64_t{3});
@@ -50,7 +72,9 @@ void BM_AesEncryptBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_AesEncryptBlock);
 
+template <bool kForceScalar>
 void BM_AesXtsSector(benchmark::State& state) {
+  ScopedForceScalar backend(kForceScalar);
   Drbg drbg(uint64_t{4});
   const Bytes key = drbg.Generate(64);
   AesXts xts(key);
@@ -62,20 +86,48 @@ void BM_AesXtsSector(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_AesXtsSector)->Arg(512)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_AesXtsSector, false)->Arg(512)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_AesXtsSector, true)->Arg(512)->Arg(4096);
 
+template <bool kForceScalar>
+void BM_AesXtsBulk(benchmark::State& state) {
+  // 8 consecutive sectors per call through the span API, the shape
+  // CryptDevice::ReadSectors/WriteSectors now uses.
+  ScopedForceScalar backend(kForceScalar);
+  Drbg drbg(uint64_t{6});
+  const Bytes key = drbg.Generate(64);
+  AesXts xts(key);
+  const size_t sector_size = static_cast<size_t>(state.range(0));
+  Bytes data = drbg.Generate(sector_size * 8);
+  uint64_t first_sector = 0;
+  for (auto _ : state) {
+    xts.EncryptSectors(first_sector, sector_size, data);
+    first_sector += 8;
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK_TEMPLATE(BM_AesXtsBulk, false)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_AesXtsBulk, true)->Arg(4096);
+
+template <bool kForceScalar>
 void BM_AesGcmSeal(benchmark::State& state) {
+  ScopedForceScalar backend(kForceScalar);
   Drbg drbg(uint64_t{5});
   const Bytes key = drbg.Generate(32);
   const Bytes nonce = drbg.Generate(12);
   const Bytes plaintext = drbg.Generate(static_cast<size_t>(state.range(0)));
   AesGcm gcm(key);
+  Bytes out(plaintext.size() + AesGcm::kTagSize);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(gcm.Seal(nonce, plaintext, {}));
+    gcm.SealTo(nonce, plaintext, {}, out.data());
+    benchmark::DoNotOptimize(out.data());
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_AesGcmSeal)->Arg(1500)->Arg(9000);
+BENCHMARK_TEMPLATE(BM_AesGcmSeal, false)->Arg(1500)->Arg(9000);
+BENCHMARK_TEMPLATE(BM_AesGcmSeal, true)->Arg(1500)->Arg(9000);
 
 void BM_EcdsaSign(benchmark::State& state) {
   const P256& curve = P256::Instance();
@@ -108,6 +160,42 @@ void BM_EcdhSharedSecret(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EcdhSharedSecret);
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  // Schedule/fire throughput of the simulation event queue: batches of
+  // small lambdas, the dominant shape in the coroutine-heavy flows.
+  const int batch = static_cast<int>(state.range(0));
+  sim::Simulation sim;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      sim.Schedule(sim::Duration::Nanoseconds(i), [&sink]() { ++sink; });
+    }
+    sim.Run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(1024);
+
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  // Cancellation-heavy pattern (timeouts that rarely fire).
+  const int batch = static_cast<int>(state.range(0));
+  sim::Simulation sim;
+  std::vector<sim::EventId> ids(static_cast<size_t>(batch));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      ids[static_cast<size_t>(i)] =
+          sim.Schedule(sim::Duration::Nanoseconds(i), []() {});
+    }
+    for (const sim::EventId id : ids) {
+      sim.Cancel(id);
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleCancel)->Arg(1024);
 
 }  // namespace
 }  // namespace bolted::crypto

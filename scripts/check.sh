@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass.
+#
+#   scripts/check.sh          # plain build + full test suite
+#   scripts/check.sh --asan   # additionally build/test with ASan + UBSan
+#
+# The sanitizer build lives in build-asan/ so it never disturbs the
+# regular build tree (benchmarks must not run instrumented).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+}
+
+echo "== tier-1: default build =="
+run_suite build
+
+echo "== tier-1: forced-scalar crypto backend =="
+BOLTED_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
+  -j "$(nproc)" -R "crypto_test|determinism_test"
+
+if [[ "${1:-}" == "--asan" ]]; then
+  echo "== sanitizers: ASan + UBSan =="
+  run_suite build-asan -DBOLTED_SANITIZE=ON
+fi
+
+echo "All checks passed."

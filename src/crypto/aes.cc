@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/crypto/accel.h"
+#include "src/crypto/cpu.h"
+
 namespace bolted::crypto {
 namespace {
 
@@ -157,9 +160,28 @@ Aes256::Aes256(ByteView key) {
     }
     round_keys_[i] = round_keys_[i - kNk] ^ temp;
   }
+
+  // Serialize the schedule to the natural byte order AESENC consumes
+  // (big-endian unpack of each word restores the FIPS 197 byte layout).
+  for (int i = 0; i < kWords; ++i) {
+    rk_bytes_[4 * i] = static_cast<uint8_t>(round_keys_[i] >> 24);
+    rk_bytes_[4 * i + 1] = static_cast<uint8_t>(round_keys_[i] >> 16);
+    rk_bytes_[4 * i + 2] = static_cast<uint8_t>(round_keys_[i] >> 8);
+    rk_bytes_[4 * i + 3] = static_cast<uint8_t>(round_keys_[i]);
+  }
+  accel_ = cpu::Get().aesni;
+  if (accel_) {
+    internal::AesNiMakeDecryptKeys(rk_bytes_, drk_bytes_);
+  } else {
+    std::memset(drk_bytes_, 0, sizeof(drk_bytes_));
+  }
 }
 
 void Aes256::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+  if (accel_) {
+    internal::AesNiEncryptBlocks(rk_bytes_, in, out, 1);
+    return;
+  }
   uint8_t state[16];
   std::memcpy(state, in, 16);
   AddRoundKey(state, round_keys_);
@@ -176,6 +198,10 @@ void Aes256::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
 }
 
 void Aes256::DecryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+  if (accel_) {
+    internal::AesNiDecryptBlocks(drk_bytes_, in, out, 1);
+    return;
+  }
   uint8_t state[16];
   std::memcpy(state, in, 16);
   AddRoundKey(state, round_keys_ + 4 * kRounds);
@@ -189,6 +215,26 @@ void Aes256::DecryptBlock(const uint8_t in[16], uint8_t out[16]) const {
   InvSubBytes(state);
   AddRoundKey(state, round_keys_);
   std::memcpy(out, state, 16);
+}
+
+void Aes256::EncryptBlocks(const uint8_t* in, uint8_t* out, size_t nblocks) const {
+  if (accel_) {
+    internal::AesNiEncryptBlocks(rk_bytes_, in, out, nblocks);
+    return;
+  }
+  for (size_t i = 0; i < nblocks; ++i) {
+    EncryptBlock(in + 16 * i, out + 16 * i);
+  }
+}
+
+void Aes256::DecryptBlocks(const uint8_t* in, uint8_t* out, size_t nblocks) const {
+  if (accel_) {
+    internal::AesNiDecryptBlocks(drk_bytes_, in, out, nblocks);
+    return;
+  }
+  for (size_t i = 0; i < nblocks; ++i) {
+    DecryptBlock(in + 16 * i, out + 16 * i);
+  }
 }
 
 }  // namespace bolted::crypto

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/crypto/accel.h"
+#include "src/crypto/cpu.h"
+
 namespace bolted::crypto {
 namespace {
 
@@ -28,6 +31,12 @@ AesGcm::AesGcm(ByteView key) : cipher_(key) {
   cipher_.EncryptBlock(zero, h);
   h_.hi = LoadBE64(h);
   h_.lo = LoadBE64(h + 8);
+  accel_ = cipher_.accelerated() && cpu::Get().pclmul;
+  if (accel_) {
+    internal::GhashPrecompute(h, h_powers_);
+  } else {
+    std::memset(h_powers_, 0, sizeof(h_powers_));
+  }
 }
 
 // GF(2^128) multiply x * H using GCM's reflected-bit convention.
@@ -52,6 +61,20 @@ AesGcm::Block AesGcm::GhashMul(const Block& x) const {
 }
 
 AesGcm::Block AesGcm::Ghash(ByteView aad, ByteView ciphertext) const {
+  if (accel_) {
+    uint8_t y[16] = {};
+    internal::GhashUpdateClmul(h_powers_, y, aad.data(), aad.size());
+    internal::GhashUpdateClmul(h_powers_, y, ciphertext.data(), ciphertext.size());
+    uint8_t lengths[16];
+    StoreBE64(lengths, static_cast<uint64_t>(aad.size()) * 8);
+    StoreBE64(lengths + 8, static_cast<uint64_t>(ciphertext.size()) * 8);
+    internal::GhashUpdateClmul(h_powers_, y, lengths, 16);
+    Block s;
+    s.hi = LoadBE64(y);
+    s.lo = LoadBE64(y + 8);
+    return s;
+  }
+
   Block s;
   auto absorb = [&](ByteView data) {
     for (size_t off = 0; off < data.size(); off += 16) {
@@ -73,6 +96,14 @@ AesGcm::Block AesGcm::Ghash(ByteView aad, ByteView ciphertext) const {
 
 void AesGcm::Ctr(ByteView nonce, uint32_t initial_counter, ByteView in,
                  uint8_t* out) const {
+  if (in.empty()) {
+    return;
+  }
+  if (accel_) {
+    internal::AesNiCtr32Xor(cipher_.enc_round_key_bytes(), nonce.data(),
+                            initial_counter, in.data(), out, in.size());
+    return;
+  }
   uint8_t counter_block[16];
   std::memcpy(counter_block, nonce.data(), kNonceSize);
   uint32_t counter = initial_counter;
@@ -91,12 +122,9 @@ void AesGcm::Ctr(ByteView nonce, uint32_t initial_counter, ByteView in,
   }
 }
 
-Bytes AesGcm::Seal(ByteView nonce, ByteView plaintext, ByteView aad) const {
-  assert(nonce.size() == kNonceSize);
-  Bytes out(plaintext.size() + kTagSize);
-  Ctr(nonce, 2, plaintext, out.data());
-
-  const Block s = Ghash(aad, ByteView(out.data(), plaintext.size()));
+void AesGcm::ComputeTag(ByteView nonce, ByteView aad, ByteView ciphertext,
+                        uint8_t tag[kTagSize]) const {
+  const Block s = Ghash(aad, ciphertext);
   uint8_t j0[16];
   std::memcpy(j0, nonce.data(), kNonceSize);
   j0[12] = 0;
@@ -106,13 +134,23 @@ Bytes AesGcm::Seal(ByteView nonce, ByteView plaintext, ByteView aad) const {
   uint8_t ek_j0[16];
   cipher_.EncryptBlock(j0, ek_j0);
 
-  uint8_t tag[16];
   StoreBE64(tag, s.hi);
   StoreBE64(tag + 8, s.lo);
-  for (int i = 0; i < 16; ++i) {
+  for (size_t i = 0; i < kTagSize; ++i) {
     tag[i] ^= ek_j0[i];
   }
-  std::memcpy(out.data() + plaintext.size(), tag, kTagSize);
+}
+
+void AesGcm::SealTo(ByteView nonce, ByteView plaintext, ByteView aad,
+                    uint8_t* out) const {
+  assert(nonce.size() == kNonceSize);
+  Ctr(nonce, 2, plaintext, out);
+  ComputeTag(nonce, aad, ByteView(out, plaintext.size()), out + plaintext.size());
+}
+
+Bytes AesGcm::Seal(ByteView nonce, ByteView plaintext, ByteView aad) const {
+  Bytes out(plaintext.size() + kTagSize);
+  SealTo(nonce, plaintext, aad, out.data());
   return out;
 }
 
@@ -126,23 +164,9 @@ std::optional<Bytes> AesGcm::Open(ByteView nonce, ByteView ciphertext_and_tag,
   const ByteView ciphertext = ciphertext_and_tag.subspan(0, ct_len);
   const ByteView tag = ciphertext_and_tag.subspan(ct_len);
 
-  const Block s = Ghash(aad, ciphertext);
-  uint8_t j0[16];
-  std::memcpy(j0, nonce.data(), kNonceSize);
-  j0[12] = 0;
-  j0[13] = 0;
-  j0[14] = 0;
-  j0[15] = 1;
-  uint8_t ek_j0[16];
-  cipher_.EncryptBlock(j0, ek_j0);
-
-  uint8_t expected[16];
-  StoreBE64(expected, s.hi);
-  StoreBE64(expected + 8, s.lo);
-  for (int i = 0; i < 16; ++i) {
-    expected[i] ^= ek_j0[i];
-  }
-  if (!ConstantTimeEqual(ByteView(expected, 16), tag)) {
+  uint8_t expected[kTagSize];
+  ComputeTag(nonce, aad, ciphertext, expected);
+  if (!ConstantTimeEqual(ByteView(expected, kTagSize), tag)) {
     return std::nullopt;
   }
 

@@ -3,6 +3,11 @@
 // GCM is the AEAD the paper's IPsec configuration uses (AES-256-GCM
 // SHA2-256); it also protects Keylime's payload delivery in this
 // implementation.
+//
+// With AES-NI + PCLMULQDQ present (src/crypto/cpu.h) the CTR keystream is
+// pipelined 8 blocks wide and GHASH uses a carry-less-multiply kernel
+// with a precomputed H-power table; output is byte-identical to the
+// scalar reference.
 
 #ifndef SRC_CRYPTO_AES_GCM_H_
 #define SRC_CRYPTO_AES_GCM_H_
@@ -25,6 +30,10 @@ class AesGcm {
 
   // Returns ciphertext || 16-byte tag.
   Bytes Seal(ByteView nonce, ByteView plaintext, ByteView aad) const;
+  // Seals directly into caller storage: writes plaintext.size() + kTagSize
+  // bytes at out (which must not alias plaintext).  Lets hot paths build a
+  // framed wire message without an intermediate ciphertext copy.
+  void SealTo(ByteView nonce, ByteView plaintext, ByteView aad, uint8_t* out) const;
   // Returns plaintext, or nullopt on authentication failure.
   std::optional<Bytes> Open(ByteView nonce, ByteView ciphertext_and_tag,
                             ByteView aad) const;
@@ -38,9 +47,14 @@ class AesGcm {
   Block GhashMul(const Block& x) const;
   Block Ghash(ByteView aad, ByteView ciphertext) const;
   void Ctr(ByteView nonce, uint32_t initial_counter, ByteView in, uint8_t* out) const;
+  void ComputeTag(ByteView nonce, ByteView aad, ByteView ciphertext,
+                  uint8_t tag[kTagSize]) const;
 
   Aes256 cipher_;
   Block h_;  // GHASH key, E(K, 0^128)
+  // Precomputed H^1..H^4 for the CLMUL backend; valid only when accel_.
+  uint8_t h_powers_[64];
+  bool accel_ = false;
 };
 
 }  // namespace bolted::crypto

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/crypto/accel.h"
+
 namespace bolted::crypto {
 namespace {
 
@@ -30,6 +32,14 @@ AesXts::AesXts(ByteView key)
 void AesXts::Transform(uint64_t sector_number, std::span<uint8_t> data,
                        bool encrypt) const {
   assert(!data.empty() && data.size() % Aes256::kBlockSize == 0);
+
+  if (data_cipher_.accelerated() && tweak_cipher_.accelerated()) {
+    internal::AesNiXtsSector(encrypt ? data_cipher_.enc_round_key_bytes()
+                                     : data_cipher_.dec_round_key_bytes(),
+                             tweak_cipher_.enc_round_key_bytes(), sector_number,
+                             data.data(), data.size(), encrypt);
+    return;
+  }
 
   // plain64 IV: little-endian sector number, zero padded.
   uint8_t tweak[16] = {};
@@ -61,6 +71,24 @@ void AesXts::EncryptSector(uint64_t sector_number, std::span<uint8_t> data) cons
 
 void AesXts::DecryptSector(uint64_t sector_number, std::span<uint8_t> data) const {
   Transform(sector_number, data, /*encrypt=*/false);
+}
+
+void AesXts::EncryptSectors(uint64_t first_sector, size_t sector_size,
+                            std::span<uint8_t> data) const {
+  assert(sector_size > 0 && sector_size % Aes256::kBlockSize == 0);
+  assert(!data.empty() && data.size() % sector_size == 0);
+  for (size_t off = 0; off < data.size(); off += sector_size) {
+    Transform(first_sector++, data.subspan(off, sector_size), /*encrypt=*/true);
+  }
+}
+
+void AesXts::DecryptSectors(uint64_t first_sector, size_t sector_size,
+                            std::span<uint8_t> data) const {
+  assert(sector_size > 0 && sector_size % Aes256::kBlockSize == 0);
+  assert(!data.empty() && data.size() % sector_size == 0);
+  for (size_t off = 0; off < data.size(); off += sector_size) {
+    Transform(first_sector++, data.subspan(off, sector_size), /*encrypt=*/false);
+  }
 }
 
 }  // namespace bolted::crypto

@@ -4,6 +4,10 @@
 // Sector sizes must be a multiple of the AES block size (true for the
 // 512 B / 4 KiB sectors used by the storage substrate), so ciphertext
 // stealing is not needed.
+//
+// The bulk entry points (EncryptSectors/DecryptSectors) process a whole
+// span of consecutive sectors in one call; with AES-NI present each
+// sector runs through an 8-block pipelined kernel (src/crypto/accel.h).
 
 #ifndef SRC_CRYPTO_AES_XTS_H_
 #define SRC_CRYPTO_AES_XTS_H_
@@ -24,6 +28,14 @@ class AesXts {
   // 16.  sector_number is the dm-crypt "plain64" IV.
   void EncryptSector(uint64_t sector_number, std::span<uint8_t> data) const;
   void DecryptSector(uint64_t sector_number, std::span<uint8_t> data) const;
+
+  // In-place transform of data.size() / sector_size consecutive sectors
+  // starting at first_sector.  data.size() must be a nonzero multiple of
+  // sector_size, which must itself be a nonzero multiple of 16.
+  void EncryptSectors(uint64_t first_sector, size_t sector_size,
+                      std::span<uint8_t> data) const;
+  void DecryptSectors(uint64_t first_sector, size_t sector_size,
+                      std::span<uint8_t> data) const;
 
  private:
   void Transform(uint64_t sector_number, std::span<uint8_t> data, bool encrypt) const;

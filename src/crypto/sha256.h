@@ -35,7 +35,10 @@ class Sha256 {
   static Digest Hash(std::string_view data);
 
  private:
-  void Compress(const uint8_t block[64]);
+  // Multi-block compression backend, selected once at construction from
+  // the cpu feature probe (scalar reference or SHA-NI).  Both produce
+  // identical digests; see src/crypto/accel.h.
+  void (*compress_)(uint32_t state[8], const uint8_t* blocks, size_t nblocks);
 
   uint32_t state_[8];
   uint64_t length_ = 0;  // total bytes absorbed

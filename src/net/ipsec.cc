@@ -1,6 +1,7 @@
 #include "src/net/ipsec.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "src/crypto/hmac.h"
 
@@ -35,12 +36,12 @@ double IpsecCpuBoundThroughput(const IpsecCostModel& model, bool hardware_aes,
   return model.cpu_hz / cycles_per_app_byte;
 }
 
+IpsecContext::SecurityAssociation::SecurityAssociation(const crypto::Bytes& key)
+    : salt(crypto::Hkdf({}, key, crypto::ToBytes("esp-salt"), 4)), gcm(key) {}
+
 void IpsecContext::InstallSa(Address peer, const crypto::Bytes& key) {
   assert(key.size() == 32);
-  SecurityAssociation sa;
-  sa.key = key;
-  sa.salt = crypto::Hkdf({}, key, crypto::ToBytes("esp-salt"), 4);
-  sas_[peer] = std::move(sa);
+  sas_.insert_or_assign(peer, SecurityAssociation(key));
 }
 
 void IpsecContext::RemoveSa(Address peer) { sas_.erase(peer); }
@@ -56,16 +57,21 @@ std::optional<crypto::Bytes> IpsecContext::Seal(Address peer,
   SecurityAssociation& sa = it->second;
   const uint64_t sequence = ++sa.tx_sequence;
 
+  uint8_t seq_be[8];
+  for (int i = 0; i < 8; ++i) {
+    seq_be[i] = static_cast<uint8_t>(sequence >> (56 - 8 * i));
+  }
   // Nonce = 4-byte salt || 8-byte sequence (RFC 4106 style).
-  crypto::Bytes nonce = sa.salt;
-  crypto::AppendU64(nonce, sequence);
+  uint8_t nonce[crypto::AesGcm::kNonceSize];
+  std::memcpy(nonce, sa.salt.data(), 4);
+  std::memcpy(nonce + 4, seq_be, 8);
 
-  crypto::Bytes aad;
-  crypto::AppendU64(aad, sequence);
-
-  crypto::Bytes wire;
-  crypto::AppendU64(wire, sequence);
-  crypto::Append(wire, crypto::AesGcm(sa.key).Seal(nonce, plaintext, aad));
+  // Wire = 8-byte sequence || ciphertext || tag, sealed in place so the
+  // ciphertext is produced directly in the framed message.
+  crypto::Bytes wire(8 + plaintext.size() + crypto::AesGcm::kTagSize);
+  std::memcpy(wire.data(), seq_be, 8);
+  sa.gcm.SealTo(crypto::ByteView(nonce, sizeof(nonce)), plaintext,
+                crypto::ByteView(seq_be, sizeof(seq_be)), wire.data() + 8);
   return wire;
 }
 
@@ -85,12 +91,12 @@ std::optional<crypto::Bytes> IpsecContext::Open(Address peer, crypto::ByteView w
     return std::nullopt;
   }
 
-  crypto::Bytes nonce = sa.salt;
-  crypto::AppendU64(nonce, sequence);
-  crypto::Bytes aad;
-  crypto::AppendU64(aad, sequence);
+  uint8_t nonce[crypto::AesGcm::kNonceSize];
+  std::memcpy(nonce, sa.salt.data(), 4);
+  std::memcpy(nonce + 4, wire.data(), 8);
 
-  auto plaintext = crypto::AesGcm(sa.key).Open(nonce, wire.subspan(8), aad);
+  auto plaintext = sa.gcm.Open(crypto::ByteView(nonce, sizeof(nonce)),
+                               wire.subspan(8), wire.first(8));
   if (!plaintext) {
     return std::nullopt;
   }

@@ -70,8 +70,12 @@ class IpsecContext {
 
  private:
   struct SecurityAssociation {
-    crypto::Bytes key;
+    // Builds the AES key schedule and GHASH tables once at SA install;
+    // Seal/Open reuse them for every packet on the association.
+    explicit SecurityAssociation(const crypto::Bytes& key);
+
     crypto::Bytes salt;  // 4 bytes, IV prefix
+    crypto::AesGcm gcm;
     uint64_t tx_sequence = 0;
     uint64_t rx_window = 0;  // highest sequence accepted
   };

@@ -1,0 +1,117 @@
+// EventFn: a move-only callable for scheduled events with inline storage
+// for small captures.
+//
+// The previous event-queue entry held a std::shared_ptr<std::function>,
+// costing two heap allocations (control block + std::function target) per
+// scheduled event plus an atomic refcount on every copy.  Almost every
+// event in the simulator is a tiny lambda (a coroutine handle, a pointer
+// or two), so EventFn stores callables up to kInlineSize bytes in place
+// and only falls back to the heap for large captures.  Entries become
+// move-only, which the hand-rolled binary heap in Simulation supports
+// directly.
+
+#ifndef SRC_SIM_EVENT_FN_H_
+#define SRC_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bolted::sim {
+
+class EventFn {
+ public:
+  // Sized so Entry (when/seq/id + EventFn) stays within one cache line
+  // pair while still fitting every lambda the simulator schedules today.
+  static constexpr size_t kInlineSize = 48;
+
+  EventFn() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): converting by design
+    constexpr bool kFitsInline = sizeof(D) <= kInlineSize &&
+                                 alignof(D) <= alignof(std::max_align_t) &&
+                                 std::is_nothrow_move_constructible_v<D>;
+    if constexpr (kFitsInline) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Moves the callable from src storage into dst storage and destroys
+    // the source (for heap targets this is a pointer copy).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* storage) { (*std::launder(reinterpret_cast<D*>(storage)))(); },
+      [](void* dst, void* src) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* storage) noexcept {
+        std::launder(reinterpret_cast<D*>(storage))->~D();
+      }};
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* storage) { (**reinterpret_cast<D**>(storage))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+      },
+      [](void* storage) noexcept { delete *reinterpret_cast<D**>(storage); }};
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace bolted::sim
+
+#endif  // SRC_SIM_EVENT_FN_H_

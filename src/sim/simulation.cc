@@ -1,5 +1,7 @@
 #include "src/sim/simulation.h"
 
+#include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "src/sim/task.h"
@@ -10,39 +12,56 @@ Simulation::Simulation(uint64_t seed) : rng_(seed) {}
 
 Simulation::~Simulation() = default;
 
-EventId Simulation::Schedule(Duration delay, std::function<void()> fn) {
+EventId Simulation::Schedule(Duration delay, EventFn fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-EventId Simulation::ScheduleAt(Time when, std::function<void()> fn) {
+EventId Simulation::ScheduleAt(Time when, EventFn fn) {
   if (when < now_) {
     when = now_;
   }
   const EventId id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id,
-                    std::make_shared<std::function<void()>>(std::move(fn))});
+  pending_.insert(id);
+  heap_.push_back(Entry{when, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
   return id;
 }
 
-void Simulation::Cancel(EventId id) { cancelled_.insert(id); }
+void Simulation::Cancel(EventId id) {
+  // Removing the id from pending_ is the whole cancellation; the heap
+  // entry is dropped lazily when it reaches the top.  Cancelling a fired
+  // or already-cancelled id finds nothing to erase, so stale cancels can
+  // never accumulate state.
+  pending_.erase(id);
+}
+
+Simulation::Entry Simulation::PopTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  return entry;
+}
+
+void Simulation::DropCancelledTop() {
+  while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
+    PopTop();
+  }
+}
 
 bool Simulation::Step() {
-  while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = entry.when;
-    ++events_processed_;
-    (*entry.fn)();
-    if ((events_processed_ & 0x3ff) == 0) {
-      ReapTasks();
-    }
-    return true;
+  DropCancelledTop();
+  if (heap_.empty()) {
+    return false;
   }
-  return false;
+  Entry entry = PopTop();
+  pending_.erase(entry.id);
+  now_ = entry.when;
+  ++events_processed_;
+  entry.fn();
+  if ((events_processed_ & 0x3ff) == 0) {
+    ReapTasks();
+  }
+  return true;
 }
 
 void Simulation::Run() {
@@ -52,7 +71,11 @@ void Simulation::Run() {
 }
 
 void Simulation::RunUntil(Time horizon) {
-  while (!queue_.empty() && queue_.top().when <= horizon) {
+  for (;;) {
+    DropCancelledTop();
+    if (heap_.empty() || heap_.front().when > horizon) {
+      break;
+    }
     Step();
   }
   if (now_ < horizon) {

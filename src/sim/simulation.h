@@ -12,12 +12,10 @@
 #define SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "src/sim/event_fn.h"
 #include "src/sim/random.h"
 #include "src/sim/time.h"
 
@@ -39,10 +37,12 @@ class Simulation {
   Time now() const { return now_; }
   Rng& rng() { return rng_; }
 
-  // Schedules fn to run after delay (>= 0) of simulated time.
-  EventId Schedule(Duration delay, std::function<void()> fn);
-  EventId ScheduleAt(Time when, std::function<void()> fn);
-  // Cancels a pending event; a no-op if it already fired or was cancelled.
+  // Schedules fn to run after delay (>= 0) of simulated time.  EventFn
+  // converts from any void() callable; small captures stay allocation-free.
+  EventId Schedule(Duration delay, EventFn fn);
+  EventId ScheduleAt(Time when, EventFn fn);
+  // Cancels a pending event; a no-op if it already fired or was cancelled
+  // (repeated or stale cancels leave no residue behind).
   void Cancel(EventId id);
 
   // Runs until the event queue drains or the given horizon passes.
@@ -52,9 +52,12 @@ class Simulation {
   bool Step();
 
   uint64_t events_processed() const { return events_processed_; }
+  // Live (scheduled, not yet fired or cancelled) events; bounds all
+  // internal bookkeeping, so long-running simulations cannot leak ids.
+  size_t pending_events() const { return pending_.size(); }
 
   // Takes ownership of a coroutine task and starts it.  The task is
-  // destroyed once it completes.  Defined in task.cc.
+  // destroyed once it completes.
   void Spawn(Task task);
 
  private:
@@ -62,9 +65,9 @@ class Simulation {
     Time when;
     uint64_t seq;  // tie-break: earlier scheduling fires first
     EventId id;
-    // Shared so that Entry stays copyable for std::priority_queue's
-    // const-top API without cloning the callable.
-    std::shared_ptr<std::function<void()>> fn;
+    EventFn fn;
+    // Min-heap order via std::greater (see heap_): later-firing sorts
+    // greater.
     bool operator>(const Entry& other) const {
       if (when != other.when) {
         return when > other.when;
@@ -74,13 +77,20 @@ class Simulation {
   };
 
   void ReapTasks();
+  // Pops cancelled entries off the heap top; afterwards the top (if any)
+  // is a live event.
+  void DropCancelledTop();
+  Entry PopTop();
 
   Time now_;
   uint64_t next_seq_ = 0;
   uint64_t next_id_ = 1;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<EventId> cancelled_;
+  // Binary min-heap (std::push_heap/std::pop_heap with std::greater):
+  // move-only entries, which std::priority_queue's const-top API cannot
+  // hold without the old shared_ptr indirection.
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;
   std::vector<Task> live_tasks_;
   Rng rng_;
 };

@@ -23,22 +23,15 @@ sim::Task CryptDevice::ReadSectors(uint64_t first_sector, uint64_t count,
                                    crypto::Bytes* out) {
   co_await backing_->ReadSectors(first_sector, count, out);
   co_await decrypt_resource_.Consume(static_cast<double>(count * kSectorSize));
-  for (uint64_t i = 0; i < count; ++i) {
-    xts_.DecryptSector(first_sector + i,
-                       std::span<uint8_t>(out->data() + i * kSectorSize, kSectorSize));
-  }
+  xts_.DecryptSectors(first_sector, kSectorSize,
+                      std::span<uint8_t>(out->data(), count * kSectorSize));
 }
 
 sim::Task CryptDevice::WriteSectors(uint64_t first_sector, const crypto::Bytes& data) {
   assert(data.size() % kSectorSize == 0);
   crypto::Bytes ciphertext = data;
-  const uint64_t count = data.size() / kSectorSize;
   co_await encrypt_resource_.Consume(static_cast<double>(data.size()));
-  for (uint64_t i = 0; i < count; ++i) {
-    xts_.EncryptSector(
-        first_sector + i,
-        std::span<uint8_t>(ciphertext.data() + i * kSectorSize, kSectorSize));
-  }
+  xts_.EncryptSectors(first_sector, kSectorSize, std::span<uint8_t>(ciphertext));
   co_await backing_->WriteSectors(first_sector, ciphertext);
 }
 

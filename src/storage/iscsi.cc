@@ -13,6 +13,7 @@ struct IoRequest {
 
 crypto::Bytes EncodeRequest(const IoRequest& request) {
   crypto::Bytes out;
+  out.reserve(24);
   crypto::AppendU64(out, request.image);
   crypto::AppendU64(out, request.offset);
   crypto::AppendU64(out, request.bytes);

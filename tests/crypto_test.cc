@@ -10,6 +10,7 @@
 #include "src/crypto/aes_gcm.h"
 #include "src/crypto/aes_xts.h"
 #include "src/crypto/bytes.h"
+#include "src/crypto/cpu.h"
 #include "src/crypto/drbg.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/p256.h"
@@ -464,6 +465,180 @@ TEST(DrbgTest, ReseedChangesStream) {
   Drbg b(uint64_t{5});
   b.Reseed(ToBytes("extra"));
   EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+// ---------------------------------------------------------------------------
+// Backend dispatch: the KATs below run against BOTH the scalar reference and
+// the SIMD backend (when the CPU has one), and the sweeps check the two
+// produce byte-identical output.  Objects capture their backend at
+// construction, so toggling force-scalar between constructions is enough.
+
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool on) : saved_(cpu::ForceScalarEnabled()) {
+    cpu::SetForceScalar(on);
+  }
+  ~ScopedForceScalar() { cpu::SetForceScalar(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// Runs fn once forced-scalar and once with whatever the CPU offers.  The
+// second run only exercises SIMD paths on machines that have the ISA
+// extensions; on others both runs use the scalar reference, which keeps the
+// test meaningful everywhere.
+template <typename Fn>
+void ForEachBackend(Fn&& fn) {
+  {
+    ScopedForceScalar scalar(true);
+    fn("scalar");
+  }
+  {
+    ScopedForceScalar native(false);
+    fn("dispatched");
+  }
+}
+
+// NIST CAVP SHA256ShortMsg.rsp vectors (Len = 8 and Len = 16).
+TEST(BackendTest, Sha256CavpShortMessages) {
+  ForEachBackend([](const char* backend) {
+    EXPECT_EQ(DigestHex(Sha256::Hash(FromHex("bd"))),
+              "68325720aabd7c82f30f554b313d0570c95accbb7dc4b5aae11204c08ffe732b")
+        << backend;
+    EXPECT_EQ(DigestHex(Sha256::Hash(FromHex("5fd4"))),
+              "7c4fbf484498d21b487b9d61de8914b2eadaf2698712936d47c3ada2558f6788")
+        << backend;
+  });
+}
+
+// AES-256-GCM test case 16 from the McGrew/Viega GCM spec (the vector set
+// NIST CAVP reuses): 60-byte plaintext, 20-byte AAD.
+TEST(BackendTest, AesGcmCavpVectorWithAad) {
+  const Bytes key = FromHex(
+      "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308");
+  const Bytes nonce = FromHex("cafebabefacedbaddecaf888");
+  const Bytes plaintext = FromHex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const Bytes aad = FromHex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const std::string expected_ct =
+      "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa"
+      "8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662";
+  const std::string expected_tag = "76fc6ece0f4e1768cddf8853bb2d551b";
+  ForEachBackend([&](const char* backend) {
+    AesGcm gcm(key);
+    const Bytes sealed = gcm.Seal(nonce, plaintext, aad);
+    ASSERT_EQ(sealed.size(), plaintext.size() + AesGcm::kTagSize) << backend;
+    EXPECT_EQ(ToHex(ByteView(sealed.data(), plaintext.size())), expected_ct)
+        << backend;
+    EXPECT_EQ(ToHex(ByteView(sealed.data() + plaintext.size(), AesGcm::kTagSize)),
+              expected_tag)
+        << backend;
+    const auto opened = gcm.Open(nonce, sealed, aad);
+    ASSERT_TRUE(opened.has_value()) << backend;
+    EXPECT_EQ(*opened, plaintext) << backend;
+  });
+}
+
+TEST(BackendTest, Sha256ScalarMatchesDispatched) {
+  Drbg drbg(uint64_t{41});
+  for (size_t len : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 1000u, 4096u}) {
+    const Bytes data = drbg.Generate(len);
+    Digest scalar_digest;
+    {
+      ScopedForceScalar scalar(true);
+      scalar_digest = Sha256::Hash(data);
+    }
+    EXPECT_EQ(Sha256::Hash(data), scalar_digest) << "len=" << len;
+  }
+}
+
+TEST(BackendTest, HmacScalarMatchesDispatched) {
+  Drbg drbg(uint64_t{43});
+  for (size_t len : {0u, 17u, 64u, 333u, 2048u}) {
+    const Bytes key = drbg.Generate(32);
+    const Bytes msg = drbg.Generate(len);
+    Digest scalar_mac;
+    {
+      ScopedForceScalar scalar(true);
+      scalar_mac = HmacSha256(key, msg);
+    }
+    EXPECT_EQ(HmacSha256(key, msg), scalar_mac) << "len=" << len;
+  }
+}
+
+TEST(BackendTest, AesGcmScalarMatchesDispatched) {
+  Drbg drbg(uint64_t{47});
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 63u, 64u, 65u, 128u, 1500u, 9000u}) {
+    const Bytes key = drbg.Generate(32);
+    const Bytes nonce = drbg.Generate(12);
+    const Bytes plaintext = drbg.Generate(len);
+    const Bytes aad = drbg.Generate(len % 48);
+    Bytes scalar_sealed;
+    {
+      ScopedForceScalar scalar(true);
+      scalar_sealed = AesGcm(key).Seal(nonce, plaintext, aad);
+    }
+    AesGcm gcm(key);
+    EXPECT_EQ(gcm.Seal(nonce, plaintext, aad), scalar_sealed) << "len=" << len;
+    const auto opened = gcm.Open(nonce, scalar_sealed, aad);
+    ASSERT_TRUE(opened.has_value()) << "len=" << len;
+    EXPECT_EQ(*opened, plaintext) << "len=" << len;
+  }
+}
+
+TEST(BackendTest, AesXtsScalarMatchesDispatched) {
+  Drbg drbg(uint64_t{53});
+  for (size_t sector_size : {512u, 4096u}) {
+    const Bytes key = drbg.Generate(64);
+    const Bytes plaintext = drbg.Generate(sector_size * 3);
+    Bytes scalar_ct = plaintext;
+    {
+      ScopedForceScalar scalar(true);
+      AesXts(key).EncryptSectors(7, sector_size, scalar_ct);
+    }
+    AesXts xts(key);
+    Bytes ct = plaintext;
+    xts.EncryptSectors(7, sector_size, ct);
+    EXPECT_EQ(ct, scalar_ct) << "sector_size=" << sector_size;
+    xts.DecryptSectors(7, sector_size, ct);
+    EXPECT_EQ(ct, plaintext) << "sector_size=" << sector_size;
+  }
+}
+
+TEST(BackendTest, BulkSectorsMatchesPerSectorCalls) {
+  Drbg drbg(uint64_t{59});
+  const Bytes key = drbg.Generate(64);
+  ForEachBackend([&](const char* backend) {
+    AesXts xts(key);
+    const Bytes plaintext = drbg.Generate(512 * 5);
+    Bytes bulk = plaintext;
+    xts.EncryptSectors(1000, 512, bulk);
+    Bytes per_sector = plaintext;
+    for (uint64_t i = 0; i < 5; ++i) {
+      xts.EncryptSector(1000 + i,
+                        std::span<uint8_t>(per_sector.data() + i * 512, 512));
+    }
+    EXPECT_EQ(bulk, per_sector) << backend;
+  });
+}
+
+TEST(BackendTest, SealToMatchesSeal) {
+  Drbg drbg(uint64_t{61});
+  ForEachBackend([&](const char* backend) {
+    const Bytes key = drbg.Generate(32);
+    const Bytes nonce = drbg.Generate(12);
+    const Bytes plaintext = drbg.Generate(100);
+    const Bytes aad = drbg.Generate(16);
+    AesGcm gcm(key);
+    const Bytes sealed = gcm.Seal(nonce, plaintext, aad);
+    Bytes out(plaintext.size() + AesGcm::kTagSize + 2, 0xee);
+    gcm.SealTo(nonce, plaintext, aad, out.data() + 1);
+    EXPECT_EQ(Bytes(out.begin() + 1, out.end() - 1), sealed) << backend;
+    EXPECT_EQ(out.front(), 0xee) << backend;  // no out-of-bounds writes
+    EXPECT_EQ(out.back(), 0xee) << backend;
+  });
 }
 
 }  // namespace

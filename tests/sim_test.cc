@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -122,6 +124,76 @@ TEST(SimulationTest, CancelPreventsExecution) {
   sim.Cancel(id);
   sim.Run();
   EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelLeavesNoResidue) {
+  // Regression: cancelling an event that already fired (or cancelling the
+  // same id twice) used to insert the id into a tombstone set that nothing
+  // ever drained, growing memory for the lifetime of the simulation.
+  Simulation sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.Schedule(Duration::Seconds(1), []() {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 100u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // Cancel after fire: all of these are stale.
+  for (const EventId id : ids) {
+    sim.Cancel(id);
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // Double cancel of a pending event.
+  const EventId pending = sim.Schedule(Duration::Seconds(1), []() {});
+  sim.Cancel(pending);
+  sim.Cancel(pending);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, EventsStillFireAfterStaleCancels) {
+  Simulation sim;
+  const EventId early = sim.Schedule(Duration::Seconds(1), []() {});
+  sim.Run();
+  sim.Cancel(early);  // stale: already fired
+  bool fired = false;
+  sim.Schedule(Duration::Seconds(1), [&]() { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, RunUntilSkipsCancelledEventsAtHorizon) {
+  // A cancelled event sitting at the top of the queue must not make
+  // RunUntil fire a later event beyond the horizon.
+  Simulation sim;
+  const EventId id = sim.Schedule(Duration::Seconds(1), []() {});
+  bool late_fired = false;
+  sim.Schedule(Duration::Seconds(10), [&]() { late_fired = true; });
+  sim.Cancel(id);
+  sim.RunUntil(Time::FromNanoseconds(5'000'000'000));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.now().ToSecondsF(), 5.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulationTest, MoveOnlyAndLargeCallablesBothWork) {
+  // EventFn stores small captures inline and larger ones on the heap; both
+  // paths must deliver the call exactly once.
+  Simulation sim;
+  auto big_payload = std::make_unique<std::array<uint8_t, 256>>();
+  (*big_payload)[0] = 42;
+  int small_calls = 0;
+  uint8_t big_seen = 0;
+  sim.Schedule(Duration::Seconds(1), [&small_calls]() { ++small_calls; });
+  sim.Schedule(Duration::Seconds(2),
+               [&big_seen, payload = std::move(big_payload),
+                pad = std::array<uint64_t, 16>{}]() {
+                 big_seen = (*payload)[0] + static_cast<uint8_t>(pad[0]);
+               });
+  sim.Run();
+  EXPECT_EQ(small_calls, 1);
+  EXPECT_EQ(big_seen, 42);
 }
 
 TEST(SimulationTest, NestedSchedulingAdvancesClock) {
