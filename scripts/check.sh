@@ -1,14 +1,29 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a sanitizer pass.
+# Tier-1 verification plus optional sanitizer and bench-smoke passes.
 #
 #   scripts/check.sh          # plain build + full test suite
 #   scripts/check.sh --asan   # additionally build/test with ASan + UBSan
+#   scripts/check.sh --bench  # additionally smoke-run the JSON bench runners
 #
-# The sanitizer build lives in build-asan/ so it never disturbs the
-# regular build tree (benchmarks must not run instrumented).
+# Flags combine (e.g. `scripts/check.sh --asan --bench`).  The sanitizer
+# build lives in build-asan/ so it never disturbs the regular build tree
+# (benchmarks must not run instrumented).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+want_asan=0
+want_bench=0
+for arg in "$@"; do
+  case "${arg}" in
+    --asan) want_asan=1 ;;
+    --bench) want_bench=1 ;;
+    *)
+      echo "unknown flag: ${arg}" >&2
+      exit 2
+      ;;
+  esac
+done
 
 run_suite() {
   local build_dir="$1"
@@ -25,9 +40,23 @@ echo "== tier-1: forced-scalar crypto backend =="
 BOLTED_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
   -j "$(nproc)" -R "crypto_test|determinism_test"
 
-if [[ "${1:-}" == "--asan" ]]; then
+if [[ "${want_asan}" == 1 ]]; then
   echo "== sanitizers: ASan + UBSan =="
   run_suite build-asan -DBOLTED_SANITIZE=ON
+  # The P-256 table build, joint verify ladders, and batch inversion only
+  # execute under real curve traffic; drive them (and the fleet polling
+  # loop that exercises the prepared-AIK cache) instrumented.
+  echo "== sanitizers: crypto + attestation benches under ASan =="
+  ./build-asan/bench/bench_crypto_json /tmp/bolted_asan_bench_crypto.json
+  ./build-asan/bench/fleet_attestation /tmp/bolted_asan_bench_attestation.json
+fi
+
+if [[ "${want_bench}" == 1 ]]; then
+  echo "== bench smoke: JSON runners (uninstrumented build) =="
+  ./build/bench/bench_crypto_json /tmp/bolted_bench_crypto.json
+  ./build/bench/fleet_attestation /tmp/bolted_bench_attestation.json
+  echo "smoke outputs in /tmp/bolted_bench_*.json (committed copies are"
+  echo "regenerated manually at the repo root)"
 fi
 
 echo "All checks passed."

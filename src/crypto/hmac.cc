@@ -9,7 +9,7 @@ Digest HmacSha256(ByteView key, ByteView message) {
   if (key.size() > Sha256::kBlockSize) {
     const Digest hashed = Sha256::Hash(key);
     std::memcpy(block_key, hashed.data(), hashed.size());
-  } else {
+  } else if (!key.empty()) {  // empty key (HKDF with no salt): all-zero block
     std::memcpy(block_key, key.data(), key.size());
   }
 

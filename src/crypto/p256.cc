@@ -3,9 +3,12 @@
 #include <cassert>
 
 #include "src/crypto/hmac.h"
+#include "src/crypto/p256_field.h"
 
 namespace bolted::crypto {
 namespace {
+
+using field::Fp;
 
 constexpr std::string_view kPrimeHex =
     "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
@@ -17,6 +20,74 @@ constexpr std::string_view kGxHex =
     "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
 constexpr std::string_view kGyHex =
     "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+
+// Fixed-base comb geometry: 22 twelve-bit windows of 4095 multiples each
+// (~5.8 MiB built once per process).  The wide windows trade a one-time
+// table build for ladder work: a 256-bit scalar costs at most 22 mixed
+// additions and no doublings at all.
+constexpr int kCombWindows = 22;
+constexpr int kCombRow = 4095;
+
+// Width-w NAF of a 256-bit scalar needs at most 257 digit positions (the
+// carry out of the top bit can create one more).
+constexpr int kNafDigits = 257;
+
+// Montgomery-domain inverse via binary extended Euclid, compiled into this
+// TU so it inlines under the ladder's optimization flags.  a = xR;
+// ModInverseOdd yields x^-1 R^-1, and two products by R^2 land on x^-1 R.
+U256 InvMontFp(const U256& a, const U256& r2) {
+  return Fp::Mul(Fp::Mul(ModInverseOdd(a, Fp::Modulus()), r2), r2);
+}
+
+U256 InvMontFn(const U256& a, const U256& r2) {
+  using field::Fn;
+  return Fn::Mul(Fn::Mul(ModInverseOdd(a, Fn::Modulus()), r2), r2);
+}
+
+// Recodes k into width-`width` NAF: every nonzero digit is odd with
+// |digit| < 2^{width-1}, and any `width` consecutive digits hold at most
+// one nonzero.  Returns the index of the highest nonzero digit, or -1.
+int RecodeWnaf(U256 k, int width, int8_t digits[kNafDigits]) {
+  for (int i = 0; i < kNafDigits; ++i) {
+    digits[i] = 0;
+  }
+  const uint64_t mask = (uint64_t{1} << width) - 1;
+  const uint64_t half = uint64_t{1} << (width - 1);
+  uint64_t high = 0;  // virtual bit 256 (adding |d| can carry out)
+  int i = 0;
+  int last = -1;
+  while (!k.IsZero() || high != 0) {
+    if (k.IsOdd()) {
+      const uint64_t mod = k.limb[0] & mask;
+      const int d = mod < half ? static_cast<int>(mod)
+                               : static_cast<int>(mod) - static_cast<int>(mask + 1);
+      digits[i] = static_cast<int8_t>(d);
+      last = i;
+      const U256 small{{static_cast<uint64_t>(d < 0 ? -d : d), 0, 0, 0}};
+      if (d > 0) {
+        SubBorrow(k, small, k);
+      } else {
+        high += AddCarry(k, small, k);
+      }
+    }
+    k = ShiftRight1(k, high & 1);
+    high >>= 1;
+    ++i;
+  }
+  return last;
+}
+
+// Extracts the w-th comb window of k: bits [12w, 12w+12).
+uint64_t CombWindow(const U256& k, int w) {
+  const int bit = 12 * w;
+  const int limb = bit >> 6;
+  const int shift = bit & 63;
+  uint64_t v = k.limb[limb] >> shift;
+  if (shift > 52 && limb + 1 < 4) {
+    v |= k.limb[limb + 1] << (64 - shift);
+  }
+  return v & 0xfff;
+}
 
 }  // namespace
 
@@ -73,6 +144,25 @@ P256::P256()
   g_.x = fp_.ToMont(U256::FromHexString(kGxHex));
   g_.y = fp_.ToMont(U256::FromHexString(kGyHex));
   g_.z = fp_.one_mont();
+  // ToMont(x) = x*R, so ToMont(R mod m) = R^2 mod m.
+  r2_fp_ = fp_.ToMont(fp_.one_mont());
+  r2_fn_ = fn_.ToMont(fn_.one_mont());
+
+  // Build the comb table: row w holds 1..4095 times 2^{12w}·G.  The rows
+  // are accumulated in Jacobian coordinates and normalized to affine in
+  // one Montgomery-trick batch inversion at the end.
+  std::vector<Jacobian> jac(static_cast<size_t>(kCombWindows) * kCombRow);
+  Jacobian window_base = g_;
+  for (int w = 0; w < kCombWindows; ++w) {
+    Jacobian acc = window_base;
+    for (int b = 1; b <= kCombRow; ++b) {
+      jac[static_cast<size_t>(w) * kCombRow + static_cast<size_t>(b) - 1] = acc;
+      AddJacobianFast(acc, window_base);
+    }
+    window_base = acc;  // 4096 · 2^{12w}·G = 2^{12(w+1)}·G
+  }
+  fixed_.resize(jac.size());
+  NormalizeBatch(jac, fixed_.data());
 }
 
 U256 P256::PrivateKeyFromSeed(ByteView seed) const {
@@ -100,9 +190,9 @@ bool P256::IsOnCurve(const EcPoint& point) const {
   const U256 x = fp_.ToMont(point.x);
   const U256 y = fp_.ToMont(point.y);
   // y^2 == x^3 - 3x + b
-  const U256 y2 = fp_.Sqr(y);
-  const U256 x3 = fp_.Mul(fp_.Sqr(x), x);
-  const U256 rhs = fp_.Add(fp_.Sub(x3, fp_.Mul(three_mont_, x)), b_mont_);
+  const U256 y2 = Fp::Sqr(y);
+  const U256 x3 = Fp::Mul(Fp::Sqr(x), x);
+  const U256 rhs = Fp::Add(Fp::Sub(x3, Fp::Mul(three_mont_, x)), b_mont_);
   return y2 == rhs;
 }
 
@@ -204,8 +294,269 @@ P256::Jacobian P256::ScalarMul(const U256& k, const Jacobian& p) const {
   return result;
 }
 
+// --- Fast-path group law ---------------------------------------------------
+
+void P256::DoubleFast(Jacobian& p) const {
+  if (p.z.IsZero() || p.y.IsZero()) {
+    p = Jacobian{};
+    return;
+  }
+  // Same dbl-2001-b as Double(), with the multiply-by-3 folded into
+  // additions: 3M + 5S.
+  const U256 delta = Fp::Sqr(p.z);
+  const U256 gamma = Fp::Sqr(p.y);
+  const U256 beta = Fp::Mul(p.x, gamma);
+  const U256 t = Fp::Mul(Fp::Sub(p.x, delta), Fp::Add(p.x, delta));
+  const U256 alpha = Fp::Add(Fp::Add(t, t), t);
+
+  const U256 beta2 = Fp::Add(beta, beta);
+  const U256 beta4 = Fp::Add(beta2, beta2);
+  const U256 beta8 = Fp::Add(beta4, beta4);
+
+  const U256 x3 = Fp::Sub(Fp::Sqr(alpha), beta8);
+  const U256 z3 = Fp::Sub(Fp::Sub(Fp::Sqr(Fp::Add(p.y, p.z)), gamma), delta);
+  const U256 gamma2 = Fp::Sqr(gamma);
+  const U256 gamma2_2 = Fp::Add(gamma2, gamma2);
+  const U256 gamma2_4 = Fp::Add(gamma2_2, gamma2_2);
+  const U256 gamma2_8 = Fp::Add(gamma2_4, gamma2_4);
+  p.y = Fp::Sub(Fp::Mul(alpha, Fp::Sub(beta4, x3)), gamma2_8);
+  p.x = x3;
+  p.z = z3;
+}
+
+void P256::AddJacobianFast(Jacobian& p, const Jacobian& q) const {
+  if (p.z.IsZero()) {
+    p = q;
+    return;
+  }
+  if (q.z.IsZero()) {
+    return;
+  }
+  const U256 z1z1 = Fp::Sqr(p.z);
+  const U256 z2z2 = Fp::Sqr(q.z);
+  const U256 u1 = Fp::Mul(p.x, z2z2);
+  const U256 u2 = Fp::Mul(q.x, z1z1);
+  const U256 s1 = Fp::Mul(Fp::Mul(p.y, q.z), z2z2);
+  const U256 s2 = Fp::Mul(Fp::Mul(q.y, p.z), z1z1);
+  const U256 h = Fp::Sub(u2, u1);
+  const U256 r = Fp::Sub(s2, s1);
+  if (h.IsZero()) {
+    if (r.IsZero()) {
+      DoubleFast(p);
+      return;
+    }
+    p = Jacobian{};  // P + (-P) = infinity
+    return;
+  }
+  const U256 hh = Fp::Sqr(h);
+  const U256 hhh = Fp::Mul(h, hh);
+  const U256 v = Fp::Mul(u1, hh);
+  const U256 x3 = Fp::Sub(Fp::Sub(Fp::Sqr(r), hhh), Fp::Add(v, v));
+  p.y = Fp::Sub(Fp::Mul(r, Fp::Sub(v, x3)), Fp::Mul(s1, hhh));
+  p.z = Fp::Mul(Fp::Mul(p.z, q.z), h);
+  p.x = x3;
+}
+
+void P256::AddMixed(Jacobian& p, const AffineMont& q, bool negate) const {
+  const U256 qy = negate ? Fp::Neg(q.y) : q.y;
+  if (p.z.IsZero()) {
+    p = Jacobian{q.x, qy, fp_.one_mont()};
+    return;
+  }
+  // madd (Z2 = 1): 8M + 3S.
+  const U256 z1z1 = Fp::Sqr(p.z);
+  const U256 u2 = Fp::Mul(q.x, z1z1);
+  const U256 s2 = Fp::Mul(Fp::Mul(qy, p.z), z1z1);
+  const U256 h = Fp::Sub(u2, p.x);
+  const U256 r = Fp::Sub(s2, p.y);
+  if (h.IsZero()) {
+    if (r.IsZero()) {
+      DoubleFast(p);
+      return;
+    }
+    p = Jacobian{};  // P + (-P) = infinity
+    return;
+  }
+  const U256 hh = Fp::Sqr(h);
+  const U256 hhh = Fp::Mul(h, hh);
+  const U256 v = Fp::Mul(p.x, hh);
+  const U256 x3 = Fp::Sub(Fp::Sub(Fp::Sqr(r), hhh), Fp::Add(v, v));
+  p.y = Fp::Sub(Fp::Mul(r, Fp::Sub(v, x3)), Fp::Mul(p.y, hhh));
+  p.z = Fp::Mul(p.z, h);
+  p.x = x3;
+}
+
+EcPoint P256::ToAffineFast(const Jacobian& p) const {
+  if (p.z.IsZero()) {
+    return EcPoint{U256::Zero(), U256::Zero(), /*infinity=*/true};
+  }
+  const U256 z_inv = InvMontFp(p.z, r2_fp_);
+  const U256 z_inv2 = Fp::Sqr(z_inv);
+  const U256 z_inv3 = Fp::Mul(z_inv2, z_inv);
+  EcPoint out;
+  out.x = fp_.FromMont(Fp::Mul(p.x, z_inv2));
+  out.y = fp_.FromMont(Fp::Mul(p.y, z_inv3));
+  return out;
+}
+
+void P256::NormalizeBatch(std::span<const Jacobian> in, AffineMont* out) const {
+  // Montgomery trick with one binary inversion: prefix[i] holds the
+  // product of all z's before i, so peeling the total inverse back to
+  // front yields each individual z^-1 with three products per point.
+  std::vector<U256> prefix(in.size());
+  U256 acc = fp_.one_mont();
+  for (size_t i = 0; i < in.size(); ++i) {
+    assert(!in[i].z.IsZero());
+    prefix[i] = acc;
+    acc = Fp::Mul(acc, in[i].z);
+  }
+  U256 inv = InvMontFp(acc, r2_fp_);
+  for (size_t i = in.size(); i-- > 0;) {
+    const U256 z_inv = Fp::Mul(inv, prefix[i]);
+    inv = Fp::Mul(inv, in[i].z);
+    const U256 z2 = Fp::Sqr(z_inv);
+    out[i].x = Fp::Mul(in[i].x, z2);
+    out[i].y = Fp::Mul(in[i].y, Fp::Mul(z2, z_inv));
+  }
+}
+
+void P256::BuildOddMultiples(const EcPoint& p, std::array<AffineMont, 16>& out) const {
+  // 1P, 3P, ..., 31P: one doubling plus 15 additions, then one batch
+  // normalization so the joint ladder can use mixed additions.
+  std::array<Jacobian, 16> jac;
+  jac[0] = ToJacobian(p);
+  Jacobian twice = jac[0];
+  DoubleFast(twice);
+  for (size_t i = 1; i < jac.size(); ++i) {
+    jac[i] = jac[i - 1];
+    AddJacobianFast(jac[i], twice);
+  }
+  NormalizeBatch(jac, out.data());
+}
+
+// --- Scalar multiplication fast paths --------------------------------------
+
+P256::Jacobian P256::MulBaseComb(const U256& k) const {
+  // One mixed addition per nonzero 12-bit window; the comb table supplies
+  // d · 2^{12w} · G directly, so no doublings at all.
+  Jacobian acc{};
+  for (int w = 0; w < kCombWindows; ++w) {
+    const uint64_t d = CombWindow(k, w);
+    if (d != 0) {
+      const size_t index = static_cast<size_t>(w) * kCombRow + d - 1;
+      AddMixed(acc, fixed_[index], /*negate=*/false);
+    }
+  }
+  return acc;
+}
+
+P256::Jacobian P256::MulWnaf(const U256& k, const std::array<AffineMont, 16>& odd) const {
+  int8_t digits[kNafDigits];
+  const int top = RecodeWnaf(k, /*width=*/6, digits);
+  Jacobian acc{};
+  for (int i = top; i >= 0; --i) {
+    DoubleFast(acc);
+    const int d = digits[i];
+    if (d != 0) {
+      const size_t index = static_cast<size_t>((d < 0 ? -d : d) - 1) / 2;
+      AddMixed(acc, odd[index], /*negate=*/d < 0);
+    }
+  }
+  return acc;
+}
+
+P256::Jacobian P256::MulShamir(const U256& u1, const U256& u2,
+                               const std::array<AffineMont, 16>& q_odd) const {
+  // Strauss–Shamir: one shared doubling chain.  u2's digits come from the
+  // per-key odd-multiple table (width-6 NAF, |digit| ≤ 31 odd).  u1 rides
+  // along for free through the comb: injecting d·G from row 0 at ladder
+  // position 12w leaves exactly the doublings that raise it to
+  // d·2^{12w}·G, so u1 contributes at most 22 mixed additions and no
+  // doublings of its own.
+  int8_t q_digits[kNafDigits];
+  const int q_top = RecodeWnaf(u2, /*width=*/6, q_digits);
+  uint64_t g_windows[kCombWindows];
+  int g_top = -1;
+  for (int w = 0; w < kCombWindows; ++w) {
+    g_windows[w] = CombWindow(u1, w);
+    if (g_windows[w] != 0) {
+      g_top = 12 * w;
+    }
+  }
+  Jacobian acc{};
+  for (int i = g_top > q_top ? g_top : q_top; i >= 0; --i) {
+    DoubleFast(acc);
+    if (i % 12 == 0) {
+      const uint64_t gd = g_windows[i / 12];
+      if (gd != 0) {
+        AddMixed(acc, fixed_[gd - 1], /*negate=*/false);
+      }
+    }
+    const int qd = q_digits[i];
+    if (qd != 0) {
+      const size_t index = static_cast<size_t>((qd < 0 ? -qd : qd) - 1) / 2;
+      AddMixed(acc, q_odd[index], /*negate=*/qd < 0);
+    }
+  }
+  return acc;
+}
+
+P256::Jacobian P256::MulShamirPrepared(
+    const U256& u1, const U256& u2,
+    const std::array<AffineMont, 64>& q_tables) const {
+  // The PreparedKey tables cover 2^{64j}·Q for j ∈ [0, 4), so u2 splits
+  // limb-wise into four 64-bit scalars that share one 64-position doubling
+  // chain — a quarter of the one-shot ladder's doublings.  u1·G costs no
+  // doublings at all: after the chain, each nonzero comb window is added
+  // straight from its own table row.
+  int8_t digits[4][kNafDigits];
+  int top = -1;
+  for (int j = 0; j < 4; ++j) {
+    const U256 chunk{{u2.limb[j], 0, 0, 0}};
+    const int t = RecodeWnaf(chunk, /*width=*/6, digits[j]);
+    if (t > top) {
+      top = t;
+    }
+  }
+  Jacobian acc{};
+  for (int i = top; i >= 0; --i) {
+    DoubleFast(acc);
+    for (int j = 0; j < 4; ++j) {
+      const int d = digits[j][i];
+      if (d != 0) {
+        const size_t index =
+            16 * static_cast<size_t>(j) + static_cast<size_t>((d < 0 ? -d : d) - 1) / 2;
+        AddMixed(acc, q_tables[index], /*negate=*/d < 0);
+      }
+    }
+  }
+  for (int w = 0; w < kCombWindows; ++w) {
+    const uint64_t d = CombWindow(u1, w);
+    if (d != 0) {
+      AddMixed(acc, fixed_[static_cast<size_t>(w) * kCombRow + d - 1],
+               /*negate=*/false);
+    }
+  }
+  return acc;
+}
+
+// --- Public API ------------------------------------------------------------
+
 EcPoint P256::PublicKey(const U256& private_key) const {
-  return ToAffine(ScalarMul(private_key, g_));
+  return ToAffineFast(MulBaseComb(private_key));
+}
+
+EcPoint P256::Multiply(const U256& k, const EcPoint& point) const {
+  if (point.infinity || k.IsZero()) {
+    return EcPoint{U256::Zero(), U256::Zero(), /*infinity=*/true};
+  }
+  std::array<AffineMont, 16> odd;
+  BuildOddMultiples(point, odd);
+  return ToAffineFast(MulWnaf(k, odd));
+}
+
+EcPoint P256::MultiplyReference(const U256& k, const EcPoint& point) const {
+  return ToAffine(ScalarMul(k, ToJacobian(point)));
 }
 
 EcdsaSignature P256::Sign(const U256& private_key, const Digest& message_hash) const {
@@ -214,7 +565,44 @@ EcdsaSignature P256::Sign(const U256& private_key, const Digest& message_hash) c
 
   for (uint32_t attempt = 0;; ++attempt) {
     // Deterministic nonce in the spirit of RFC 6979: HMAC over the private
-    // key, message hash, and a retry counter.
+    // key, message hash, and a retry counter.  This derivation is shared
+    // with SignReference, and the comb/binary-inverse path below computes
+    // the same r and s — signatures stay byte-identical.
+    Bytes nonce_input = DigestBytes(message_hash);
+    AppendU32(nonce_input, attempt);
+    const Digest k_digest = HmacSha256(priv_bytes, nonce_input);
+    const U256 k = fn_.Reduce(U256::FromBytes(DigestView(k_digest)));
+    if (k.IsZero()) {
+      continue;
+    }
+
+    const EcPoint kg = ToAffineFast(MulBaseComb(k));
+    const U256 r = fn_.Reduce(kg.x);
+    if (r.IsZero()) {
+      continue;
+    }
+
+    // s = k^-1 (z + r*d) mod n, computed in the Montgomery domain of n.
+    const U256 k_mont = fn_.ToMont(k);
+    const U256 r_mont = fn_.ToMont(r);
+    const U256 d_mont = fn_.ToMont(private_key);
+    const U256 z_mont = fn_.ToMont(z);
+    const U256 sum = field::Fn::Add(z_mont, field::Fn::Mul(r_mont, d_mont));
+    const U256 s_mont = field::Fn::Mul(InvMontFn(k_mont, r2_fn_), sum);
+    const U256 s = fn_.FromMont(s_mont);
+    if (s.IsZero()) {
+      continue;
+    }
+    return EcdsaSignature{r, s};
+  }
+}
+
+EcdsaSignature P256::SignReference(const U256& private_key,
+                                   const Digest& message_hash) const {
+  const U256 z = fn_.Reduce(U256::FromBytes(DigestView(message_hash)));
+  const Bytes priv_bytes = private_key.ToBytes();
+
+  for (uint32_t attempt = 0;; ++attempt) {
     Bytes nonce_input = DigestBytes(message_hash);
     AppendU32(nonce_input, attempt);
     const Digest k_digest = HmacSha256(priv_bytes, nonce_input);
@@ -229,7 +617,6 @@ EcdsaSignature P256::Sign(const U256& private_key, const Digest& message_hash) c
       continue;
     }
 
-    // s = k^-1 (z + r*d) mod n, computed in the Montgomery domain of n.
     const U256 k_mont = fn_.ToMont(k);
     const U256 r_mont = fn_.ToMont(r);
     const U256 d_mont = fn_.ToMont(private_key);
@@ -244,8 +631,87 @@ EcdsaSignature P256::Sign(const U256& private_key, const Digest& message_hash) c
   }
 }
 
+template <typename Ladder>
+bool P256::VerifyCommon(const Digest& message_hash, const EcdsaSignature& signature,
+                        const Ladder& ladder) const {
+  if (signature.r.IsZero() || signature.s.IsZero() || signature.r >= n_ ||
+      signature.s >= n_) {
+    return false;
+  }
+  const U256 z = fn_.Reduce(U256::FromBytes(DigestView(message_hash)));
+  const U256 s_mont = fn_.ToMont(signature.s);
+  const U256 w_mont = InvMontFn(s_mont, r2_fn_);  // s^-1 in Montgomery form
+  const U256 u1 = fn_.FromMont(field::Fn::Mul(fn_.ToMont(z), w_mont));
+  const U256 u2 = fn_.FromMont(field::Fn::Mul(fn_.ToMont(signature.r), w_mont));
+
+  const Jacobian sum = ladder(u1, u2);
+  if (sum.z.IsZero()) {
+    return false;
+  }
+  // Accept iff x(sum) mod n == r, without leaving Jacobian coordinates:
+  // the affine x equals X/Z^2, and x mod n == r means x is r or r + n
+  // (the only candidates below p), so test X == candidate * Z^2 instead
+  // of paying a field inversion.
+  const U256 z2 = Fp::Sqr(sum.z);
+  if (Fp::Mul(fp_.ToMont(signature.r), z2) == sum.x) {
+    return true;
+  }
+  U256 r_plus_n;
+  if (AddCarry(signature.r, n_, r_plus_n) == 0 && r_plus_n < p_) {
+    return Fp::Mul(fp_.ToMont(r_plus_n), z2) == sum.x;
+  }
+  return false;
+}
+
 bool P256::Verify(const EcPoint& public_key, const Digest& message_hash,
                   const EcdsaSignature& signature) const {
+  if (!IsOnCurve(public_key) || public_key.infinity) {
+    return false;
+  }
+  std::array<AffineMont, 16> q_odd;
+  BuildOddMultiples(public_key, q_odd);
+  return VerifyCommon(message_hash, signature, [&](const U256& u1, const U256& u2) {
+    return MulShamir(u1, u2, q_odd);
+  });
+}
+
+std::optional<P256::PreparedKey> P256::Prepare(const EcPoint& public_key) const {
+  if (!IsOnCurve(public_key) || public_key.infinity) {
+    return std::nullopt;
+  }
+  PreparedKey key;
+  key.point_ = public_key;
+  // Four odd-multiple groups, one per 64-bit chunk of the verify scalar:
+  // group j holds 1,3,...,31 times 2^{64j}·Q.
+  std::array<Jacobian, 64> jac;
+  Jacobian base = ToJacobian(public_key);
+  for (int j = 0; j < 4; ++j) {
+    Jacobian twice = base;
+    DoubleFast(twice);
+    jac[16 * j] = base;
+    for (int i = 1; i < 16; ++i) {
+      jac[16 * j + i] = jac[16 * j + i - 1];
+      AddJacobianFast(jac[16 * j + i], twice);
+    }
+    if (j < 3) {
+      for (int k = 0; k < 64; ++k) {
+        DoubleFast(base);
+      }
+    }
+  }
+  NormalizeBatch(jac, key.odd_.data());
+  return key;
+}
+
+bool P256::Verify(const PreparedKey& public_key, const Digest& message_hash,
+                  const EcdsaSignature& signature) const {
+  return VerifyCommon(message_hash, signature, [&](const U256& u1, const U256& u2) {
+    return MulShamirPrepared(u1, u2, public_key.odd_);
+  });
+}
+
+bool P256::VerifyReference(const EcPoint& public_key, const Digest& message_hash,
+                           const EcdsaSignature& signature) const {
   if (signature.r.IsZero() || signature.s.IsZero() || signature.r >= n_ ||
       signature.s >= n_) {
     return false;
@@ -271,6 +737,18 @@ bool P256::Verify(const EcPoint& public_key, const Digest& message_hash,
 
 std::optional<Bytes> P256::SharedSecret(const U256& private_key,
                                         const EcPoint& peer) const {
+  if (!IsOnCurve(peer) || peer.infinity) {
+    return std::nullopt;
+  }
+  const EcPoint product = Multiply(private_key, peer);
+  if (product.infinity) {
+    return std::nullopt;
+  }
+  return product.x.ToBytes();
+}
+
+std::optional<Bytes> P256::SharedSecretReference(const U256& private_key,
+                                                 const EcPoint& peer) const {
   if (!IsOnCurve(peer) || peer.infinity) {
     return std::nullopt;
   }

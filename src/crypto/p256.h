@@ -6,13 +6,25 @@
 // ECDSA-P256 (documented in DESIGN.md) — the attestation protocol is
 // structurally identical and quotes are really signed and verified.
 //
+// Scalar multiplication (DESIGN.md §6) runs on three cooperating fast
+// paths: a fixed-base comb table for multiples of G (Sign, PublicKey,
+// ECIES ephemeral keys), width-6 wNAF with precomputed odd multiples for
+// arbitrary points (ECDH), and Strauss–Shamir interleaving so Verify
+// computes u1·G + u2·Q in one joint double-and-add chain.  Table points
+// are normalized with Montgomery-trick batch inversion.  The pre-PR
+// double-and-add ladder is kept verbatim behind the *Reference methods as
+// a differential-test hook and as the bench baseline.
+//
 // Scalar multiplication is not constant-time; this library runs inside a
 // simulator, not against live adversaries.
 
 #ifndef SRC_CRYPTO_P256_H_
 #define SRC_CRYPTO_P256_H_
 
+#include <array>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "src/crypto/bytes.h"
 #include "src/crypto/sha256.h"
@@ -53,9 +65,56 @@ class P256 {
   bool Verify(const EcPoint& public_key, const Digest& message_hash,
               const EcdsaSignature& signature) const;
 
+  // Affine point in the Montgomery domain of the field prime — the
+  // representation the precomputed tables are stored in.
+  struct AffineMont {
+    U256 x;
+    U256 y;
+  };
+
+  // A public key that has been decoded, curve-checked, and equipped with
+  // precomputed tables exactly once.  Verify(PreparedKey, ...) skips the
+  // per-call on-curve check and table build, and — because the tables
+  // cover Q, 2^64·Q, 2^128·Q and 2^192·Q — runs the joint ladder over
+  // four 64-bit scalar chunks, quartering the doubling count.  This is
+  // the hot path of the continuous-attestation loop (the verifier checks
+  // the same AIK every poll).
+  class PreparedKey {
+   public:
+    PreparedKey() = default;
+    const EcPoint& point() const { return point_; }
+
+   private:
+    friend class P256;
+    EcPoint point_;
+    // Group j (16 entries) holds the odd multiples 1,3,...,31 of 2^{64j}·Q.
+    std::array<AffineMont, 64> odd_{};
+  };
+
+  // Returns nullopt when the point is not on the curve (or is infinity).
+  std::optional<PreparedKey> Prepare(const EcPoint& public_key) const;
+  bool Verify(const PreparedKey& public_key, const Digest& message_hash,
+              const EcdsaSignature& signature) const;
+
   // ECDH: x-coordinate of private_key * peer, as 32 bytes.  Returns
   // nullopt when peer is invalid or the product is the point at infinity.
   std::optional<Bytes> SharedSecret(const U256& private_key, const EcPoint& peer) const;
+
+  // General k·P through the wNAF path (infinity in, or k a multiple of
+  // the group order, yields the point at infinity).  Exposed for the
+  // old-vs-new equivalence sweeps in tests.
+  EcPoint Multiply(const U256& k, const EcPoint& point) const;
+
+  // --- Pre-PR reference paths --------------------------------------------
+  // The original textbook double-and-add ladder and Fermat inversions,
+  // kept byte-for-byte so tests can differentially check the fast paths
+  // and benches can report honest old-vs-new speedups.
+  EcPoint MultiplyReference(const U256& k, const EcPoint& point) const;
+  EcdsaSignature SignReference(const U256& private_key, const Digest& message_hash) const;
+  bool VerifyReference(const EcPoint& public_key, const Digest& message_hash,
+                       const EcdsaSignature& signature) const;
+  std::optional<Bytes> SharedSecretReference(const U256& private_key,
+                                             const EcPoint& peer) const;
 
   const U256& order() const { return n_; }
 
@@ -75,13 +134,47 @@ class P256 {
   Jacobian AddPoints(const Jacobian& p, const Jacobian& q) const;
   Jacobian ScalarMul(const U256& k, const Jacobian& p) const;
 
+  // Fast-path group law (field::Fp arithmetic, in-place).
+  void DoubleFast(Jacobian& p) const;
+  void AddJacobianFast(Jacobian& p, const Jacobian& q) const;
+  void AddMixed(Jacobian& p, const AffineMont& q, bool negate) const;
+  EcPoint ToAffineFast(const Jacobian& p) const;
+  // Batch-normalizes Jacobian points (none at infinity) to affine via
+  // Montgomery-trick inversion; out must hold in.size() entries.
+  void NormalizeBatch(std::span<const Jacobian> in, AffineMont* out) const;
+  void BuildOddMultiples(const EcPoint& p, std::array<AffineMont, 16>& out) const;
+
+  Jacobian MulBaseComb(const U256& k) const;
+  Jacobian MulWnaf(const U256& k, const std::array<AffineMont, 16>& odd) const;
+  // Joint ladders for u1·G + u2·Q.  The one-shot variant runs u2's wNAF
+  // over a fresh 16-entry odd table (256 doublings); the prepared variant
+  // splits u2 into four 64-bit chunks over the PreparedKey's four tables
+  // (64 doublings).  Both fold u1 in through the fixed-base comb.
+  Jacobian MulShamir(const U256& u1, const U256& u2,
+                     const std::array<AffineMont, 16>& q_odd) const;
+  Jacobian MulShamirPrepared(const U256& u1, const U256& u2,
+                             const std::array<AffineMont, 64>& q_tables) const;
+  // Computes u1/u2 from the signature and checks x(sum) mod n == r via the
+  // Jacobian-coordinate candidate comparison (no field inversion).
+  template <typename Ladder>
+  bool VerifyCommon(const Digest& message_hash, const EcdsaSignature& signature,
+                    const Ladder& ladder) const;
+
   U256 p_;  // field prime
   U256 n_;  // group order
   Montgomery fp_;
   Montgomery fn_;
   U256 b_mont_;       // curve b in Montgomery form
   U256 three_mont_;   // 3 in Montgomery form
+  U256 r2_fp_;        // R^2 mod p, for inline binary inversion
+  U256 r2_fn_;        // R^2 mod n
   Jacobian g_;        // base point
+  // Fixed-base comb: fixed_[w*4095 + b - 1] = b · 2^{12w} · G for
+  // w ∈ [0, 22), b ∈ [1, 4095], so any scalar is a sum of at most 22
+  // table points with no doublings.  Row 0 also serves the joint verify
+  // ladders: adding b·G from row 0 at ladder position 12w leaves the
+  // remaining doublings to raise it to b·2^{12w}·G.
+  std::vector<AffineMont> fixed_;
 };
 
 }  // namespace bolted::crypto

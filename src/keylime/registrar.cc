@@ -66,6 +66,7 @@ sim::Task Registrar::HandleActivate(const net::Message& request,
       crypto::ConstantTimeEqual(crypto::DigestView(proof),
                                 crypto::DigestView(it->second.expected_secret_hash))) {
     it->second.keys.activated = true;
+    it->second.encoded_keys.clear();
     ok = 1;
   }
   response->payload = net::WireWriter().U32(ok).Take();
@@ -81,13 +82,16 @@ sim::Task Registrar::HandleGetKeys(const net::Message& request,
     response->kind = "kl.reg.error";
     co_return;
   }
-  const NodeKeys& keys = it->second.keys;
-  response->payload = net::WireWriter()
-                          .Blob(keys.ek.Encode())
-                          .Blob(keys.aik.Encode())
-                          .Blob(keys.nk.Encode())
-                          .U32(keys.activated ? 1 : 0)
-                          .Take();
+  Record& record = it->second;
+  if (record.encoded_keys.empty()) {
+    record.encoded_keys = net::WireWriter()
+                              .Blob(record.keys.ek.Encode())
+                              .Blob(record.keys.aik.Encode())
+                              .Blob(record.keys.nk.Encode())
+                              .U32(record.keys.activated ? 1 : 0)
+                              .Take();
+  }
+  response->payload = record.encoded_keys;
 }
 
 }  // namespace bolted::keylime

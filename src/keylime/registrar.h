@@ -50,6 +50,10 @@ class Registrar {
   struct Record {
     NodeKeys keys;
     crypto::Digest expected_secret_hash{};
+    // Lazily built GetKeys wire encoding; the fleet's verifiers poll this
+    // far more often than keys change.  Cleared whenever keys mutate
+    // (re-registration, activation).
+    crypto::Bytes encoded_keys;
   };
   std::map<std::string, Record> records_;
 };

@@ -20,11 +20,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/crypto/drbg.h"
+#include "src/crypto/p256.h"
 #include "src/keylime/payload.h"
 #include "src/keylime/registrar.h"
 #include "src/net/rpc.h"
@@ -85,6 +87,10 @@ class Verifier {
 
   uint64_t verifications() const { return verifications_; }
   uint64_t violations() const { return violations_; }
+  // Prepared-AIK cache effectiveness: in steady-state polling every
+  // verification after a node's first should hit.
+  uint64_t aik_cache_hits() const { return aik_cache_hits_; }
+  uint64_t aik_cache_misses() const { return aik_cache_misses_; }
 
  private:
   struct NodeState {
@@ -97,6 +103,14 @@ class Verifier {
     // prefix replays to.  Only the suffix travels on each quote.
     uint64_t ima_seen = 0;
     crypto::Digest ima_pcr{};
+    // Decoded-key cache, keyed on the registrar's wire encodings: the AIK
+    // is decoded, curve-checked, and equipped with verify tables once, not
+    // on every poll.  A changed encoding (re-registration) misses and
+    // rebuilds.
+    crypto::Bytes aik_wire;
+    std::optional<crypto::P256::PreparedKey> aik_prepared;
+    crypto::Bytes nk_wire;
+    std::optional<crypto::EcPoint> nk_decoded;
   };
 
   sim::Task ContinuousLoop(std::string name, sim::Duration interval,
@@ -114,6 +128,8 @@ class Verifier {
   ViolationCallback violation_callback_;
   uint64_t verifications_ = 0;
   uint64_t violations_ = 0;
+  uint64_t aik_cache_hits_ = 0;
+  uint64_t aik_cache_misses_ = 0;
 };
 
 }  // namespace bolted::keylime

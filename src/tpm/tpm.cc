@@ -179,18 +179,31 @@ Quote Tpm::MakeQuote(crypto::ByteView nonce, uint32_t pcr_mask) const {
   return quote;
 }
 
-bool Tpm::VerifyQuote(const Quote& quote, const crypto::EcPoint& aik_public) {
-  // The value list must match the mask's population count.
+namespace {
+
+// The value list must match the mask's population count.
+bool QuoteShapeOk(const Quote& quote) {
   uint32_t bits = quote.pcr_mask;
   size_t expected = 0;
   while (bits != 0) {
     expected += bits & 1;
     bits >>= 1;
   }
-  if (quote.pcr_values.size() != expected) {
-    return false;
-  }
-  return crypto::P256::Instance().Verify(aik_public, quote.MessageDigest(),
+  return quote.pcr_values.size() == expected;
+}
+
+}  // namespace
+
+bool Tpm::VerifyQuote(const Quote& quote, const crypto::EcPoint& aik_public) {
+  return QuoteShapeOk(quote) &&
+         crypto::P256::Instance().Verify(aik_public, quote.MessageDigest(),
+                                         quote.signature);
+}
+
+bool Tpm::VerifyQuote(const Quote& quote,
+                      const crypto::P256::PreparedKey& aik_public) {
+  return QuoteShapeOk(quote) &&
+         crypto::P256::Instance().Verify(aik_public, quote.MessageDigest(),
                                          quote.signature);
 }
 

@@ -89,8 +89,13 @@ class Tpm {
   Quote MakeQuote(crypto::ByteView nonce, uint32_t pcr_mask) const;
 
   // Verifies signature and internal consistency of a quote against an
-  // expected AIK public key.
+  // expected AIK public key.  The PreparedKey overload is the polling hot
+  // path: the caller validates and tables the AIK once, and every
+  // subsequent quote check skips the on-curve test and runs the short
+  // precomputed verify ladder.
   static bool VerifyQuote(const Quote& quote, const crypto::EcPoint& aik_public);
+  static bool VerifyQuote(const Quote& quote,
+                          const crypto::P256::PreparedKey& aik_public);
 
   // TPM2_ActivateCredential: recovers the secret from MakeCredential's
   // blob iff this TPM holds the EK private key and its current AIK matches

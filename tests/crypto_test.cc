@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/crypto/aes.h"
 #include "src/crypto/aes_gcm.h"
@@ -449,6 +451,244 @@ TEST(P256Test, OrderTimesGeneratorIsInfinity) {
   const EcPoint g = curve.PublicKey(U256::One());
   EXPECT_EQ(neg_g.x, g.x);
   EXPECT_NE(neg_g.y, g.y);
+}
+
+// RFC 6979 A.2.5 (P-256, SHA-256): the private key, public key, and the
+// deterministic signatures for "sample" and "test".  Our nonce derivation
+// differs, so we don't reproduce these r/s values when signing — but any
+// correct verifier must accept them, which exercises the full verify
+// stack (hash mapping, scalar inversion, joint ladders, x-mod-n check)
+// against an external ground truth.
+TEST(P256Test, Rfc6979VerifyKnownAnswers) {
+  const P256& curve = P256::Instance();
+  const U256 priv = U256::FromHexString(
+      "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721");
+  EcPoint pub;
+  pub.x = U256::FromHexString(
+      "60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6");
+  pub.y = U256::FromHexString(
+      "7903fe1008b8bc99a41ae9e95628bc64f2f1b20c2d7e9f5177a3c294d4462299");
+  EXPECT_TRUE(curve.IsOnCurve(pub));
+  EXPECT_EQ(curve.PublicKey(priv), pub);
+
+  struct Vector {
+    std::string_view message;
+    std::string_view r;
+    std::string_view s;
+  };
+  const Vector vectors[] = {
+      {"sample",
+       "efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716",
+       "f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8"},
+      {"test",
+       "f1abb023518351cd71d881567b1ea663ed3efcf6c5132b354f28d3b0b7d38367",
+       "019f4113742a2b14bd25926b49c649155f267e60d3814b4c0cc84250e46f0083"},
+  };
+  const auto prepared = curve.Prepare(pub);
+  ASSERT_TRUE(prepared.has_value());
+  for (const Vector& v : vectors) {
+    const Digest hash = Sha256::Hash(ToBytes(v.message));
+    const EcdsaSignature sig{U256::FromHexString(v.r), U256::FromHexString(v.s)};
+    EXPECT_TRUE(curve.Verify(pub, hash, sig));
+    EXPECT_TRUE(curve.Verify(*prepared, hash, sig));
+    EXPECT_TRUE(curve.VerifyReference(pub, hash, sig));
+  }
+}
+
+// Wycheproof-style rejection cases: out-of-range scalars, truncated
+// encodings, and invalid public keys must be rejected by every verify
+// path, not just the reference one.
+TEST(P256Test, VerifyRejectsOutOfRangeSignatureScalars) {
+  const P256& curve = P256::Instance();
+  const U256 priv = curve.PrivateKeyFromSeed(ToBytes("range-checks"));
+  const EcPoint pub = curve.PublicKey(priv);
+  const auto prepared = curve.Prepare(pub);
+  ASSERT_TRUE(prepared.has_value());
+  const Digest hash = Sha256::Hash("ranged message");
+  const EcdsaSignature good = curve.Sign(priv, hash);
+
+  U256 n_plus_1;
+  AddCarry(curve.order(), U256::One(), n_plus_1);
+  const U256 bad_scalars[] = {U256::Zero(), curve.order(), n_plus_1,
+                              U256{{~uint64_t{0}, ~uint64_t{0}, ~uint64_t{0},
+                                    ~uint64_t{0}}}};
+  for (const U256& bad : bad_scalars) {
+    const EcdsaSignature bad_r{bad, good.s};
+    const EcdsaSignature bad_s{good.r, bad};
+    EXPECT_FALSE(curve.Verify(pub, hash, bad_r));
+    EXPECT_FALSE(curve.Verify(pub, hash, bad_s));
+    EXPECT_FALSE(curve.Verify(*prepared, hash, bad_r));
+    EXPECT_FALSE(curve.Verify(*prepared, hash, bad_s));
+    EXPECT_FALSE(curve.VerifyReference(pub, hash, bad_r));
+    EXPECT_FALSE(curve.VerifyReference(pub, hash, bad_s));
+  }
+  // Sanity: the unmodified signature still passes everywhere.
+  EXPECT_TRUE(curve.Verify(pub, hash, good));
+  EXPECT_TRUE(curve.Verify(*prepared, hash, good));
+  EXPECT_TRUE(curve.VerifyReference(pub, hash, good));
+}
+
+TEST(P256Test, SignatureDecodeRejectsTruncatedEncodings) {
+  const P256& curve = P256::Instance();
+  const U256 priv = curve.PrivateKeyFromSeed(ToBytes("encoder"));
+  const Digest hash = Sha256::Hash("encoded message");
+  const Bytes wire = curve.Sign(priv, hash).Encode();
+  ASSERT_EQ(wire.size(), 64u);
+  EXPECT_TRUE(EcdsaSignature::Decode(wire).has_value());
+  for (const size_t len : {size_t{0}, size_t{1}, size_t{32}, size_t{63}}) {
+    EXPECT_FALSE(EcdsaSignature::Decode(ByteView(wire).subspan(0, len)).has_value());
+  }
+  Bytes extended = wire;
+  extended.push_back(0);
+  EXPECT_FALSE(EcdsaSignature::Decode(extended).has_value());
+}
+
+TEST(P256Test, VerifyAndPrepareRejectInvalidPublicKeys) {
+  const P256& curve = P256::Instance();
+  const U256 priv = curve.PrivateKeyFromSeed(ToBytes("valid-signer"));
+  const EcPoint pub = curve.PublicKey(priv);
+  const Digest hash = Sha256::Hash("some message");
+  const EcdsaSignature sig = curve.Sign(priv, hash);
+
+  EcPoint off_curve = pub;
+  U256 bumped;
+  AddCarry(off_curve.y, U256::One(), bumped);
+  off_curve.y = bumped;
+  EXPECT_FALSE(curve.IsOnCurve(off_curve));
+  EXPECT_FALSE(curve.Verify(off_curve, hash, sig));
+  EXPECT_FALSE(curve.Prepare(off_curve).has_value());
+
+  EcPoint infinity;
+  infinity.infinity = true;
+  EXPECT_FALSE(curve.Verify(infinity, hash, sig));
+  EXPECT_FALSE(curve.Prepare(infinity).has_value());
+}
+
+// The fast comb/wNAF paths must agree with the pre-PR double-and-add
+// ladder over random scalars and the adversarial edge scalars (tiny,
+// near-order, sparse windows).
+TEST(P256Test, FastScalarMulMatchesReferenceSweep) {
+  const P256& curve = P256::Instance();
+  Drbg drbg(uint64_t{2024});
+  const EcPoint g = curve.PublicKey(U256::One());
+
+  std::vector<U256> scalars;
+  for (int i = 0; i < 12; ++i) {
+    scalars.push_back(curve.PrivateKeyFromSeed(drbg.Generate(32)));
+  }
+  U256 n_minus_1, n_minus_2;
+  SubBorrow(curve.order(), U256::One(), n_minus_1);
+  SubBorrow(n_minus_1, U256::One(), n_minus_2);
+  scalars.push_back(U256::One());
+  scalars.push_back(U256{{2, 0, 0, 0}});
+  scalars.push_back(n_minus_1);
+  scalars.push_back(n_minus_2);
+  scalars.push_back(U256{{0, 0, 1, 0}});     // 2^128: all low windows zero
+  scalars.push_back(U256{{0xfff, 0, 0, 1}}); // sparse: only ends populated
+
+  const EcPoint point = curve.PublicKey(curve.PrivateKeyFromSeed(ToBytes("base")));
+  for (const U256& k : scalars) {
+    EXPECT_EQ(curve.PublicKey(k), curve.MultiplyReference(k, g));
+    EXPECT_EQ(curve.Multiply(k, point), curve.MultiplyReference(k, point));
+  }
+  EXPECT_TRUE(curve.Multiply(curve.order(), point).infinity);
+  EXPECT_TRUE(curve.MultiplyReference(curve.order(), point).infinity);
+}
+
+// The comb+binary-inversion Sign must emit byte-identical signatures to
+// the reference path (same nonce derivation, same r and s), so swapping
+// the backend can never invalidate previously recorded quotes.
+TEST(P256Test, SignMatchesReferenceByteForByte) {
+  const P256& curve = P256::Instance();
+  Drbg drbg(uint64_t{4242});
+  for (int i = 0; i < 12; ++i) {
+    const U256 priv = curve.PrivateKeyFromSeed(drbg.Generate(32));
+    const Digest hash = Sha256::Hash(drbg.Generate(48));
+    const EcdsaSignature fast = curve.Sign(priv, hash);
+    const EcdsaSignature ref = curve.SignReference(priv, hash);
+    EXPECT_EQ(fast.Encode(), ref.Encode());
+  }
+}
+
+TEST(P256Test, VerifyPathsAgreeOnRandomizedDecisions) {
+  const P256& curve = P256::Instance();
+  Drbg drbg(uint64_t{31337});
+  for (int i = 0; i < 8; ++i) {
+    const U256 priv = curve.PrivateKeyFromSeed(drbg.Generate(32));
+    const EcPoint pub = curve.PublicKey(priv);
+    const auto prepared = curve.Prepare(pub);
+    ASSERT_TRUE(prepared.has_value());
+    EXPECT_EQ(prepared->point(), pub);
+    const Digest hash = Sha256::Hash(drbg.Generate(40));
+    const EcdsaSignature sig = curve.Sign(priv, hash);
+
+    EXPECT_TRUE(curve.Verify(pub, hash, sig));
+    EXPECT_TRUE(curve.Verify(*prepared, hash, sig));
+    EXPECT_TRUE(curve.VerifyReference(pub, hash, sig));
+
+    EcdsaSignature tampered = sig;
+    U256 bumped;
+    AddCarry(tampered.s, U256::One(), bumped);
+    tampered.s = bumped;
+    const bool fast = curve.Verify(pub, hash, tampered);
+    const bool fast_prepared = curve.Verify(*prepared, hash, tampered);
+    const bool ref = curve.VerifyReference(pub, hash, tampered);
+    EXPECT_EQ(fast, ref);
+    EXPECT_EQ(fast_prepared, ref);
+    EXPECT_FALSE(ref);
+  }
+}
+
+TEST(P256Test, PreparedKeyVerifiesManyMessages) {
+  const P256& curve = P256::Instance();
+  const U256 priv = curve.PrivateKeyFromSeed(ToBytes("aik"));
+  const auto prepared = curve.Prepare(curve.PublicKey(priv));
+  ASSERT_TRUE(prepared.has_value());
+  for (int i = 0; i < 16; ++i) {
+    const Digest hash = Sha256::Hash("quote-" + std::to_string(i));
+    EXPECT_TRUE(curve.Verify(*prepared, hash, curve.Sign(priv, hash)));
+    EXPECT_FALSE(curve.Verify(*prepared, Sha256::Hash("other-" + std::to_string(i)),
+                              curve.Sign(priv, hash)));
+  }
+}
+
+TEST(U256Test, BinaryInversionMatchesFermat) {
+  const U256 p = U256::FromHexString(
+      "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  const Montgomery field(p);
+  Drbg drbg(uint64_t{99});
+  for (int i = 0; i < 16; ++i) {
+    const U256 a = field.Reduce(U256::FromBytes(drbg.Generate(32)));
+    if (a.IsZero()) {
+      continue;
+    }
+    const U256 a_mont = field.ToMont(a);
+    EXPECT_EQ(field.InverseBinary(a_mont), field.Inverse(a_mont));
+    // ModInverseOdd works outside the Montgomery domain: a * a^-1 == 1.
+    const U256 plain_inv = ModInverseOdd(a, p);
+    EXPECT_EQ(field.FromMont(field.Mul(field.ToMont(a), field.ToMont(plain_inv))),
+              U256::One());
+  }
+}
+
+TEST(U256Test, BatchInvertMatchesIndividualInversions) {
+  const U256 n = U256::FromHexString(
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  const Montgomery field(n);
+  Drbg drbg(uint64_t{123});
+  std::vector<U256> values;
+  std::vector<U256> expected;
+  for (int i = 0; i < 9; ++i) {
+    U256 v = field.Reduce(U256::FromBytes(drbg.Generate(32)));
+    if (v.IsZero()) {
+      v = U256::One();
+    }
+    v = field.ToMont(v);
+    values.push_back(v);
+    expected.push_back(field.Inverse(v));
+  }
+  field.BatchInvert(values);
+  EXPECT_EQ(values, expected);
 }
 
 TEST(DrbgTest, DeterministicAndSeedSensitive) {

@@ -263,6 +263,39 @@ TEST_F(KeylimeFixture, PayloadDeliveredAfterSuccessfulVerification) {
   EXPECT_EQ(received, payload);
 }
 
+TEST_F(KeylimeFixture, RepeatedVerificationsHitThePreparedAikCache) {
+  ASSERT_TRUE(Register());
+  auto boot = [&]() -> Task { co_await machine->PowerOnSelfTest(); };
+  sim.Spawn(boot());
+  sim.Run();
+
+  Verifier::NodeConfig config;
+  config.agent = machine->address();
+  config.whitelist = WhitelistForMachine();
+  verifier->AddNode("node-x", std::move(config));
+
+  // First poll decodes, curve-checks, and tables the AIK; every later
+  // poll reuses the prepared key as long as the registrar's encoding is
+  // unchanged.
+  EXPECT_TRUE(Verify().passed);
+  EXPECT_EQ(verifier->aik_cache_misses(), 1u);
+  EXPECT_EQ(verifier->aik_cache_hits(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(Verify().passed);
+  }
+  EXPECT_EQ(verifier->aik_cache_misses(), 1u);
+  EXPECT_EQ(verifier->aik_cache_hits(), 3u);
+
+  // Re-registration (the agent creates a fresh AIK) changes the wire
+  // encoding: exactly one more miss, then hits again.
+  ASSERT_TRUE(Register());
+  EXPECT_TRUE(Verify().passed);
+  EXPECT_EQ(verifier->aik_cache_misses(), 2u);
+  EXPECT_EQ(verifier->aik_cache_hits(), 3u);
+  EXPECT_TRUE(Verify().passed);
+  EXPECT_EQ(verifier->aik_cache_hits(), 4u);
+}
+
 TEST_F(KeylimeFixture, ContinuousAttestationRevokesOnViolation) {
   ASSERT_TRUE(Register());
   auto boot = [&]() -> Task { co_await machine->PowerOnSelfTest(); };
