@@ -52,10 +52,9 @@ if [[ "${want_asan}" == 1 ]]; then
 fi
 
 if [[ "${want_bench}" == 1 ]]; then
-  echo "== bench smoke: JSON runners (uninstrumented build) =="
-  ./build/bench/bench_crypto_json /tmp/bolted_bench_crypto.json
-  ./build/bench/fleet_attestation /tmp/bolted_bench_attestation.json
-  echo "smoke outputs in /tmp/bolted_bench_*.json (committed copies are"
+  echo "== bench smoke: ctest -L bench_smoke (uninstrumented build) =="
+  ctest --test-dir build --output-on-failure -L bench_smoke
+  echo "smoke JSON outputs land in build/bench/ (committed copies are"
   echo "regenerated manually at the repo root)"
 fi
 

@@ -9,6 +9,21 @@ namespace {
 
 constexpr std::string_view kEnclaveNetSuffix = "-enclave";
 
+// Retry budgets for the transient half of provisioning failures.  Artifact
+// downloads and airlock attestation ride over the same fabric the fault
+// layer perturbs; integrity failures (bad measurements, EK mismatch) are
+// never retried.
+constexpr int kMaxFetchAttempts = 3;
+constexpr sim::Duration kFetchRetryBackoff = sim::Duration::Seconds(2);
+constexpr int kMaxAttestAttempts = 3;
+constexpr sim::Duration kAttestRetryBackoff = sim::Duration::Seconds(5);
+
+bool TransientProvisionFailure(const std::string& failure) {
+  return failure == "agent download failed" || failure == "registration failed" ||
+         failure == "U-half delivery failed" ||
+         keylime::IsTransientFailure(failure);
+}
+
 }  // namespace
 
 Enclave::Enclave(Cloud& cloud, std::string project, TrustProfile profile,
@@ -211,6 +226,28 @@ sim::Task Enclave::RejectNode(const std::string& node, NodeRuntime& rt,
   hil.ConnectNodeToNetwork(project_, node, "bolted-rejected");
   co_await sim::Delay(cloud_.sim(), cloud_.cal().switch_reconfig_time);
   rt.state = NodeState::kRejected;
+  // Clean abort: everything the half-provisioned node acquired is released
+  // so a rejection never leaks verifier entries, payload splits, or image
+  // clones.  The machine itself stays powered in the rejected pool for
+  // examination (§4) until ReleaseNode reclaims it.
+  if (profile_.use_attestation) {
+    verifier_->StopContinuous(node);
+    verifier_->RemoveNode(node);
+  }
+  splits_.erase(node);
+  // The agent's RPC handlers (and any in-flight handler coroutine stuck on
+  // a TPM delay) hold raw pointers to it, so it is parked rather than
+  // destroyed; the next provisioning of this machine replaces the handlers.
+  if (rt.agent != nullptr) {
+    retired_agents_.push_back(std::move(rt.agent));
+  }
+  rt.ima.reset();
+  rt.crypt.reset();
+  rt.initiator.reset();
+  if (rt.image != 0) {
+    cloud_.bmi().ReleaseNodeImage(node, /*keep_snapshot=*/false);
+    rt.image = 0;
+  }
   if (outcome != nullptr) {
     outcome->success = false;
     outcome->state = NodeState::kRejected;
@@ -247,25 +284,30 @@ sim::Task Enclave::AttestInAirlock(const std::string& node, NodeRuntime& rt, boo
   const Calibration& cal = cloud_.cal();
 
   // Download the Keylime agent over HTTP from the provisioning service;
-  // LinuxBoot measures it before executing it.
-  crypto::Digest agent_digest{};
-  uint64_t agent_bytes = 0;
-  bool fetch_ok = false;
-  co_await bmi::FetchArtifact(rt.machine->rpc(), cloud_.bmi().address(),
-                              "keylime-agent", &agent_digest, &agent_bytes, &fetch_ok);
-  if (!fetch_ok) {
-    *failure = "agent download failed";
-    co_return;
+  // LinuxBoot measures it before executing it.  On a retry of this phase
+  // the already-running agent is reused — recreating it would orphan the
+  // machine's RPC handlers mid-flight.
+  if (rt.agent == nullptr) {
+    crypto::Digest agent_digest{};
+    uint64_t agent_bytes = 0;
+    bool fetch_ok = false;
+    co_await bmi::FetchArtifact(rt.machine->rpc(), cloud_.bmi().address(),
+                                "keylime-agent", &agent_digest, &agent_bytes,
+                                &fetch_ok);
+    if (!fetch_ok) {
+      *failure = "agent download failed";
+      co_return;
+    }
+    rt.machine->MeasureIntoPcr(tpm::kPcrBootloader, agent_digest, "keylime-agent");
+    co_await sim::Delay(sim, cal.agent_start_time);
+    const crypto::Bytes agent_seed = drbg_.Generate(8);
+    uint64_t seed = 0;
+    for (const uint8_t b : agent_seed) {
+      seed = (seed << 8) | b;
+    }
+    rt.agent = std::make_unique<keylime::Agent>(*rt.machine, seed);
+    rt.machine->set_power_state(machine::PowerState::kAgent);
   }
-  rt.machine->MeasureIntoPcr(tpm::kPcrBootloader, agent_digest, "keylime-agent");
-  co_await sim::Delay(sim, cal.agent_start_time);
-  const crypto::Bytes agent_seed = drbg_.Generate(8);
-  uint64_t seed = 0;
-  for (const uint8_t b : agent_seed) {
-    seed = (seed << 8) | b;
-  }
-  rt.agent = std::make_unique<keylime::Agent>(*rt.machine, seed);
-  rt.machine->set_power_state(machine::PowerState::kAgent);
 
   bool reg_ok = false;
   co_await rt.agent->RegisterWithRegistrar(registrar_address_, node, &reg_ok);
@@ -284,8 +326,12 @@ sim::Task Enclave::AttestInAirlock(const std::string& node, NodeRuntime& rt, boo
     co_return;
   }
 
-  // Per-node payload split; register with the verifier and attest.
-  splits_[node] = keylime::SealPayload(payload_, drbg_);
+  // Per-node payload split; register with the verifier and attest.  The
+  // split survives a transient retry so a late-arriving key half from the
+  // previous attempt can never be mismatched against a fresh one.
+  if (!splits_.contains(node)) {
+    splits_[node] = keylime::SealPayload(payload_, drbg_);
+  }
   keylime::Verifier::NodeConfig config;
   config.agent = rt.machine->address();
   config.whitelist = whitelist_;
@@ -417,6 +463,11 @@ sim::Task Enclave::ProvisionNode(const std::string& node, ProvisionOutcome* outc
     co_return;
   }
   NodeRuntime& rt = nodes_[node];
+  if (rt.agent != nullptr) {
+    // Left over from a prior life of this node (e.g. a violation without a
+    // release): park it, handlers may still reference it.
+    retired_agents_.push_back(std::move(rt.agent));
+  }
   rt = NodeRuntime{};
   rt.machine = machine;
 
@@ -433,8 +484,13 @@ sim::Task Enclave::ProvisionNode(const std::string& node, ProvisionOutcome* outc
     crypto::Digest digest{};
     uint64_t bytes = 0;
     bool ok = false;
-    co_await bmi::FetchArtifact(machine->rpc(), cloud_.bmi().address(), "ipxe",
-                                &digest, &bytes, &ok);
+    for (int attempt = 1; attempt <= kMaxFetchAttempts && !ok; ++attempt) {
+      if (attempt > 1) {
+        co_await sim::Delay(sim, kFetchRetryBackoff * (attempt - 1));
+      }
+      co_await bmi::FetchArtifact(machine->rpc(), cloud_.bmi().address(), "ipxe",
+                                  &digest, &bytes, &ok);
+    }
     if (!ok) {
       co_await RejectNode(node, rt, "iPXE download failed", outcome);
       co_return;
@@ -442,8 +498,14 @@ sim::Task Enclave::ProvisionNode(const std::string& node, ProvisionOutcome* outc
     machine->MeasureIntoPcr(tpm::kPcrBootloader, digest, "ipxe");
     trace.Mark("PXE/iPXE");
 
-    co_await bmi::FetchArtifact(machine->rpc(), cloud_.bmi().address(),
-                                "heads-runtime", &digest, &bytes, &ok);
+    ok = false;
+    for (int attempt = 1; attempt <= kMaxFetchAttempts && !ok; ++attempt) {
+      if (attempt > 1) {
+        co_await sim::Delay(sim, kFetchRetryBackoff * (attempt - 1));
+      }
+      co_await bmi::FetchArtifact(machine->rpc(), cloud_.bmi().address(),
+                                  "heads-runtime", &digest, &bytes, &ok);
+    }
     if (!ok) {
       co_await RejectNode(node, rt, "LinuxBoot download failed", outcome);
       co_return;
@@ -468,7 +530,18 @@ sim::Task Enclave::ProvisionNode(const std::string& node, ProvisionOutcome* outc
     std::string failure;
     {
       sim::SemaphoreGuard slot(cloud_.airlock_slots());
-      co_await AttestInAirlock(node, rt, &ok, &failure);
+      // Transient attestation failures (lost frames, a slow TPM, a flapped
+      // link) are retried inside the airlock; integrity failures reject
+      // immediately — re-measuring a bad node cannot make it good.
+      for (int attempt = 1; attempt <= kMaxAttestAttempts; ++attempt) {
+        if (attempt > 1) {
+          co_await sim::Delay(sim, kAttestRetryBackoff * (attempt - 1));
+        }
+        co_await AttestInAirlock(node, rt, &ok, &failure);
+        if (ok || !TransientProvisionFailure(failure)) {
+          break;
+        }
+      }
     }
     if (!ok) {
       co_await RejectNode(node, rt, failure, outcome);
@@ -480,8 +553,13 @@ sim::Task Enclave::ProvisionNode(const std::string& node, ProvisionOutcome* outc
     crypto::Digest digest{};
     uint64_t bytes = 0;
     bool ok = false;
-    co_await bmi::FetchArtifact(machine->rpc(), cloud_.bmi().address(),
-                                project_ + "-kernel-zip", &digest, &bytes, &ok);
+    for (int attempt = 1; attempt <= kMaxFetchAttempts && !ok; ++attempt) {
+      if (attempt > 1) {
+        co_await sim::Delay(sim, kFetchRetryBackoff * (attempt - 1));
+      }
+      co_await bmi::FetchArtifact(machine->rpc(), cloud_.bmi().address(),
+                                  project_ + "-kernel-zip", &digest, &bytes, &ok);
+    }
     if (!ok) {
       co_await RejectNode(node, rt, "kernel download failed", outcome);
       co_return;
@@ -515,7 +593,13 @@ sim::Task Enclave::ReleaseNode(const std::string& node, bool keep_snapshot) {
     verifier_->StopContinuous(node);
     verifier_->RemoveNode(node);
   }
-  cloud_.bmi().ReleaseNodeImage(node, keep_snapshot);
+  splits_.erase(node);
+  if (rt.agent != nullptr) {
+    retired_agents_.push_back(std::move(rt.agent));
+  }
+  if (rt.image != 0) {
+    cloud_.bmi().ReleaseNodeImage(node, keep_snapshot);
+  }
   // Drop mesh keys on the remaining members.
   const net::Address self = rt.machine->address();
   for (const std::string& other : members_) {

@@ -161,6 +161,10 @@ class Enclave {
 
   net::VlanId enclave_vlan_ = 0;
   std::map<std::string, NodeRuntime> nodes_;
+  // Agents from rejected/released nodes: their machine-side RPC handlers
+  // (and possibly in-flight handler coroutines) reference them, so they
+  // outlive their NodeRuntime and die with the enclave.
+  std::vector<std::unique_ptr<keylime::Agent>> retired_agents_;
   std::vector<std::string> members_;
   ViolationHandler violation_handler_;
   uint64_t violations_handled_ = 0;

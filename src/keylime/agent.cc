@@ -39,9 +39,28 @@ sim::Task Agent::RegisterWithRegistrar(net::Address registrar,
   sim::Simulation& sim = machine_.simulation();
   tpm::Tpm& tpm = machine_.tpm();
 
-  // AIK creation is the slow TPM operation in registration.
-  co_await sim::Delay(sim, tpm.latency().create_aik);
-  tpm.CreateAik();
+  // AIK creation is the slow TPM operation in registration; transient TPM
+  // command failures (injected by the fault layer) are retried a bounded
+  // number of times before the whole registration is reported failed.
+  bool aik_created = false;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const tpm::TpmFault fault = tpm.TakeFault("create_aik");
+    co_await sim::Delay(sim, tpm.latency().create_aik + fault.extra_latency);
+    if (!fault.fail) {
+      tpm.CreateAik();
+      aik_created = true;
+      break;
+    }
+  }
+  if (!aik_created) {
+    co_return;
+  }
+
+  // Registration happens once per boot, often right after a reboot while
+  // the fabric is still settling — worth a couple of resends.
+  net::CallOptions options;
+  options.timeout = sim::Duration::Seconds(10);
+  options.max_attempts = 3;
 
   net::Message request;
   request.kind = std::string(kRpcRegister);
@@ -53,7 +72,8 @@ sim::Task Agent::RegisterWithRegistrar(net::Address registrar,
                         .Take();
   net::Message response;
   bool rpc_ok = false;
-  co_await machine_.rpc().Call(registrar, std::move(request), &response, &rpc_ok);
+  co_await machine_.rpc().CallWithRetry(registrar, std::move(request), &response,
+                                        &rpc_ok, options);
   if (!rpc_ok || response.kind == "kl.reg.error") {
     co_return;
   }
@@ -64,7 +84,12 @@ sim::Task Agent::RegisterWithRegistrar(net::Address registrar,
     co_return;
   }
 
-  co_await sim::Delay(sim, tpm.latency().activate_credential);
+  const tpm::TpmFault activate_fault = tpm.TakeFault("activate_credential");
+  co_await sim::Delay(
+      sim, tpm.latency().activate_credential + activate_fault.extra_latency);
+  if (activate_fault.fail) {
+    co_return;
+  }
   const auto secret = tpm.ActivateCredential(blob);
   if (!secret) {
     co_return;
@@ -77,8 +102,8 @@ sim::Task Agent::RegisterWithRegistrar(net::Address registrar,
                          .Digest(crypto::Sha256::Hash(*secret))
                          .Take();
   net::Message activate_response;
-  co_await machine_.rpc().Call(registrar, std::move(activate), &activate_response,
-                               &rpc_ok);
+  co_await machine_.rpc().CallWithRetry(registrar, std::move(activate),
+                                        &activate_response, &rpc_ok, options);
   if (!rpc_ok) {
     co_return;
   }
@@ -98,7 +123,15 @@ sim::Task Agent::HandleQuote(const net::Message& request, net::Message* response
     response->kind = "kl.agent.error";
     co_return;
   }
-  co_await sim::Delay(machine_.simulation(), machine_.tpm().latency().quote);
+  // A faulted quote command still burns the command time (plus any injected
+  // latency spike) before the agent reports the error.
+  const tpm::TpmFault fault = machine_.tpm().TakeFault("quote");
+  co_await sim::Delay(machine_.simulation(),
+                      machine_.tpm().latency().quote + fault.extra_latency);
+  if (fault.fail) {
+    response->kind = "kl.agent.error";
+    co_return;
+  }
   const tpm::Quote quote = machine_.tpm().MakeQuote(nonce, mask);
   ++quotes_served_;
 

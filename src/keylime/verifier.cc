@@ -37,6 +37,14 @@ std::optional<crypto::EcPoint> ParsePointUnchecked(crypto::ByteView encoded) {
 
 }  // namespace
 
+bool IsTransientFailure(std::string_view failure) {
+  // Everything else is evidence of a bad node, not a bad network: forged or
+  // stale quotes, log mismatches, unwhitelisted measurements, registration
+  // problems.
+  return failure == "registrar lookup failed" || failure == "agent unreachable" ||
+         failure == "payload delivery failed";
+}
+
 Verifier::Verifier(sim::Simulation& sim, net::Endpoint& endpoint,
                    net::Address registrar, uint64_t seed)
     : sim_(sim), node_(sim, endpoint), registrar_(registrar), drbg_(seed) {
@@ -97,7 +105,8 @@ sim::Task Verifier::VerifyNode(const std::string& name, VerificationResult* resu
   key_request.payload = net::WireWriter().Str(name).Take();
   net::Message key_response;
   bool rpc_ok = false;
-  co_await node_.Call(registrar_, std::move(key_request), &key_response, &rpc_ok);
+  co_await node_.CallWithRetry(registrar_, std::move(key_request), &key_response,
+                               &rpc_ok, call_options_);
   if (!rpc_ok || key_response.kind == "kl.reg.error") {
     result->failure = "registrar lookup failed";
     co_return;
@@ -143,8 +152,8 @@ sim::Task Verifier::VerifyNode(const std::string& name, VerificationResult* resu
   quote_request.payload =
       net::WireWriter().Blob(nonce).U32(kQuotePcrMask).U64(state.ima_seen).Take();
   net::Message quote_response;
-  co_await node_.Call(state.config.agent, std::move(quote_request), &quote_response,
-                      &rpc_ok);
+  co_await node_.CallWithRetry(state.config.agent, std::move(quote_request),
+                               &quote_response, &rpc_ok, call_options_);
   if (!rpc_ok || quote_response.kind == "kl.agent.error") {
     result->failure = "agent unreachable";
     co_return;
@@ -156,6 +165,14 @@ sim::Task Verifier::VerifyNode(const std::string& name, VerificationResult* resu
   const auto ima_log = tpm::EventLog::Deserialize(reader.Blob());
   if (!reader.AtEnd() || !quote || !boot_log || !ima_log) {
     result->failure = "malformed quote response";
+    co_return;
+  }
+  if (boot_log->events().empty()) {
+    // A freshly power-cycled TPM has all-zero PCRs, and an empty boot log
+    // replays to exactly those values — so without this check a crashed,
+    // unbooted machine would sail through replay and (vacuously) through
+    // the whitelist.  A measured boot always logs at least the firmware.
+    result->failure = "empty boot event log";
     co_return;
   }
   if (ima_total < state.ima_seen) {
@@ -261,8 +278,9 @@ void Verifier::StopContinuous(const std::string& name) {
 
 sim::Task Verifier::ContinuousLoop(std::string name, sim::Duration interval,
                                    uint64_t generation) {
+  sim::Duration wait = interval;
   for (;;) {
-    co_await sim::Delay(sim_, interval);
+    co_await sim::Delay(sim_, wait);
     const auto it = nodes_.find(name);
     if (it == nodes_.end() || !it->second.continuous ||
         it->second.generation != generation) {
@@ -270,14 +288,33 @@ sim::Task Verifier::ContinuousLoop(std::string name, sim::Duration interval,
     }
     VerificationResult result;
     co_await VerifyNode(name, &result);
-    if (!result.passed) {
-      ++violations_;
-      co_await Revoke(name);
-      if (violation_callback_) {
-        violation_callback_(name, result.failure);
-      }
+    // VerifyNode suspends, so re-check that this loop still owns the node
+    // before acting on the verdict.
+    const auto after = nodes_.find(name);
+    if (after == nodes_.end() || !after->second.continuous ||
+        after->second.generation != generation) {
       co_return;
     }
+    if (result.passed) {
+      after->second.transient_strikes = 0;
+      wait = interval;
+      continue;
+    }
+    if (IsTransientFailure(result.failure) &&
+        ++after->second.transient_strikes < max_transient_strikes_) {
+      // Escalation ladder: a quote timeout earns a fast re-poll (the node
+      // may be mid-reboot or behind a flapping link), not an instant
+      // quarantine.  Strikes accumulate until a pass resets them.
+      ++transient_retries_;
+      wait = interval.Scaled(0.25);
+      continue;
+    }
+    ++violations_;
+    co_await Revoke(name);
+    if (violation_callback_) {
+      violation_callback_(name, result.failure);
+    }
+    co_return;
   }
 }
 

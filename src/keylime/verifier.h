@@ -23,6 +23,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/crypto/drbg.h"
@@ -47,6 +48,12 @@ struct VerificationResult {
   std::string failure;  // empty when passed
 };
 
+// Classifies a VerificationResult failure string: transient failures
+// (unreachable peers, lost RPCs) deserve a re-poll before quarantining the
+// node; integrity failures (bad signature, log mismatch, unwhitelisted
+// measurement) never do — the evidence is cryptographic, not circumstantial.
+bool IsTransientFailure(std::string_view failure);
+
 class Verifier {
  public:
   Verifier(sim::Simulation& sim, net::Endpoint& endpoint, net::Address registrar,
@@ -69,7 +76,16 @@ class Verifier {
 
   void AddNode(const std::string& name, NodeConfig config);
   void RemoveNode(const std::string& name);
+  bool HasNode(const std::string& name) const { return nodes_.contains(name); }
   void UpdatePeers(const std::string& name, std::vector<net::Address> peers);
+
+  // RPC policy for registrar lookups and quote requests.  The default
+  // resends once after a 10 s timeout — enough to ride out a dropped frame
+  // without masking a genuinely dead agent from the escalation logic.
+  void SetCallOptions(net::CallOptions options) { call_options_ = options; }
+  // Consecutive transient failures tolerated by the continuous loop before
+  // the node is quarantined as if it had failed integrity checks.
+  void SetMaxTransientStrikes(int strikes) { max_transient_strikes_ = strikes; }
 
   // One-shot attestation; delivers the payload on first success.
   sim::Task VerifyNode(const std::string& name, VerificationResult* result);
@@ -87,6 +103,9 @@ class Verifier {
 
   uint64_t verifications() const { return verifications_; }
   uint64_t violations() const { return violations_; }
+  // Transient failures the continuous loop absorbed with a fast re-poll
+  // instead of quarantining.
+  uint64_t transient_retries() const { return transient_retries_; }
   // Prepared-AIK cache effectiveness: in steady-state polling every
   // verification after a node's first should hit.
   uint64_t aik_cache_hits() const { return aik_cache_hits_; }
@@ -103,6 +122,9 @@ class Verifier {
     // prefix replays to.  Only the suffix travels on each quote.
     uint64_t ima_seen = 0;
     crypto::Digest ima_pcr{};
+    // Consecutive transient-failure count (continuous mode); resets on any
+    // pass.
+    int transient_strikes = 0;
     // Decoded-key cache, keyed on the registrar's wire encodings: the AIK
     // is decoded, curve-checked, and equipped with verify tables once, not
     // on every poll.  A changed encoding (re-registration) misses and
@@ -126,8 +148,12 @@ class Verifier {
   crypto::Drbg drbg_;
   std::map<std::string, NodeState> nodes_;
   ViolationCallback violation_callback_;
+  net::CallOptions call_options_{.timeout = sim::Duration::Seconds(10),
+                                 .max_attempts = 2};
+  int max_transient_strikes_ = 3;
   uint64_t verifications_ = 0;
   uint64_t violations_ = 0;
+  uint64_t transient_retries_ = 0;
   uint64_t aik_cache_hits_ = 0;
   uint64_t aik_cache_misses_ = 0;
 };

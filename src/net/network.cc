@@ -27,10 +27,24 @@ sim::Task Endpoint::SendBoxed(Address dst, std::shared_ptr<Message> message) {
 
   Endpoint* receiver = network_.FindEndpoint(dst);
   const VlanId vlan = network_.SharedVlan(address_, dst);
-  if (receiver == nullptr || vlan == 0) {
+  if (receiver == nullptr || vlan == 0 || !network_.LinkUp(address_) ||
+      !network_.LinkUp(dst)) {
     ++messages_dropped_;
     ++network_.total_drops_;
     co_return;
+  }
+
+  // Fault injection at switch ingress: the frame can die here (before it
+  // occupies the receiver's NIC), pick up extra delay, or be duplicated.
+  FrameFault fault;
+  if (network_.fault_filter_) {
+    fault = network_.fault_filter_(*message);
+    if (fault.drop) {
+      ++messages_dropped_;
+      ++network_.total_drops_;
+      ++network_.fault_drops_;
+      co_return;
+    }
   }
 
   const double wire_bytes = static_cast<double>(message->EffectiveWireBytes());
@@ -49,19 +63,37 @@ sim::Task Endpoint::SendBoxed(Address dst, std::shared_ptr<Message> message) {
     }
   }
   co_await ConsumeAllWeighted(sim_, std::move(demands));
-  co_await sim::Delay(sim_, network_.propagation_latency());
+  co_await sim::Delay(sim_, network_.propagation_latency() + fault.extra_delay);
 
-  // Re-check reachability at delivery time: HIL may have moved ports while
-  // the frame was in flight.
-  if (network_.SharedVlan(address_, dst) == 0) {
+  // Re-check reachability at delivery time: HIL may have moved ports (or a
+  // link may have dropped) while the frame was in flight.
+  if (network_.SharedVlan(address_, dst) == 0 || !network_.LinkUp(address_) ||
+      !network_.LinkUp(dst)) {
     ++messages_dropped_;
     ++network_.total_drops_;
     co_return;
+  }
+  // A duplicating switch delivers extra copies of the same frame; each copy
+  // is provider-visible traffic, so the sniffer sees all of them.
+  for (int copy = 0; copy < fault.duplicates; ++copy) {
+    ++network_.fault_duplicates_;
+    if (network_.sniffer_) {
+      network_.sniffer_(vlan, *message);
+    }
+    receiver->inbox_.Send(*message);
   }
   if (network_.sniffer_) {
     network_.sniffer_(vlan, *message);
   }
   receiver->inbox_.Send(std::move(*message));
+}
+
+void Network::SetLinkUp(Address endpoint, bool up) {
+  if (up) {
+    down_links_.erase(endpoint);
+  } else {
+    down_links_.insert(endpoint);
+  }
 }
 
 void Endpoint::Post(Address dst, Message message) {

@@ -53,6 +53,14 @@ struct Message {
 
 class Network;
 
+// Per-frame verdict from an installed fault filter (see
+// Network::SetFaultFilter).  Defaults model a healthy fabric.
+struct FrameFault {
+  bool drop = false;              // frame dies in the switch
+  int duplicates = 0;             // extra copies delivered after the original
+  sim::Duration extra_delay{};    // added to propagation latency
+};
+
 // A NIC attached to a switch port.  Endpoint lifetime is managed by the
 // Network.
 class Endpoint {
@@ -110,6 +118,10 @@ class Network {
  public:
   // Called for every delivered frame (provider-visible traffic).
   using Sniffer = std::function<void(VlanId, const Message&)>;
+  // Fault-injection hook (installed by bolted::faults): consulted once per
+  // frame that passed the VLAN check at send time.  Must be deterministic
+  // for a given seed — it runs inside the simulated event stream.
+  using FaultFilter = std::function<FrameFault(const Message&)>;
 
   Network(sim::Simulation& sim, sim::Duration propagation_latency,
           double default_bandwidth_bytes_per_second);
@@ -150,10 +162,20 @@ class Network {
   VlanId SharedVlan(Address a, Address b) const;
 
   void SetSniffer(Sniffer sniffer) { sniffer_ = std::move(sniffer); }
+  void SetFaultFilter(FaultFilter filter) { fault_filter_ = std::move(filter); }
+
+  // Administrative link state (fault injection / maintenance).  A downed
+  // port neither sends nor receives; frames in flight when a link drops
+  // are lost at delivery time.  Links start up.
+  void SetLinkUp(Address endpoint, bool up);
+  bool LinkUp(Address endpoint) const { return !down_links_.contains(endpoint); }
 
   sim::Duration propagation_latency() const { return latency_; }
   sim::Simulation& simulation() { return sim_; }
   uint64_t total_drops() const { return total_drops_; }
+  // Frames killed or cloned by the installed fault filter / link state.
+  uint64_t fault_drops() const { return fault_drops_; }
+  uint64_t fault_duplicates() const { return fault_duplicates_; }
 
  private:
   friend class Endpoint;
@@ -166,7 +188,11 @@ class Network {
   std::map<Address, int> endpoint_switch_;
   std::vector<std::unique_ptr<SharedResource>> uplinks_;  // switch 1..N
   Sniffer sniffer_;
+  FaultFilter fault_filter_;
+  std::set<Address> down_links_;
   uint64_t total_drops_ = 0;
+  uint64_t fault_drops_ = 0;
+  uint64_t fault_duplicates_ = 0;
 };
 
 }  // namespace bolted::net

@@ -1,5 +1,6 @@
 #include "src/net/rpc.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -83,12 +84,49 @@ sim::Task RpcNode::CallBoxed(Address dst, std::shared_ptr<Message> request,
     }
     PendingCall call = std::move(it->second);
     pending_.erase(it);
+    ++call_timeouts_;
     call.done->Set();  // ok stays false
   });
 
   co_await endpoint_.Send(dst, std::move(*request));
   co_await *done;
   sim_.Cancel(timer);
+}
+
+// Plain shim: boxes the aggregate before the coroutine boundary.
+sim::Task RpcNode::CallWithRetry(Address dst, Message request, Message* response,
+                                 bool* ok, CallOptions options) {
+  return CallWithRetryBoxed(dst, std::make_shared<Message>(std::move(request)),
+                            response, ok, options);
+}
+
+sim::Task RpcNode::CallWithRetryBoxed(Address dst,
+                                      std::shared_ptr<Message> request,
+                                      Message* response, bool* ok,
+                                      CallOptions options) {
+  bool attempt_ok = false;
+  sim::Duration backoff = options.backoff_base;
+  for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++call_retries_;
+      // Jittered backoff: scale by a uniform factor in [1 - jitter, 1] so
+      // retries from independent callers decorrelate without ever waiting
+      // longer than the deterministic cap.
+      const double scale =
+          1.0 - options.jitter * sim_.rng().NextDouble();
+      co_await sim::Delay(sim_, backoff.Scaled(scale));
+      backoff = std::min(backoff * 2, options.backoff_cap);
+    }
+    // CallBoxed consumes the message; each attempt sends a fresh copy.
+    co_await CallBoxed(dst, std::make_shared<Message>(*request), response,
+                       &attempt_ok, options.timeout);
+    if (attempt_ok) {
+      break;
+    }
+  }
+  if (ok != nullptr) {
+    *ok = attempt_ok;
+  }
 }
 
 }  // namespace bolted::net

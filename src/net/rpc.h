@@ -21,6 +21,18 @@
 
 namespace bolted::net {
 
+// Failure-handling policy for CallWithRetry.  Attempt n (1-based) that
+// times out waits min(backoff_cap, backoff_base * 2^(n-1)), scaled by a
+// uniform factor in [1 - jitter, 1], before retrying.  Jitter draws from
+// the simulation Rng, so retry schedules stay seed-deterministic.
+struct CallOptions {
+  sim::Duration timeout = sim::Duration::Seconds(30);
+  int max_attempts = 1;
+  sim::Duration backoff_base = sim::Duration::Milliseconds(250);
+  sim::Duration backoff_cap = sim::Duration::Seconds(8);
+  double jitter = 0.5;
+};
+
 class RpcNode {
  public:
   // Handlers fill in *response (kind/payload/wire_bytes); correlation
@@ -43,6 +55,16 @@ class RpcNode {
   sim::Task Call(Address dst, Message request, Message* response, bool* ok,
                  sim::Duration timeout = sim::Duration::Seconds(30));
 
+  // Call with timeout-and-retry under the given policy.  Each attempt
+  // resends a fresh copy of the request (handlers must be idempotent — all
+  // Bolted control-plane handlers are); *ok is false only after every
+  // attempt timed out.
+  sim::Task CallWithRetry(Address dst, Message request, Message* response,
+                          bool* ok, CallOptions options);
+
+  uint64_t call_timeouts() const { return call_timeouts_; }
+  uint64_t call_retries() const { return call_retries_; }
+
  private:
   struct PendingCall {
     std::shared_ptr<sim::Event> done;
@@ -54,6 +76,8 @@ class RpcNode {
   sim::Task HandleRequest(std::shared_ptr<Message> request);
   sim::Task CallBoxed(Address dst, std::shared_ptr<Message> request,
                       Message* response, bool* ok, sim::Duration timeout);
+  sim::Task CallWithRetryBoxed(Address dst, std::shared_ptr<Message> request,
+                               Message* response, bool* ok, CallOptions options);
 
   sim::Simulation& sim_;
   Endpoint& endpoint_;
@@ -61,6 +85,8 @@ class RpcNode {
   std::map<uint64_t, PendingCall> pending_;
   uint64_t next_rpc_id_ = 1;
   bool started_ = false;
+  uint64_t call_timeouts_ = 0;
+  uint64_t call_retries_ = 0;
 };
 
 }  // namespace bolted::net

@@ -1,41 +1,96 @@
 #include "src/provision/foreman.h"
 
 namespace bolted::provision {
+namespace {
+
+// True when the current attempt of `phase` should count as failed.
+bool Faulted(const ForemanOptions& options, std::string_view phase, int attempt) {
+  return options.phase_fault && options.phase_fault(phase, attempt);
+}
+
+}  // namespace
 
 sim::Task ForemanProvision(machine::Machine& machine, const ForemanOptions& options,
-                           PhaseTrace* trace) {
+                           PhaseTrace* trace, bool* ok) {
   sim::Simulation& sim = machine.simulation();
-
-  // First POST (vendor firmware).
-  co_await machine.PowerOnSelfTest();
-  trace->Mark("POST");
-
-  // PXE-boot the installer image.
-  co_await machine.endpoint().rx().Consume(
-      static_cast<double>(options.installer_image_bytes));
-  trace->Mark("PXE installer");
-
-  // Install: stream the full stack over the network onto the local disk;
-  // network fetch and disk write overlap, the slower side dominates.
-  {
-    sim::TaskGroup group(sim);
-    group.Spawn(machine.endpoint().rx().Consume(
-        static_cast<double>(options.install_bytes)));
-    group.Spawn(machine.local_disk().AccountWrite(options.install_bytes));
-    co_await group.WaitAll();
+  if (ok != nullptr) {
+    *ok = false;
   }
-  trace->Mark("install to disk");
+  const int max_attempts =
+      options.max_phase_attempts < 1 ? 1 : options.max_phase_attempts;
 
-  // Reboot into the installed system: POST all over again.
-  machine.PowerCycleReset();
-  co_await machine.PowerOnSelfTest();
-  trace->Mark("POST (2nd)");
+  // Each phase redoes its full work per attempt — a failed install step
+  // leaves nothing resumable behind — with a linearly growing backoff
+  // between tries.  The first phase to exhaust its attempts aborts the
+  // flow; cleanup happens at the bottom.
+  enum Phase { kPost, kPxe, kInstall, kPost2, kBoot, kDone };
+  bool failed = false;
+  for (int phase = kPost; phase != kDone && !failed; ++phase) {
+    static constexpr std::string_view kNames[] = {
+        "POST", "PXE installer", "install to disk", "POST (2nd)", "OS boot"};
+    const std::string_view name = kNames[phase];
+    if (phase == kPost2) {
+      // Reboot into the installed system: POST all over again.
+      machine.PowerCycleReset();
+    }
+    bool phase_ok = false;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (attempt > 1) {
+        co_await sim::Delay(sim, options.retry_backoff * (attempt - 1));
+      }
+      switch (phase) {
+        case kPost:
+        case kPost2:
+          co_await machine.PowerOnSelfTest();
+          break;
+        case kPxe:
+          // PXE-boot the installer image.
+          co_await machine.endpoint().rx().Consume(
+              static_cast<double>(options.installer_image_bytes));
+          break;
+        case kInstall: {
+          // Install: stream the full stack over the network onto the local
+          // disk; network fetch and disk write overlap, the slower side
+          // dominates.
+          sim::TaskGroup group(sim);
+          group.Spawn(machine.endpoint().rx().Consume(
+              static_cast<double>(options.install_bytes)));
+          group.Spawn(machine.local_disk().AccountWrite(options.install_bytes));
+          co_await group.WaitAll();
+          break;
+        }
+        case kBoot:
+          // Boot from local disk: scattered reads.
+          co_await machine.local_disk().AccountRandomRead(options.boot_read_bytes,
+                                                          128 * 1024);
+          break;
+        default:
+          break;
+      }
+      if (!Faulted(options, name, attempt)) {
+        phase_ok = true;
+        break;
+      }
+    }
+    if (!phase_ok) {
+      failed = true;
+      break;
+    }
+    trace->Mark(std::string(name));
+  }
 
-  // Boot from local disk: scattered reads.
-  co_await machine.local_disk().AccountRandomRead(options.boot_read_bytes,
-                                                  128 * 1024);
+  if (failed) {
+    // Abort with cleanup: whatever half-installed state reached the disk
+    // or DRAM is invalidated by the power cycle; the node returns to the
+    // pool off, not wedged mid-install.
+    machine.PowerCycleReset();
+    machine.set_power_state(machine::PowerState::kOff);
+    co_return;
+  }
   machine.set_power_state(machine::PowerState::kTenantOs);
-  trace->Mark("OS boot");
+  if (ok != nullptr) {
+    *ok = true;
+  }
 }
 
 }  // namespace bolted::provision

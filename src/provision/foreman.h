@@ -9,6 +9,9 @@
 #ifndef SRC_PROVISION_FOREMAN_H_
 #define SRC_PROVISION_FOREMAN_H_
 
+#include <functional>
+#include <string_view>
+
 #include "src/machine/machine.h"
 #include "src/provision/phase_trace.h"
 
@@ -19,11 +22,22 @@ struct ForemanOptions {
   uint64_t install_bytes = 12ull << 30;           // OS + packages to disk
   uint64_t boot_read_bytes = 400ull << 20;        // what the OS reads to boot
   net::Address provisioning_server = 0;
+
+  // Failure handling: each phase is attempted up to max_phase_attempts
+  // times, waiting retry_backoff * attempt between tries.  phase_fault (a
+  // deterministic hook installed by the fault layer) is consulted per
+  // attempt; returning true fails that attempt after its work was done —
+  // the usual Foreman failure mode of a timed-out install step.
+  int max_phase_attempts = 1;
+  sim::Duration retry_backoff = sim::Duration::Seconds(5);
+  std::function<bool(std::string_view phase, int attempt)> phase_fault;
 };
 
-// Runs the full Foreman flow on `machine`; phases land in *trace.
+// Runs the full Foreman flow on `machine`; phases land in *trace.  When a
+// phase exhausts its attempts the flow aborts cleanly: the machine is
+// power-cycled back to a scrubbed-off state and *ok (if given) is false.
 sim::Task ForemanProvision(machine::Machine& machine, const ForemanOptions& options,
-                           PhaseTrace* trace);
+                           PhaseTrace* trace, bool* ok = nullptr);
 
 }  // namespace bolted::provision
 

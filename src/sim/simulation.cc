@@ -7,6 +7,18 @@
 #include "src/sim/task.h"
 
 namespace bolted::sim {
+namespace {
+
+// splitmix64-style mixing step; order-sensitive, so the digest pins the
+// exact firing sequence and not just the multiset of events.
+uint64_t MixDigest(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15u + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9u;
+  h ^= h >> 27;
+  return h;
+}
+
+}  // namespace
 
 Simulation::Simulation(uint64_t seed) : rng_(seed) {}
 
@@ -31,8 +43,27 @@ void Simulation::Cancel(EventId id) {
   // Removing the id from pending_ is the whole cancellation; the heap
   // entry is dropped lazily when it reaches the top.  Cancelling a fired
   // or already-cancelled id finds nothing to erase, so stale cancels can
-  // never accumulate state.
-  pending_.erase(id);
+  // never accumulate state.  This is safe under re-entrancy: the currently
+  // firing event was erased from pending_ before its callback ran, so a
+  // callback cancelling a same-tick sibling only ever marks entries that
+  // have not fired yet.
+  if (pending_.erase(id) != 0) {
+    ++dead_in_heap_;
+    MaybeCompactHeap();
+  }
+}
+
+void Simulation::MaybeCompactHeap() {
+  // Lazy deletion leaves cancelled entries in the heap until they surface
+  // at the top.  Workloads that re-arm timers far in the future and cancel
+  // them every round (RPC retry timeouts under fault injection) would grow
+  // the heap without bound; rebuild once tombstones dominate.
+  if (dead_in_heap_ < 64 || dead_in_heap_ * 2 < heap_.size()) {
+    return;
+  }
+  std::erase_if(heap_, [this](const Entry& e) { return !pending_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
+  dead_in_heap_ = 0;
 }
 
 Simulation::Entry Simulation::PopTop() {
@@ -45,7 +76,12 @@ Simulation::Entry Simulation::PopTop() {
 void Simulation::DropCancelledTop() {
   while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
     PopTop();
+    --dead_in_heap_;
   }
+}
+
+void Simulation::RecordTraceEvent(uint64_t tag) {
+  trace_digest_ = MixDigest(MixDigest(trace_digest_, static_cast<uint64_t>(now_.nanoseconds())), tag);
 }
 
 bool Simulation::Step() {
@@ -57,6 +93,11 @@ bool Simulation::Step() {
   pending_.erase(entry.id);
   now_ = entry.when;
   ++events_processed_;
+  // Fold the firing into the trace digest before user code runs, so a
+  // callback that inspects the digest sees its own event included.
+  trace_digest_ = MixDigest(
+      MixDigest(trace_digest_, static_cast<uint64_t>(entry.when.nanoseconds())),
+      entry.id);
   entry.fn();
   if ((events_processed_ & 0x3ff) == 0) {
     ReapTasks();

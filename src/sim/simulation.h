@@ -56,6 +56,17 @@ class Simulation {
   // internal bookkeeping, so long-running simulations cannot leak ids.
   size_t pending_events() const { return pending_.size(); }
 
+  // --- Event-trace digest -------------------------------------------------
+  // Rolling 64-bit digest over the ordered (time, event) stream: every
+  // fired event mixes in (when, id), and components may fold in domain
+  // events via RecordTraceEvent.  Two runs of the same seeded scenario
+  // must produce the same digest — the replay invariant the chaos harness
+  // checks byte-for-byte rather than end-state-equal.
+  uint64_t trace_digest() const { return trace_digest_; }
+  // Folds (now, tag) into the digest.  Tags identify domain events (frame
+  // delivered, fault injected, verdict reached); pick any stable constant.
+  void RecordTraceEvent(uint64_t tag);
+
   // Takes ownership of a coroutine task and starts it.  The task is
   // destroyed once it completes.
   void Spawn(Task task);
@@ -81,6 +92,10 @@ class Simulation {
   // is a live event.
   void DropCancelledTop();
   Entry PopTop();
+  // Rebuilds the heap without dead (cancelled) entries once they dominate
+  // it — retry timers that are armed and cancelled on every attempt must
+  // not accumulate tombstones for the lifetime of a long chaos run.
+  void MaybeCompactHeap();
 
   Time now_;
   uint64_t next_seq_ = 0;
@@ -91,6 +106,11 @@ class Simulation {
   // hold without the old shared_ptr indirection.
   std::vector<Entry> heap_;
   std::unordered_set<EventId> pending_;
+  // Cancelled entries still sitting in heap_ (lazy deletion).  pending_
+  // holds exactly the ids of live heap entries, so Cancel can maintain
+  // this count precisely.
+  size_t dead_in_heap_ = 0;
+  uint64_t trace_digest_ = 0x626f6c746564u;
   std::vector<Task> live_tasks_;
   Rng rng_;
 };

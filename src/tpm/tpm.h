@@ -15,8 +15,10 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/crypto/aes_gcm.h"
@@ -48,6 +50,15 @@ struct TpmLatencyModel {
   sim::Duration create_aik = sim::Duration::Seconds(20);
 };
 
+// Per-command fault verdict (see Tpm::SetFaultHook): hardware TPMs fail
+// transiently under load and show heavy-tailed command latency; both are
+// injected here rather than modelled statistically, so chaos runs stay
+// seed-deterministic.
+struct TpmFault {
+  bool fail = false;               // command returns an error
+  sim::Duration extra_latency{};   // added to the command's model latency
+};
+
 // A signed attestation of a PCR selection.
 struct Quote {
   crypto::Bytes nonce;
@@ -69,6 +80,16 @@ class Tpm {
 
   const crypto::EcPoint& ek_public() const { return ek_public_; }
   const TpmLatencyModel& latency() const { return latency_; }
+
+  // Fault injection.  The Tpm itself is passive (latencies are charged by
+  // the coroutine drivers), so callers consult TakeFault("quote") etc.
+  // before issuing a command and honour the verdict.  The hook must be
+  // deterministic for a given seed.
+  using FaultHook = std::function<TpmFault(std::string_view command)>;
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  TpmFault TakeFault(std::string_view command) {
+    return fault_hook_ ? fault_hook_(command) : TpmFault{};
+  }
 
   // Generates (or regenerates) the attestation identity key.
   void CreateAik();
@@ -117,6 +138,7 @@ class Tpm {
   crypto::Digest PolicyDigest(uint32_t pcr_mask) const;
 
   TpmLatencyModel latency_;
+  FaultHook fault_hook_;
   crypto::Drbg drbg_;
   crypto::Bytes storage_root_key_;
   crypto::U256 ek_private_;

@@ -19,6 +19,7 @@ struct ScenarioResult {
   double provision_seconds = 0;
   double workload_seconds = 0;
   uint64_t events = 0;
+  uint64_t trace_digest = 0;
   crypto::Digest pcr0{};
 
   bool operator==(const ScenarioResult&) const = default;
@@ -50,6 +51,7 @@ ScenarioResult RunScenario(uint64_t seed) {
   cloud.sim().Spawn(flow());
   cloud.sim().RunUntil(sim::Time::FromNanoseconds(900'000'000'000));
   result.events = cloud.sim().events_processed();
+  result.trace_digest = cloud.sim().trace_digest();
   result.pcr0 = cloud.FindMachine("node-0")->tpm().ReadPcr(tpm::kPcrFirmware);
   return result;
 }
@@ -61,6 +63,18 @@ TEST(DeterminismTest, IdenticalSeedsGiveIdenticalRuns) {
   EXPECT_GT(a.events, 1000u);
   EXPECT_GT(a.provision_seconds, 100.0);
   EXPECT_GT(a.workload_seconds, 1.0);
+}
+
+TEST(DeterminismTest, WholeCloudTraceDigestIsReplayStable) {
+  // Stronger than end-state equality: the rolling digest over the ordered
+  // (time, event) stream pins the entire execution, so any reordering or
+  // extra event anywhere in the replay is caught — the invariant the chaos
+  // harness relies on for seed-replay debugging.
+  const ScenarioResult a = RunScenario(777);
+  const ScenarioResult b = RunScenario(777);
+  EXPECT_NE(a.trace_digest, 0u);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.events, b.events);
 }
 
 TEST(DeterminismTest, CryptoArtifactsAreSeedIndependentWhereTheyShouldBe) {

@@ -429,6 +429,139 @@ TEST_F(KeylimeFixture, ImaListRegressionIsDetected) {
   EXPECT_NE(result.failure.find("regressed"), std::string::npos) << result.failure;
 }
 
+TEST_F(KeylimeFixture, StaleQuoteWithOldNonceIsRejected) {
+  // A replay attacker answers the verifier with a perfectly signed quote
+  // that was generated for an old nonce.  Everything else about the
+  // response is honest, so only the freshness check can catch it.
+  ASSERT_TRUE(Register());
+  auto boot = [&]() -> Task { co_await machine->PowerOnSelfTest(); };
+  sim.Spawn(boot());
+  sim.Run();
+
+  net::Endpoint& mitm_ep = fabric.CreateEndpoint("mitm");
+  fabric.AttachToVlan(mitm_ep.address(), 50);
+  net::RpcNode mitm(sim, mitm_ep);
+  mitm.Start();
+  const Bytes old_nonce = ToBytes("nonce-captured-last-week");
+  mitm.RegisterHandler(
+      std::string(kRpcQuote),
+      [&](const net::Message&, net::Message* response) -> Task {
+        const tpm::Quote quote =
+            machine->tpm().MakeQuote(old_nonce, kQuotePcrMask);
+        response->payload = net::WireWriter()
+                                .Blob(quote.Serialize())
+                                .Blob(machine->boot_log().Serialize())
+                                .U64(0)
+                                .Blob(tpm::EventLog().Serialize())
+                                .Take();
+        co_return;
+      });
+
+  Verifier::NodeConfig config;
+  config.agent = mitm_ep.address();
+  config.whitelist = WhitelistForMachine();
+  verifier->AddNode("node-x", std::move(config));
+
+  const VerificationResult result = Verify();
+  EXPECT_FALSE(result.passed);
+  EXPECT_EQ(result.failure, "stale quote (nonce mismatch)");
+  EXPECT_FALSE(IsTransientFailure(result.failure));
+}
+
+TEST_F(KeylimeFixture, QuoteSignedByWrongAikIsRejected) {
+  // The responder echoes the fresh nonce but signs with a different TPM's
+  // AIK than the one certified at registration — the forged-identity case.
+  ASSERT_TRUE(Register());
+  auto boot = [&]() -> Task { co_await machine->PowerOnSelfTest(); };
+  sim.Spawn(boot());
+  sim.Run();
+
+  machine::Machine imposter(sim, fabric, "imposter", mc);
+  imposter.tpm().CreateAik();
+
+  net::Endpoint& mitm_ep = fabric.CreateEndpoint("mitm");
+  fabric.AttachToVlan(mitm_ep.address(), 50);
+  net::RpcNode mitm(sim, mitm_ep);
+  mitm.Start();
+  mitm.RegisterHandler(
+      std::string(kRpcQuote),
+      [&](const net::Message& request, net::Message* response) -> Task {
+        net::WireReader reader(request.payload);
+        const Bytes nonce = reader.Blob();
+        const uint32_t mask = reader.U32();
+        const tpm::Quote quote = imposter.tpm().MakeQuote(nonce, mask);
+        response->payload = net::WireWriter()
+                                .Blob(quote.Serialize())
+                                .Blob(machine->boot_log().Serialize())
+                                .U64(0)
+                                .Blob(tpm::EventLog().Serialize())
+                                .Take();
+        co_return;
+      });
+
+  Verifier::NodeConfig config;
+  config.agent = mitm_ep.address();
+  config.whitelist = WhitelistForMachine();
+  verifier->AddNode("node-x", std::move(config));
+
+  const VerificationResult result = Verify();
+  EXPECT_FALSE(result.passed);
+  EXPECT_EQ(result.failure, "quote signature invalid");
+  EXPECT_FALSE(IsTransientFailure(result.failure));
+}
+
+TEST_F(KeylimeFixture, ImaRollbackByCompromisedAgentIsRejected) {
+  // After the verifier has validated N measurements, a compromised agent
+  // advertises a smaller total to hide entries it already shipped.  Unlike
+  // the reboot regression above, the quote here is fresh and correctly
+  // signed — only the monotonic cursor catches the rollback.
+  ASSERT_TRUE(Register());
+  auto boot = [&]() -> Task { co_await machine->PowerOnSelfTest(); };
+  sim.Spawn(boot());
+  sim.Run();
+  ima::ImaPolicy policy{.measure_executables = true};
+  ima::Ima machine_ima(machine->tpm(), policy);
+  agent->AttachIma(&machine_ima);
+
+  auto whitelist = WhitelistForMachine();
+  for (int i = 0; i < 2; ++i) {
+    const std::string path = "/bin/tool-" + std::to_string(i);
+    const crypto::Digest content = crypto::Sha256::Hash(path);
+    whitelist->AllowRuntime(ima::Ima::TemplateDigest(path, content));
+    machine_ima.OnFileAccess(ima::FileAccess{.path = path,
+                                             .content_digest = content,
+                                             .is_executable = true});
+  }
+  Verifier::NodeConfig config;
+  config.agent = machine->address();
+  config.whitelist = whitelist;
+  verifier->AddNode("node-x", std::move(config));
+  ASSERT_TRUE(Verify().passed);  // cursor now at 2 validated events
+
+  // The compromise: replace the agent's quote handler with one that rolls
+  // the advertised measurement total back to zero.
+  machine->rpc().RegisterHandler(
+      std::string(kRpcQuote),
+      [&](const net::Message& request, net::Message* response) -> Task {
+        net::WireReader reader(request.payload);
+        const Bytes nonce = reader.Blob();
+        const uint32_t mask = reader.U32();
+        const tpm::Quote quote = machine->tpm().MakeQuote(nonce, mask);
+        response->payload = net::WireWriter()
+                                .Blob(quote.Serialize())
+                                .Blob(machine->boot_log().Serialize())
+                                .U64(0)
+                                .Blob(tpm::EventLog().Serialize())
+                                .Take();
+        co_return;
+      });
+
+  const VerificationResult result = Verify();
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.failure.find("regressed"), std::string::npos) << result.failure;
+  EXPECT_FALSE(IsTransientFailure(result.failure));
+}
+
 TEST_F(KeylimeFixture, StopContinuousHaltsPolling) {
   ASSERT_TRUE(Register());
   auto boot = [&]() -> Task { co_await machine->PowerOnSelfTest(); };

@@ -152,6 +152,98 @@ TEST(SimulationTest, CancelLeavesNoResidue) {
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
+TEST(SimulationTest, CancelFromSameTickCallbackPreventsFiring) {
+  // Re-entrancy regression: cancelling an event from inside another
+  // event's callback in the same tick must not fire it, regardless of
+  // which of the two was scheduled first.
+  Simulation sim;
+  bool victim_fired = false;
+  EventId victim = 0;
+  sim.Schedule(Duration::Seconds(1), [&]() { sim.Cancel(victim); });
+  victim = sim.Schedule(Duration::Seconds(1), [&]() { victim_fired = true; });
+  sim.Run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  // Scheduled-before-canceller order: the victim fires first (insertion
+  // order), so the cancel is stale — and must stay a harmless no-op.
+  Simulation sim2;
+  bool first_fired = false;
+  const EventId first = sim2.Schedule(Duration::Seconds(1), [&]() { first_fired = true; });
+  sim2.Schedule(Duration::Seconds(1), [&]() { sim2.Cancel(first); });
+  sim2.Run();
+  EXPECT_TRUE(first_fired);
+  EXPECT_EQ(sim2.pending_events(), 0u);
+}
+
+TEST(SimulationTest, CancelAndRescheduleInsideCallback) {
+  // A callback that cancels a same-tick event and schedules a replacement
+  // at the same instant: the replacement fires, the victim does not, and
+  // time does not advance between them.
+  Simulation sim;
+  std::vector<std::string> log;
+  EventId victim = 0;
+  sim.Schedule(Duration::Seconds(2), [&]() {
+    log.push_back("canceller");
+    sim.Cancel(victim);
+    sim.Schedule(Duration::Zero(), [&]() { log.push_back("replacement"); });
+  });
+  victim = sim.Schedule(Duration::Seconds(2), [&]() { log.push_back("victim"); });
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<std::string>{"canceller", "replacement"}));
+  EXPECT_DOUBLE_EQ(sim.now().ToSecondsF(), 2.0);
+}
+
+TEST(SimulationTest, HeapCompactionPreservesLiveEventsAndOrder) {
+  // Arm-and-cancel churn (the RPC retry-timer pattern) must not grow the
+  // heap without bound, and compaction must not disturb firing order of
+  // the surviving events.
+  Simulation sim;
+  std::vector<int> order;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> timers;
+    for (int i = 0; i < 40; ++i) {
+      timers.push_back(
+          sim.Schedule(Duration::Minutes(60 + i), []() { ADD_FAILURE(); }));
+    }
+    for (const EventId id : timers) {
+      sim.Cancel(id);
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Duration::Seconds(10 - i), [&order, i]() { order.push_back(i); });
+  }
+  EXPECT_EQ(sim.pending_events(), 10u);
+  sim.RunUntil(Time::FromNanoseconds(30'000'000'000));
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], 9 - i);
+  }
+}
+
+TEST(SimulationTest, TraceDigestIsReplayStableAndOrderSensitive) {
+  auto run = [](bool extra_event, bool domain_tag) {
+    Simulation sim;
+    for (int i = 0; i < 20; ++i) {
+      sim.Schedule(Duration::Milliseconds(10 * i), [&sim, domain_tag]() {
+        if (domain_tag) {
+          sim.RecordTraceEvent(0xfeedu);
+        }
+      });
+    }
+    if (extra_event) {
+      sim.Schedule(Duration::Milliseconds(5), []() {});
+    }
+    sim.Run();
+    return sim.trace_digest();
+  };
+  // Identical schedules digest identically (the replay invariant)...
+  EXPECT_EQ(run(false, false), run(false, false));
+  // ...one extra event, or a domain event folded in, changes the digest.
+  EXPECT_NE(run(false, false), run(true, false));
+  EXPECT_NE(run(false, false), run(false, true));
+}
+
 TEST(SimulationTest, EventsStillFireAfterStaleCancels) {
   Simulation sim;
   const EventId early = sim.Schedule(Duration::Seconds(1), []() {});
