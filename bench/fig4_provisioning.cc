@@ -9,9 +9,12 @@
 //   * LinuxBoot POST is ~3x faster than UEFI POST.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/obs/obs.h"
 #include "src/provision/foreman.h"
 
 namespace bolted {
@@ -24,11 +27,22 @@ struct Scenario {
   bool encrypt;
 };
 
-double RunScenario(const Scenario& s, bool print_phases) {
+// When `trace_path` is non-null, an obs::Registry rides along on the
+// scenario's simulation and the full chrome://tracing JSON (provisioning
+// phase spans, TPM command latencies, RPC/frame counters) is written there.
+double RunScenario(const Scenario& s, bool print_phases,
+                   const char* trace_path = nullptr) {
   core::CloudConfig config;
   config.num_machines = 1;
   config.linuxboot_in_flash = s.linuxboot;
   core::Cloud cloud(config);
+
+#if BOLTED_OBS
+  std::unique_ptr<obs::Registry> registry;
+  if (trace_path != nullptr) {
+    registry = std::make_unique<obs::Registry>(cloud.sim());
+  }
+#endif
 
   core::TrustProfile profile;
   profile.use_attestation = s.attest;
@@ -50,6 +64,19 @@ double RunScenario(const Scenario& s, bool print_phases) {
     std::printf("%s phase breakdown:\n%s", s.label.c_str(),
                 outcome.trace.ToString().c_str());
   }
+#if BOLTED_OBS
+  if (registry != nullptr) {
+    if (!registry->WriteChromeTrace(trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path);
+      std::abort();
+    }
+    std::printf("wrote chrome trace (%s) to %s\n", s.label.c_str(), trace_path);
+  }
+#else
+  if (trace_path != nullptr) {
+    std::fprintf(stderr, "--trace ignored: built with BOLTED_OBS=0\n");
+  }
+#endif
   return outcome.trace.total().ToSecondsF();
 }
 
@@ -60,6 +87,7 @@ double RunForeman() {
   core::Cloud cloud(config);
 
   provision::PhaseTrace trace(cloud.sim());
+  trace.Start(cloud.sim(), "provision:foreman");
   provision::ForemanOptions options;
   auto flow = [&]() -> sim::Task {
     co_await provision::ForemanProvision(*cloud.FindMachine("node-0"), options, &trace);
@@ -73,9 +101,21 @@ double RunForeman() {
 }  // namespace
 }  // namespace bolted
 
-int main() {
+int main(int argc, char** argv) {
   using bolted::bench::PrintHeader;
   using bolted::bench::PrintRow;
+
+  // --trace=out.json: export a chrome://tracing JSON of the richest
+  // scenario (LinuxBoot ROM / full attestation) alongside the usual rows.
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0 && argv[i][8] != '\0') {
+      trace_path = argv[i] + 8;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace=out.json]\n", argv[0]);
+      return 2;
+    }
+  }
 
   PrintHeader("Figure 4: provisioning time of one server");
   const double foreman = bolted::RunForeman();
@@ -91,7 +131,9 @@ int main() {
   double totals[6];
   int index = 0;
   for (const auto& scenario : scenarios) {
-    totals[index++] = bolted::RunScenario(scenario, /*print_phases=*/true);
+    const bool traced = index == 5;  // the full-attestation LinuxBoot row
+    totals[index++] = bolted::RunScenario(scenario, /*print_phases=*/true,
+                                          traced ? trace_path : nullptr);
   }
 
   PrintHeader("Figure 4: totals");

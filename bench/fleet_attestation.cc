@@ -10,10 +10,15 @@
 // the per-node Prepare (decode + on-curve check + verify tables); steady
 // rounds hit the verifier's AIK cache.
 //
-// Usage: fleet_attestation [output-path]   (default: BENCH_attestation.json)
+// Usage: fleet_attestation [output-path] [--trace=out.json]
+//   (default output: BENCH_attestation.json; --trace additionally exports a
+//    chrome://tracing JSON of the whole run — registration, every verify
+//    round, TPM command latencies.  Tracing adds bookkeeping to the timed
+//    path, so compare wall-clock numbers only between untraced runs.)
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +28,7 @@
 #include "src/keylime/registrar.h"
 #include "src/keylime/verifier.h"
 #include "src/machine/machine.h"
+#include "src/obs/obs.h"
 
 namespace {
 
@@ -40,9 +46,27 @@ double MillisSince(Clock::time_point start) {
 
 int main(int argc, char** argv) {
   using namespace bolted;
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_attestation.json";
+  const char* out_path = "BENCH_attestation.json";
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0 && argv[i][8] != '\0') {
+      trace_path = argv[i] + 8;
+    } else {
+      out_path = argv[i];
+    }
+  }
 
   sim::Simulation sim{1234};
+#if BOLTED_OBS
+  std::unique_ptr<obs::Registry> registry;
+  if (trace_path != nullptr) {
+    registry = std::make_unique<obs::Registry>(sim);
+  }
+#else
+  if (trace_path != nullptr) {
+    std::fprintf(stderr, "--trace ignored: built with BOLTED_OBS=0\n");
+  }
+#endif
   net::Network fabric{sim, sim::Duration::Microseconds(10), 1.25e9};
   net::Endpoint& registrar_ep = fabric.CreateEndpoint("registrar");
   net::Endpoint& verifier_ep = fabric.CreateEndpoint("verifier");
@@ -166,5 +190,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(verifier.aik_cache_hits()),
               static_cast<unsigned long long>(verifier.aik_cache_misses()));
   std::printf("wrote %s\n", out_path);
+#if BOLTED_OBS
+  if (registry != nullptr) {
+    if (!registry->WriteChromeTrace(trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path);
+      return 1;
+    }
+    std::printf("wrote chrome trace to %s\n", trace_path);
+  }
+#endif
   return 0;
 }

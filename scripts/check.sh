@@ -40,6 +40,9 @@ echo "== tier-1: forced-scalar crypto backend =="
 BOLTED_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
   -j "$(nproc)" -R "crypto_test|determinism_test"
 
+echo "== tier-1: observability suite (ctest -L obs) =="
+ctest --test-dir build --output-on-failure -L obs
+
 if [[ "${want_asan}" == 1 ]]; then
   echo "== sanitizers: ASan + UBSan =="
   run_suite build-asan -DBOLTED_SANITIZE=ON
@@ -49,6 +52,10 @@ if [[ "${want_asan}" == 1 ]]; then
   echo "== sanitizers: crypto + attestation benches under ASan =="
   ./build-asan/bench/bench_crypto_json /tmp/bolted_asan_bench_crypto.json
   ./build-asan/bench/fleet_attestation /tmp/bolted_asan_bench_attestation.json
+  # The obs exporters shuffle strings and trace-event vectors; run the
+  # registry + span machinery (and a traced provisioning flow) instrumented.
+  echo "== sanitizers: observability suite under ASan =="
+  ctest --test-dir build-asan --output-on-failure -L obs
 fi
 
 if [[ "${want_bench}" == 1 ]]; then

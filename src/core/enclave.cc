@@ -3,6 +3,7 @@
 #include "src/bmi/bmi.h"
 #include "src/crypto/ecies.h"
 #include "src/net/wire.h"
+#include "src/obs/obs.h"
 
 namespace bolted::core {
 namespace {
@@ -226,6 +227,9 @@ sim::Task Enclave::RejectNode(const std::string& node, NodeRuntime& rt,
   hil.ConnectNodeToNetwork(project_, node, "bolted-rejected");
   co_await sim::Delay(cloud_.sim(), cloud_.cal().switch_reconfig_time);
   rt.state = NodeState::kRejected;
+  obs::Count(cloud_.sim(), "enclave.provision_reject");
+  obs::Instant(cloud_.sim(), "enclave.reject", "provision", "provision:" + node,
+               {{"node", node}, {"reason", reason}});
   // Clean abort: everything the half-provisioned node acquired is released
   // so a rejection never leaks verifier entries, payload splits, or image
   // clones.  The machine itself stays powered in the rejected pool for
@@ -454,7 +458,10 @@ sim::Task Enclave::SetupStorageAndBoot(const std::string& node, NodeRuntime& rt)
 sim::Task Enclave::ProvisionNode(const std::string& node, ProvisionOutcome* outcome) {
   sim::Simulation& sim = cloud_.sim();
   const Calibration& cal = cloud_.cal();
-  outcome->trace.Start(sim);
+  // Naming the trace after the node routes the phase spans onto a per-node
+  // track in the chrome-trace export, so concurrent provisions interleave
+  // legibly instead of stacking on one row.
+  outcome->trace.Start(sim, "provision:" + node);
   provision::PhaseTrace& trace = outcome->trace;
 
   machine::Machine* machine = cloud_.FindMachine(node);
@@ -581,6 +588,7 @@ sim::Task Enclave::ProvisionNode(const std::string& node, ProvisionOutcome* outc
   }
   outcome->success = true;
   outcome->state = NodeState::kAllocated;
+  obs::Count(sim, "enclave.provision_success");
 }
 
 sim::Task Enclave::ReleaseNode(const std::string& node, bool keep_snapshot) {

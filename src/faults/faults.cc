@@ -1,5 +1,7 @@
 #include "src/faults/faults.h"
 
+#include "src/obs/obs.h"
+
 namespace bolted::faults {
 namespace {
 
@@ -111,12 +113,14 @@ tpm::TpmFault FaultInjector::TpmVerdict() {
   if (rng_.NextDouble() < plan_.profile.tpm_fail_rate) {
     fault.fail = true;
     ++tpm_faults_injected_;
+    obs::Count(sim_, "fault.tpm");
   }
   if (rng_.NextDouble() < plan_.profile.tpm_spike_rate) {
     fault.extra_latency =
         plan_.profile.max_tpm_spike.Scaled(rng_.Uniform(0.1, 1.0));
     if (!fault.fail) {
       ++tpm_faults_injected_;
+      obs::Count(sim_, "fault.tpm");
     }
   }
   return fault;
@@ -138,6 +142,8 @@ void FaultInjector::Arm() {
     sim_.Schedule(flap.at, [this, address]() {
       ++flaps_injected_;
       sim_.RecordTraceEvent(0xf1a0u ^ address);
+      obs::Instant(sim_, "fault.flap", "fault", "faults",
+                   {{"target", std::to_string(address)}});
       network_.SetLinkUp(address, false);
     });
     // The recovery always fires, even past the horizon: faults stop, heals
@@ -150,6 +156,8 @@ void FaultInjector::Arm() {
     sim_.Schedule(partition.at, [this, salt = partition.salt]() {
       ++partition_windows_;
       sim_.RecordTraceEvent(0x9a27u ^ salt);
+      obs::Instant(sim_, "fault.partition", "fault", "faults",
+                   {{"salt", std::to_string(salt)}});
       partition_active_ = true;
       partition_salt_ = salt;
     });
@@ -162,6 +170,8 @@ void FaultInjector::Arm() {
     sim_.Schedule(crash.at, [this, target]() {
       ++crashes_injected_;
       sim_.RecordTraceEvent(0xc4a5u ^ target->address());
+      obs::Instant(sim_, "fault.crash", "fault", "faults",
+                   {{"target", std::to_string(target->address())}});
       // The BMC-level power cycle wipes PCRs and the boot log; the machine
       // drops off the fabric until the cycle completes.  It comes back
       // *unbooted* — continuous attestation must catch that, not forgive

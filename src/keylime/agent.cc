@@ -5,8 +5,33 @@
 #include "src/crypto/ecies.h"
 #include "src/keylime/registrar.h"
 #include "src/net/wire.h"
+#include "src/obs/obs.h"
 
 namespace bolted::keylime {
+namespace {
+
+// TPM command accounting, by opcode: the full charged latency (model cost
+// plus any injected spike) lands in a per-opcode histogram, and failed
+// commands are counted separately so chaos traces show where a stalled
+// phase burned its time.
+void ObserveTpmCommand(sim::Simulation& sim, std::string_view opcode,
+                       sim::Duration charged, bool failed) {
+#if BOLTED_OBS
+  if (obs::Registry* r = sim.observer()) {
+    r->RecordDuration("tpm.cmd_ns." + std::string(opcode), charged);
+    if (failed) {
+      r->Add("tpm.cmd_failed." + std::string(opcode));
+    }
+  }
+#else
+  (void)sim;
+  (void)opcode;
+  (void)charged;
+  (void)failed;
+#endif
+}
+
+}  // namespace
 
 Agent::Agent(machine::Machine& machine, uint64_t seed)
     : machine_(machine), drbg_(seed), payload_ready_(machine.simulation()) {
@@ -46,6 +71,8 @@ sim::Task Agent::RegisterWithRegistrar(net::Address registrar,
   for (int attempt = 0; attempt < 3; ++attempt) {
     const tpm::TpmFault fault = tpm.TakeFault("create_aik");
     co_await sim::Delay(sim, tpm.latency().create_aik + fault.extra_latency);
+    ObserveTpmCommand(sim, "create_aik", tpm.latency().create_aik + fault.extra_latency,
+                      fault.fail);
     if (!fault.fail) {
       tpm.CreateAik();
       aik_created = true;
@@ -87,6 +114,9 @@ sim::Task Agent::RegisterWithRegistrar(net::Address registrar,
   const tpm::TpmFault activate_fault = tpm.TakeFault("activate_credential");
   co_await sim::Delay(
       sim, tpm.latency().activate_credential + activate_fault.extra_latency);
+  ObserveTpmCommand(sim, "activate_credential",
+                    tpm.latency().activate_credential + activate_fault.extra_latency,
+                    activate_fault.fail);
   if (activate_fault.fail) {
     co_return;
   }
@@ -128,6 +158,9 @@ sim::Task Agent::HandleQuote(const net::Message& request, net::Message* response
   const tpm::TpmFault fault = machine_.tpm().TakeFault("quote");
   co_await sim::Delay(machine_.simulation(),
                       machine_.tpm().latency().quote + fault.extra_latency);
+  ObserveTpmCommand(machine_.simulation(), "quote",
+                    machine_.tpm().latency().quote + fault.extra_latency,
+                    fault.fail);
   if (fault.fail) {
     response->kind = "kl.agent.error";
     co_return;

@@ -3,6 +3,7 @@
 #include "src/crypto/ecies.h"
 #include "src/keylime/agent.h"
 #include "src/net/wire.h"
+#include "src/obs/obs.h"
 #include "src/tpm/tpm.h"
 
 namespace bolted::keylime {
@@ -89,7 +90,33 @@ sim::Task Verifier::DeliverPayload(const std::string& name, const crypto::EcPoin
   }
 }
 
+// Plain dispatcher: the traced wrapper (a second coroutine frame) is only
+// interposed when a Registry is attached, so untraced runs — and the whole
+// BOLTED_OBS=0 build — pay nothing for it.
 sim::Task Verifier::VerifyNode(const std::string& name, VerificationResult* result) {
+#if BOLTED_OBS
+  if (sim_.observer() != nullptr) {
+    return VerifyNodeTraced(name, result);
+  }
+#endif
+  return VerifyNodeImpl(name, result);
+}
+
+sim::Task Verifier::VerifyNodeTraced(const std::string& name,
+                                     VerificationResult* result) {
+  obs::Span span(sim_, "keylime.verify", "keylime", "verify:" + name);
+  co_await VerifyNodeImpl(name, result);
+  if (result->passed) {
+    obs::Count(sim_, "keylime.verify_pass");
+  } else {
+    obs::Count(sim_, "keylime.verify_fail");
+    span.AddArg("failure", result->failure);
+  }
+  span.End();
+}
+
+sim::Task Verifier::VerifyNodeImpl(const std::string& name,
+                                   VerificationResult* result) {
   result->passed = false;
   const auto it = nodes_.find(name);
   if (it == nodes_.end()) {
@@ -128,8 +155,10 @@ sim::Task Verifier::VerifyNode(const std::string& name, VerificationResult* resu
         aik ? crypto::P256::Instance().Prepare(*aik) : std::nullopt;
     state.aik_wire = aik_wire;
     ++aik_cache_misses_;
+    obs::Count(sim_, "keylime.aik_cache_miss");
   } else {
     ++aik_cache_hits_;
+    obs::Count(sim_, "keylime.aik_cache_hit");
   }
   if (!state.nk_decoded.has_value() || state.nk_wire != nk_wire) {
     state.nk_decoded = crypto::EcPoint::Decode(nk_wire);
@@ -306,10 +335,14 @@ sim::Task Verifier::ContinuousLoop(std::string name, sim::Duration interval,
       // may be mid-reboot or behind a flapping link), not an instant
       // quarantine.  Strikes accumulate until a pass resets them.
       ++transient_retries_;
+      obs::Count(sim_, "keylime.transient_retries");
       wait = interval.Scaled(0.25);
       continue;
     }
     ++violations_;
+    obs::Count(sim_, "keylime.violations");
+    obs::Instant(sim_, "keylime.violation", "keylime", "verify:" + name,
+                 {{"node", name}, {"reason", result.failure}});
     co_await Revoke(name);
     if (violation_callback_) {
       violation_callback_(name, result.failure);

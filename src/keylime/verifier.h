@@ -87,7 +87,9 @@ class Verifier {
   // the node is quarantined as if it had failed integrity checks.
   void SetMaxTransientStrikes(int strikes) { max_transient_strikes_ = strikes; }
 
-  // One-shot attestation; delivers the payload on first success.
+  // One-shot attestation; delivers the payload on first success.  With an
+  // obs::Registry attached, each round is a "keylime.verify" span on the
+  // node's track plus pass/fail counters.
   sim::Task VerifyNode(const std::string& name, VerificationResult* result);
 
   // Continuous attestation loop.  Stops on violation (after running the
@@ -135,6 +137,8 @@ class Verifier {
     std::optional<crypto::EcPoint> nk_decoded;
   };
 
+  sim::Task VerifyNodeImpl(const std::string& name, VerificationResult* result);
+  sim::Task VerifyNodeTraced(const std::string& name, VerificationResult* result);
   sim::Task ContinuousLoop(std::string name, sim::Duration interval,
                            uint64_t generation);
   sim::Task Revoke(const std::string& name);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/obs.h"
+
 namespace bolted::net {
 
 Endpoint::Endpoint(sim::Simulation& sim, Network& network, Address address,
@@ -31,6 +33,7 @@ sim::Task Endpoint::SendBoxed(Address dst, std::shared_ptr<Message> message) {
       !network_.LinkUp(dst)) {
     ++messages_dropped_;
     ++network_.total_drops_;
+    obs::Count(sim_, "net.frames.dropped_isolation");
     co_return;
   }
 
@@ -43,7 +46,12 @@ sim::Task Endpoint::SendBoxed(Address dst, std::shared_ptr<Message> message) {
       ++messages_dropped_;
       ++network_.total_drops_;
       ++network_.fault_drops_;
+      obs::Count(sim_, "net.frames.fault_dropped");
       co_return;
+    }
+    if (fault.extra_delay > sim::Duration::Zero()) {
+      obs::Count(sim_, "net.frames.fault_delayed");
+      obs::RecordDuration(sim_, "net.fault_extra_delay", fault.extra_delay);
     }
   }
 
@@ -71,12 +79,27 @@ sim::Task Endpoint::SendBoxed(Address dst, std::shared_ptr<Message> message) {
       !network_.LinkUp(dst)) {
     ++messages_dropped_;
     ++network_.total_drops_;
+    obs::Count(sim_, "net.frames.dropped_in_flight");
     co_return;
   }
+#if BOLTED_OBS
+  // Forwarded-frame accounting: totals, size distribution, and per-link
+  // byte counters keyed on the endpoint names (the "per-port ifconfig" of
+  // the simulated switch).
+  if (obs::Registry* r = sim_.observer()) {
+    const auto bytes = message->EffectiveWireBytes();
+    r->Add("net.frames.forwarded", 1 + static_cast<uint64_t>(fault.duplicates));
+    r->Record("net.frame_bytes", bytes);
+    r->Add("net.link." + name_ + ".tx_bytes", bytes);
+    r->Add("net.link." + receiver->name_ + ".rx_bytes",
+           bytes * (1 + static_cast<uint64_t>(fault.duplicates)));
+  }
+#endif
   // A duplicating switch delivers extra copies of the same frame; each copy
   // is provider-visible traffic, so the sniffer sees all of them.
   for (int copy = 0; copy < fault.duplicates; ++copy) {
     ++network_.fault_duplicates_;
+    obs::Count(sim_, "net.frames.fault_duplicated");
     if (network_.sniffer_) {
       network_.sniffer_(vlan, *message);
     }

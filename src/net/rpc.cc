@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/obs.h"
+
 namespace bolted::net {
 
 RpcNode::RpcNode(sim::Simulation& sim, Endpoint& endpoint)
@@ -85,12 +87,26 @@ sim::Task RpcNode::CallBoxed(Address dst, std::shared_ptr<Message> request,
     PendingCall call = std::move(it->second);
     pending_.erase(it);
     ++call_timeouts_;
+    obs::Count(sim_, "rpc.timeouts");
     call.done->Set();  // ok stays false
   });
 
+#if BOLTED_OBS
+  // Copy the kind (Send consumes the message) only when someone is
+  // listening — an unconditional string copy would tax every untraced call.
+  const sim::Time call_start = sim_.now();
+  const std::string kind =
+      sim_.observer() != nullptr ? request->kind : std::string();
+#endif
   co_await endpoint_.Send(dst, std::move(*request));
   co_await *done;
   sim_.Cancel(timer);
+#if BOLTED_OBS
+  if (obs::Registry* r = sim_.observer()) {
+    r->Add("rpc.calls");
+    r->RecordDuration("rpc.call_ns." + kind, sim_.now() - call_start);
+  }
+#endif
 }
 
 // Plain shim: boxes the aggregate before the coroutine boundary.
@@ -109,6 +125,7 @@ sim::Task RpcNode::CallWithRetryBoxed(Address dst,
   for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
     if (attempt > 1) {
       ++call_retries_;
+      obs::Count(sim_, "rpc.retries");
       // Jittered backoff: scale by a uniform factor in [1 - jitter, 1] so
       // retries from independent callers decorrelate without ever waiting
       // longer than the deterministic cap.

@@ -1,0 +1,369 @@
+// Unified observability layer (DESIGN.md §9).
+//
+// One deterministic substrate for everything the benches and the chaos
+// harness need to see: hierarchical spans stamped with sim::Time (never
+// wall clock, so a fixed seed replays to a byte-identical trace), named
+// counters, and log2-bucketed histograms, all owned by a per-Simulation
+// Registry.  Exporters render chrome://tracing JSON and flat text/JSON
+// metrics dumps (src/obs/registry.cc).
+//
+// Instrumentation sites go through the free helpers at the bottom
+// (obs::Count, obs::Record, obs::Instant, obs::Span, ...), which resolve
+// the Simulation's attached Registry.  With no Registry attached they cost
+// one pointer test; compiled with BOLTED_OBS=0 they vanish entirely, which
+// is the zero-overhead-when-disabled guarantee the attestation bench
+// enforces.
+//
+// Layering: obs sits directly above sim and depends on nothing else.  The
+// Simulation stores only an opaque Registry pointer (simulation.h forward
+// declares the class), so bolted_sim gains no link-time dependency; every
+// hot-path Registry method is defined inline here.
+
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#ifndef BOLTED_OBS
+#define BOLTED_OBS 1
+#endif
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace bolted::obs {
+
+// Log2-bucketed histogram over non-negative integer values (nanoseconds,
+// bytes, queue depths).  Bucket i counts values whose bit width is i, i.e.
+// bucket 0 holds the value 0 and bucket i>0 holds [2^(i-1), 2^i - 1]; the
+// exact count/sum/min/max ride alongside so quantiles degrade gracefully
+// to bucket resolution while means stay exact.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  static constexpr int BucketIndex(uint64_t value) {
+    return static_cast<int>(std::bit_width(value));
+  }
+  // Smallest value a bucket admits (0 for bucket 0).
+  static constexpr uint64_t BucketLowerBound(int index) {
+    return index == 0 ? 0 : uint64_t{1} << (index - 1);
+  }
+
+  void Record(uint64_t value) {
+    ++buckets_[static_cast<size_t>(BucketIndex(value))];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) {
+      min_ = value;
+    }
+    if (value > max_) {
+      max_ = value;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket(int index) const {
+    return buckets_[static_cast<size_t>(index)];
+  }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  // Upper bound of the bucket holding the q-quantile (q in [0, 1]);
+  // clamped to the exact observed min/max.  Defined in registry.cc.
+  uint64_t Quantile(double q) const;
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+// Key/value annotations attached to a trace event; rendered as string
+// arguments in the chrome trace "args" object.
+using Args = std::vector<std::pair<std::string, std::string>>;
+
+// One exported trace event.  Complete events are recorded when they end
+// (the natural order for RAII spans and retroactive phase marks), which is
+// deterministic under the sim's deterministic event order.
+struct TraceEvent {
+  enum class Kind { kComplete, kInstant };
+  Kind kind = Kind::kInstant;
+  std::string name;
+  std::string category;
+  uint32_t track = 0;        // chrome tid; see Registry::Track
+  sim::Time start;           // ts (instant: the event time)
+  sim::Duration duration{};  // dur (complete events only)
+  Args args;
+};
+
+// Per-Simulation observability registry.  Construction attaches it to the
+// Simulation (one at a time; the previous observer, if any, is displaced),
+// destruction detaches.  All recorded time is sim::Time.
+class Registry {
+ public:
+  explicit Registry(sim::Simulation& sim);
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+
+  // --- Counters -----------------------------------------------------------
+  void Add(std::string_view name, uint64_t delta = 1) {
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      it->second += delta;
+    } else {
+      counters_.emplace(std::string(name), delta);
+    }
+  }
+  uint64_t counter(std::string_view name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+
+  // --- Histograms ---------------------------------------------------------
+  void Record(std::string_view name, uint64_t value) {
+    MutableHistogram(name).Record(value);
+  }
+  void RecordDuration(std::string_view name, sim::Duration duration) {
+    const int64_t ns = duration.nanoseconds();
+    Record(name, ns > 0 ? static_cast<uint64_t>(ns) : 0);
+  }
+  const Histogram* FindHistogram(std::string_view name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  // --- Tracks (chrome tids) -----------------------------------------------
+  // Stable small integer per track name, assigned in first-use order (which
+  // is deterministic).  Track 0 always exists and is named "sim".
+  uint32_t Track(std::string_view name) {
+    const auto it = track_ids_.find(name);
+    if (it != track_ids_.end()) {
+      return it->second;
+    }
+    const auto id = static_cast<uint32_t>(track_names_.size());
+    track_names_.emplace_back(name);
+    track_ids_.emplace(std::string(name), id);
+    return id;
+  }
+  const std::vector<std::string>& track_names() const { return track_names_; }
+
+  // --- Trace events -------------------------------------------------------
+  // Retroactive complete span: [start, start + duration].  Spans emitted on
+  // the same track nest in chrome://tracing by containment.
+  void EmitComplete(std::string_view name, std::string_view category,
+                    uint32_t track, sim::Time start, sim::Duration duration,
+                    Args args = {}) {
+    events_.push_back(TraceEvent{TraceEvent::Kind::kComplete, std::string(name),
+                                 std::string(category), track, start, duration,
+                                 std::move(args)});
+  }
+  void EmitInstant(std::string_view name, std::string_view category,
+                   uint32_t track, Args args = {}) {
+    events_.push_back(TraceEvent{TraceEvent::Kind::kInstant, std::string(name),
+                                 std::string(category), track, sim_.now(),
+                                 sim::Duration::Zero(), std::move(args)});
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // --- Simulation hot path ------------------------------------------------
+  // Called from Simulation::Step for every fired event; the cells are
+  // pre-resolved at construction so the cost is two increments and a
+  // histogram bump.
+  void OnSimStep(size_t queue_depth) {
+    ++*sim_events_;
+    sim_queue_depth_->Record(queue_depth);
+  }
+
+  // --- Exporters (registry.cc) --------------------------------------------
+  // chrome://tracing / Perfetto-loadable JSON ("traceEvents" array plus
+  // thread-name metadata).  Deterministic: same seed => same bytes.
+  std::string ChromeTraceJson() const;
+  // Flat "counter <name> <value>" / "hist <name> ..." lines, sorted by name.
+  std::string MetricsText() const;
+  // The same metrics as one JSON object.
+  std::string MetricsJson() const;
+  // Writes ChromeTraceJson() to a file; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  Histogram& MutableHistogram(std::string_view name) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      return it->second;
+    }
+    return histograms_.emplace(std::string(name), Histogram{}).first->second;
+  }
+
+  sim::Simulation& sim_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::vector<TraceEvent> events_;
+  std::map<std::string, uint32_t, std::less<>> track_ids_;
+  std::vector<std::string> track_names_;
+  uint64_t* sim_events_ = nullptr;
+  Histogram* sim_queue_depth_ = nullptr;
+};
+
+// --- Instrumentation helpers ----------------------------------------------
+// Every call site in sim/net/tpm/keylime/provision/faults goes through
+// these.  They compile away under BOLTED_OBS=0 and cost one pointer test
+// when no Registry is attached.
+
+#if BOLTED_OBS
+
+inline Registry* Get(sim::Simulation& sim) { return sim.observer(); }
+
+inline void Count(sim::Simulation& sim, std::string_view name,
+                  uint64_t delta = 1) {
+  if (Registry* r = sim.observer()) {
+    r->Add(name, delta);
+  }
+}
+
+inline void Record(sim::Simulation& sim, std::string_view name, uint64_t value) {
+  if (Registry* r = sim.observer()) {
+    r->Record(name, value);
+  }
+}
+
+inline void RecordDuration(sim::Simulation& sim, std::string_view name,
+                           sim::Duration duration) {
+  if (Registry* r = sim.observer()) {
+    r->RecordDuration(name, duration);
+  }
+}
+
+inline void Instant(sim::Simulation& sim, std::string_view name,
+                    std::string_view category, std::string_view track,
+                    Args args = {}) {
+  if (Registry* r = sim.observer()) {
+    r->EmitInstant(name, category, r->Track(track), std::move(args));
+  }
+}
+
+// Retroactive span covering [start, sim.now()] — the shape PhaseTrace::Mark
+// produces without holding a live object across the phase.
+inline void CompleteSince(sim::Simulation& sim, std::string_view name,
+                          std::string_view category, std::string_view track,
+                          sim::Time start, Args args = {}) {
+  if (Registry* r = sim.observer()) {
+    r->EmitComplete(name, category, r->Track(track), start, sim.now() - start,
+                    std::move(args));
+  }
+}
+
+// RAII span: records [construction, End()/destruction] on the named track.
+// Movable so it can live in coroutine frames; coroutine locals are
+// destroyed at co_return (before final suspend), so the end stamp is the
+// completion time of the flow, not the frame's eventual destruction.
+//
+// The span holds the Simulation, not the Registry: a suspended coroutine
+// frame can outlive the Registry (e.g. a continuous-attestation loop torn
+// down with the Simulation), so the observer is re-resolved at End() and a
+// span that closes after the Registry detached is silently dropped.
+class Span {
+ public:
+  Span() = default;
+  Span(sim::Simulation& sim, std::string_view name, std::string_view category,
+       std::string_view track, Args args = {}) {
+    if (sim.observer() != nullptr) {
+      sim_ = &sim;
+      name_ = name;
+      category_ = category;
+      track_ = track;
+      start_ = sim.now();
+      args_ = std::move(args);
+    }
+  }
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      End();
+      sim_ = other.sim_;
+      name_ = std::move(other.name_);
+      category_ = std::move(other.category_);
+      track_ = std::move(other.track_);
+      start_ = other.start_;
+      args_ = std::move(other.args_);
+      other.sim_ = nullptr;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  void AddArg(std::string_view key, std::string_view value) {
+    if (sim_ != nullptr) {
+      args_.emplace_back(std::string(key), std::string(value));
+    }
+  }
+
+  void End() {
+    if (sim_ != nullptr) {
+      if (Registry* r = sim_->observer()) {
+        r->EmitComplete(name_, category_, r->Track(track_), start_,
+                        sim_->now() - start_, std::move(args_));
+      }
+      sim_ = nullptr;
+    }
+  }
+
+ private:
+  sim::Simulation* sim_ = nullptr;
+  std::string name_;
+  std::string category_;
+  std::string track_;
+  sim::Time start_;
+  Args args_;
+};
+
+#else  // !BOLTED_OBS — every helper is an empty inline; call sites vanish.
+
+inline Registry* Get(sim::Simulation&) { return nullptr; }
+inline void Count(sim::Simulation&, std::string_view, uint64_t = 1) {}
+inline void Record(sim::Simulation&, std::string_view, uint64_t) {}
+inline void RecordDuration(sim::Simulation&, std::string_view, sim::Duration) {}
+inline void Instant(sim::Simulation&, std::string_view, std::string_view,
+                    std::string_view, Args = {}) {}
+inline void CompleteSince(sim::Simulation&, std::string_view, std::string_view,
+                          std::string_view, sim::Time, Args = {}) {}
+
+class Span {
+ public:
+  Span() = default;
+  Span(sim::Simulation&, std::string_view, std::string_view, std::string_view,
+       Args = {}) {}
+  void AddArg(std::string_view, std::string_view) {}
+  void End() {}
+};
+
+#endif  // BOLTED_OBS
+
+}  // namespace bolted::obs
+
+#endif  // SRC_OBS_OBS_H_

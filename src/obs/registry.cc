@@ -1,0 +1,242 @@
+// Registry lifecycle and exporters: chrome://tracing JSON plus flat
+// text/JSON metric dumps.  Everything here renders from sim-time-stamped
+// state, so output is byte-identical across same-seed runs.
+
+#include "src/obs/obs.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bolted::obs {
+namespace {
+
+// Minimal JSON string escaping for names, categories, and argument values.
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+// Chrome trace timestamps are microseconds; render the nanosecond clock
+// with fixed millinanosecond precision so formatting is locale-free and
+// deterministic.
+void AppendMicros(std::string& out, int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  out += buf;
+}
+
+void AppendEventArgs(std::string& out, const Args& args) {
+  out += "\"args\":{";
+  bool first = true;
+  for (const auto& [key, value] : args) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    AppendEscaped(out, key);
+    out += "\":\"";
+    AppendEscaped(out, value);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+Registry::Registry(sim::Simulation& sim) : sim_(sim) {
+  Track("sim");  // track 0
+  // Pre-resolve the per-event-dispatch cells consulted by OnSimStep; map
+  // nodes are pointer-stable, so these stay valid for the Registry's life.
+  sim_events_ = &counters_.emplace("sim.events", 0).first->second;
+  sim_queue_depth_ =
+      &histograms_.emplace("sim.queue_depth", Histogram{}).first->second;
+  sim_.set_observer(this);
+}
+
+Registry::~Registry() {
+  if (sim_.observer() == this) {
+    sim_.set_observer(nullptr);
+  }
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  const auto rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen > rank) {
+      // Upper bound of bucket i, clamped into the observed range.
+      const uint64_t upper = i == 0 ? 0 : (BucketLowerBound(i) << 1) - 1;
+      return upper < min_ ? min_ : (upper > max_ ? max_ : upper);
+    }
+  }
+  return max_;
+}
+
+std::string Registry::ChromeTraceJson() const {
+  std::string out;
+  out.reserve(256 + events_.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"bolted\"}}";
+  for (size_t tid = 0; tid < track_names_.size(); ++tid) {
+    out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    AppendU64(out, tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    AppendEscaped(out, track_names_[tid]);
+    out += "\"}}";
+  }
+  for (const TraceEvent& event : events_) {
+    out += ",\n{\"ph\":\"";
+    out += event.kind == TraceEvent::Kind::kComplete ? 'X' : 'i';
+    out += "\",\"pid\":1,\"tid\":";
+    AppendU64(out, event.track);
+    out += ",\"name\":\"";
+    AppendEscaped(out, event.name);
+    out += "\",\"cat\":\"";
+    AppendEscaped(out, event.category.empty() ? std::string_view("bolted")
+                                              : std::string_view(event.category));
+    out += "\",\"ts\":";
+    AppendMicros(out, event.start.nanoseconds());
+    if (event.kind == TraceEvent::Kind::kComplete) {
+      out += ",\"dur\":";
+      AppendMicros(out, event.duration.nanoseconds());
+    } else {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    out += ',';
+    AppendEventArgs(out, event.args);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Registry::MetricsText() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += "counter " + name + " ";
+    AppendU64(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += "hist " + name + " count=";
+    AppendU64(out, hist.count());
+    out += " sum=";
+    AppendU64(out, hist.sum());
+    out += " min=";
+    AppendU64(out, hist.min());
+    out += " max=";
+    AppendU64(out, hist.max());
+    out += " p50=";
+    AppendU64(out, hist.Quantile(0.50));
+    out += " p99=";
+    AppendU64(out, hist.Quantile(0.99));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Registry::MetricsJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    AppendEscaped(out, name);
+    out += "\":";
+    AppendU64(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    AppendEscaped(out, name);
+    out += "\":{\"count\":";
+    AppendU64(out, hist.count());
+    out += ",\"sum\":";
+    AppendU64(out, hist.sum());
+    out += ",\"min\":";
+    AppendU64(out, hist.min());
+    out += ",\"max\":";
+    AppendU64(out, hist.max());
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (hist.bucket(i) == 0) {
+        continue;
+      }
+      if (!first_bucket) {
+        out += ',';
+      }
+      first_bucket = false;
+      out += '[';
+      AppendU64(out, Histogram::BucketLowerBound(i));
+      out += ',';
+      AppendU64(out, hist.bucket(i));
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+bool Registry::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ChromeTraceJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace bolted::obs

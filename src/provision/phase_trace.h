@@ -1,35 +1,70 @@
 // Phase timing traces for provisioning flows (the Fig. 4 breakdown).
+//
+// Since the obs layer landed, PhaseTrace is a thin façade over spans: each
+// Mark() still appends a (name, duration) row — the shape the Fig. 4
+// benches print — and also emits a retroactive obs complete-span covering
+// the phase, so a Registry attached to the simulation gets a real
+// chrome-trace of every provisioning run for free.  With no Registry (or
+// with BOLTED_OBS=0) the row-recording behaviour is unchanged.
 
 #ifndef SRC_PROVISION_PHASE_TRACE_H_
 #define SRC_PROVISION_PHASE_TRACE_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
 
 namespace bolted::provision {
 
+// Marking a default-constructed trace that was never Start()ed is a bug in
+// the calling flow (the phases silently vanish), so debug builds abort.
+// BOLTED_STRICT_CHECKS forces the check on in optimized builds — the
+// regression test compiles against it so the misuse path stays covered
+// even when NDEBUG strips plain asserts.
+#if !defined(NDEBUG) || defined(BOLTED_STRICT_CHECKS)
+#define BOLTED_PHASE_TRACE_CHECKS 1
+#else
+#define BOLTED_PHASE_TRACE_CHECKS 0
+#endif
+
 class PhaseTrace {
  public:
-  // Default-constructed traces record nothing until Start() is called.
+  // Default-constructed traces record nothing until Start() is called;
+  // Mark() before Start() is misuse (see above).
   PhaseTrace() = default;
   explicit PhaseTrace(sim::Simulation& sim) : sim_(&sim), last_(sim.now()) {}
 
-  void Start(sim::Simulation& sim) {
+  // Re-Start() rebinds the trace and discards previously recorded phases.
+  // `actor` names the obs track phase spans land on (e.g. the node being
+  // provisioned); it defaults to a shared "provision" track.
+  void Start(sim::Simulation& sim, std::string actor = {}) {
     sim_ = &sim;
     last_ = sim.now();
+    actor_ = std::move(actor);
     phases_.clear();
   }
 
   // Records the time elapsed since the previous mark under `name`.
   void Mark(const std::string& name) {
     if (sim_ == nullptr) {
+#if BOLTED_PHASE_TRACE_CHECKS
+      std::fprintf(stderr,
+                   "PhaseTrace::Mark(\"%s\") on a trace that was never "
+                   "Start()ed\n",
+                   name.c_str());
+      std::abort();
+#endif
       return;
     }
     const sim::Time now = sim_->now();
     phases_.push_back(Phase{name, now - last_});
+    obs::CompleteSince(*sim_, name, "provision",
+                       actor_.empty() ? "provision" : actor_, last_);
     last_ = now;
   }
 
@@ -66,6 +101,7 @@ class PhaseTrace {
  private:
   sim::Simulation* sim_ = nullptr;
   sim::Time last_;
+  std::string actor_;
   std::vector<Phase> phases_;
 };
 

@@ -4,6 +4,7 @@
 #include <functional>
 #include <utility>
 
+#include "src/obs/obs.h"
 #include "src/sim/task.h"
 
 namespace bolted::sim {
@@ -98,6 +99,13 @@ bool Simulation::Step() {
   trace_digest_ = MixDigest(
       MixDigest(trace_digest_, static_cast<uint64_t>(entry.when.nanoseconds())),
       entry.id);
+#if BOLTED_OBS
+  // Dispatch accounting: event count plus the live queue depth at fire
+  // time (heap size net of lazy-deleted tombstones).
+  if (observer_ != nullptr) {
+    observer_->OnSimStep(pending_.size());
+  }
+#endif
   entry.fn();
   if ((events_processed_ & 0x3ff) == 0) {
     ReapTasks();

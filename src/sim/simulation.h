@@ -19,6 +19,10 @@
 #include "src/sim/random.h"
 #include "src/sim/time.h"
 
+namespace bolted::obs {
+class Registry;
+}  // namespace bolted::obs
+
 namespace bolted::sim {
 
 class Task;
@@ -67,6 +71,14 @@ class Simulation {
   // delivered, fault injected, verdict reached); pick any stable constant.
   void RecordTraceEvent(uint64_t tag);
 
+  // --- Observability ------------------------------------------------------
+  // Optional per-simulation obs::Registry (src/obs/obs.h).  The simulation
+  // only stores the pointer — the obs layer defines all behaviour — so
+  // bolted_sim takes no dependency on it.  Attached/detached by the
+  // Registry's constructor/destructor.
+  obs::Registry* observer() const { return observer_; }
+  void set_observer(obs::Registry* observer) { observer_ = observer; }
+
   // Takes ownership of a coroutine task and starts it.  The task is
   // destroyed once it completes.
   void Spawn(Task task);
@@ -111,6 +123,7 @@ class Simulation {
   // this count precisely.
   size_t dead_in_heap_ = 0;
   uint64_t trace_digest_ = 0x626f6c746564u;
+  obs::Registry* observer_ = nullptr;
   std::vector<Task> live_tasks_;
   Rng rng_;
 };

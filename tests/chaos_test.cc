@@ -13,7 +13,11 @@
 //                    released, proven end-to-end by releasing every failed
 //                    node and re-provisioning it successfully;
 //   (d) replayable:  the whole-cloud event-trace digest is identical when
-//                    the seed is replayed.
+//                    the seed is replayed;
+//   (e) observable:  every fault the plan injects shows up exactly once as
+//                    a tagged obs trace event at the planned sim time, and
+//                    the registry's counters reconcile with the injector's
+//                    and verifiers' own books (BOLTED_OBS builds only).
 //
 // Run a single failing seed with:  chaos_test --seed=N
 
@@ -22,12 +26,14 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/core/cloud.h"
 #include "src/core/enclave.h"
 #include "src/faults/faults.h"
+#include "src/obs/obs.h"
 
 namespace bolted {
 namespace {
@@ -40,9 +46,78 @@ struct ChaosResult {
   std::string clean_detail;
   bool converged = true;
   std::string converge_detail;
+  bool obs_ok = true;
+  std::string obs_detail;
   uint64_t digest = 0;
   uint64_t faults_fired = 0;  // guards against a vacuously green run
 };
+
+#if BOLTED_OBS
+// Invariant (e): the registry's view of the run reconciles with every other
+// book-keeper.  Each plan event must appear exactly once as an instant whose
+// timestamp is the planned offset (the injector arms at t=0), and the fault/
+// frame/retry counters must match the injector, fabric, and verifiers.
+void CheckObsInvariant(const obs::Registry& registry,
+                       const faults::FaultInjector& injector, core::Cloud& cloud,
+                       uint64_t verifier_transient_retries, ChaosResult* result) {
+  const auto fail = [result](const std::string& detail) {
+    result->obs_ok = false;
+    result->obs_detail = detail;
+  };
+
+  const faults::FaultPlan& plan = injector.plan();
+  std::multiset<int64_t> flap_ts;
+  std::multiset<int64_t> partition_ts;
+  std::multiset<int64_t> crash_ts;
+  for (const obs::TraceEvent& event : registry.events()) {
+    if (event.kind != obs::TraceEvent::Kind::kInstant) {
+      continue;
+    }
+    if (event.name == "fault.flap") {
+      flap_ts.insert(event.start.nanoseconds());
+    } else if (event.name == "fault.partition") {
+      partition_ts.insert(event.start.nanoseconds());
+    } else if (event.name == "fault.crash") {
+      crash_ts.insert(event.start.nanoseconds());
+    }
+  }
+  std::multiset<int64_t> want_flaps;
+  for (const faults::LinkFlapEvent& flap : plan.flaps) {
+    want_flaps.insert(flap.at.nanoseconds());
+  }
+  std::multiset<int64_t> want_partitions;
+  for (const faults::PartitionEvent& partition : plan.partitions) {
+    want_partitions.insert(partition.at.nanoseconds());
+  }
+  std::multiset<int64_t> want_crashes;
+  for (const faults::CrashEvent& crash : plan.crashes) {
+    want_crashes.insert(crash.at.nanoseconds());
+  }
+  if (flap_ts != want_flaps) {
+    fail("fault.flap instants (" + std::to_string(flap_ts.size()) +
+         ") do not match the plan's flaps (" + std::to_string(want_flaps.size()) +
+         ") one-to-one at the planned times");
+  }
+  if (partition_ts != want_partitions) {
+    fail("fault.partition instants do not match the plan's partition windows");
+  }
+  if (crash_ts != want_crashes) {
+    fail("fault.crash instants do not match the plan's crashes");
+  }
+
+  const auto check_counter = [&](std::string_view name, uint64_t want) {
+    const uint64_t got = registry.counter(name);
+    if (got != want) {
+      fail("counter " + std::string(name) + " = " + std::to_string(got) +
+           ", expected " + std::to_string(want));
+    }
+  };
+  check_counter("fault.tpm", injector.tpm_faults_injected());
+  check_counter("net.frames.fault_dropped", cloud.fabric().fault_drops());
+  check_counter("net.frames.fault_duplicated", cloud.fabric().fault_duplicates());
+  check_counter("keylime.transient_retries", verifier_transient_retries);
+}
+#endif  // BOLTED_OBS
 
 struct Placement {
   int enclave = 0;  // index into the tenant array
@@ -58,6 +133,11 @@ ChaosResult RunChaosScenario(uint64_t seed) {
   config.seed = seed;
   core::Cloud cloud(config);
   sim::Simulation& sim = cloud.sim();
+#if BOLTED_OBS
+  // Invariant (e) witnesses the whole run; attaching the registry must not
+  // perturb the event stream (invariant (d) would catch it if it did).
+  obs::Registry registry(sim);
+#endif
 
   core::Enclave ta(cloud, "ta", core::TrustProfile::Charlie(), seed ^ 0x7461u);
   core::Enclave tb(cloud, "tb", core::TrustProfile::Charlie(), seed ^ 0x7462u);
@@ -224,6 +304,12 @@ ChaosResult RunChaosScenario(uint64_t seed) {
                         injector.flaps_injected() + injector.crashes_injected() +
                         injector.partition_drops() +
                         injector.tpm_faults_injected();
+#if BOLTED_OBS
+  CheckObsInvariant(registry, injector, cloud,
+                    ta.verifier().transient_retries() +
+                        tb.verifier().transient_retries(),
+                    &result);
+#endif
   return result;
 }
 
@@ -238,6 +324,7 @@ class ChaosSeedTest : public ::testing::Test {
     EXPECT_FALSE(first.cross_enclave) << first.cross_detail;
     EXPECT_TRUE(first.clean) << first.clean_detail;
     EXPECT_TRUE(first.converged) << first.converge_detail;
+    EXPECT_TRUE(first.obs_ok) << first.obs_detail;
 
     // Invariant (d): replaying the seed reproduces the exact event stream.
     const ChaosResult replay = RunChaosScenario(seed_);

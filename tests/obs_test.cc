@@ -1,0 +1,282 @@
+// Unit tests for the obs layer (src/obs): histogram bucketing, counters,
+// tracks, span nesting, exporter shape — plus the golden-trace determinism
+// guarantee: two runs of the same seeded provisioning flow must export
+// byte-identical chrome traces and metrics dumps.
+
+#include "src/obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/cloud.h"
+#include "src/core/enclave.h"
+#include "src/sim/task.h"
+
+#if !BOLTED_OBS
+
+TEST(Obs, DisabledBuild) {
+  GTEST_SKIP() << "built with BOLTED_OBS=0; the obs layer is compiled out";
+}
+
+#else  // BOLTED_OBS
+
+namespace bolted {
+namespace {
+
+TEST(Histogram, BucketIndexBoundaries) {
+  // Bucket 0 holds exactly the value 0; bucket i>0 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(obs::Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(obs::Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(obs::Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1024), 11);
+  EXPECT_EQ(obs::Histogram::BucketIndex(~uint64_t{0}), 64);
+
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(11), 1024u);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(64), uint64_t{1} << 63);
+  // Round trip: every value lands in the bucket whose range contains it.
+  for (const uint64_t v : {0ull, 1ull, 7ull, 8ull, 4095ull, 4096ull}) {
+    const int i = obs::Histogram::BucketIndex(v);
+    EXPECT_GE(v, obs::Histogram::BucketLowerBound(i)) << v;
+    if (i < obs::Histogram::kNumBuckets - 1) {
+      EXPECT_LT(v, obs::Histogram::BucketLowerBound(i + 1)) << v;
+    }
+  }
+}
+
+TEST(Histogram, ExactStatsRideAlongside) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  h.Record(100);
+  h.Record(3);
+  h.Record(100000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 100103u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 100000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 100103.0 / 3.0);
+  EXPECT_EQ(h.bucket(obs::Histogram::BucketIndex(3)), 1u);
+  EXPECT_EQ(h.bucket(obs::Histogram::BucketIndex(100)), 1u);
+}
+
+TEST(Histogram, QuantileClampsToObservedRange) {
+  obs::Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0u);  // empty
+  for (int i = 0; i < 100; ++i) {
+    h.Record(1000);
+  }
+  h.Record(5);
+  h.Record(2000000);
+  // Quantiles resolve to bucket upper bounds, clamped into the observed
+  // range: q=0 lands in the min's bucket (5 lives in [4,7]), q=1 clamps to
+  // the exact max.
+  EXPECT_GE(h.Quantile(0.0), 5u);
+  EXPECT_LE(h.Quantile(0.0), 7u);
+  EXPECT_EQ(h.Quantile(1.0), 2000000u);
+  const uint64_t p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 1000u);
+  EXPECT_LT(p50, 2048u);  // upper bound of 1000's bucket
+}
+
+TEST(Registry, CountersAccumulate) {
+  sim::Simulation sim{1};
+  obs::Registry registry(sim);
+  EXPECT_EQ(registry.counter("x"), 0u);
+  registry.Add("x");
+  registry.Add("x", 4);
+  EXPECT_EQ(registry.counter("x"), 5u);
+  // The free helper routes through the attached registry...
+  obs::Count(sim, "x");
+  EXPECT_EQ(registry.counter("x"), 6u);
+}
+
+TEST(Registry, HelpersAreNoOpsWithoutRegistry) {
+  sim::Simulation sim{1};
+  EXPECT_EQ(sim.observer(), nullptr);
+  obs::Count(sim, "x");  // must not crash
+  obs::Record(sim, "h", 1);
+  obs::Instant(sim, "i", "c", "t");
+  obs::Span span(sim, "s", "c", "t");
+  span.End();
+}
+
+TEST(Registry, AttachDetach) {
+  sim::Simulation sim{1};
+  {
+    obs::Registry registry(sim);
+    EXPECT_EQ(sim.observer(), &registry);
+  }
+  EXPECT_EQ(sim.observer(), nullptr);
+}
+
+TEST(Registry, TracksAssignedInFirstUseOrder) {
+  sim::Simulation sim{1};
+  obs::Registry registry(sim);
+  // Track 0 is always the simulation's own.
+  EXPECT_EQ(registry.Track("sim"), 0u);
+  EXPECT_EQ(registry.Track("alpha"), 1u);
+  EXPECT_EQ(registry.Track("beta"), 2u);
+  EXPECT_EQ(registry.Track("alpha"), 1u);  // stable on re-lookup
+  ASSERT_EQ(registry.track_names().size(), 3u);
+  EXPECT_EQ(registry.track_names()[1], "alpha");
+}
+
+TEST(Registry, SimStepFeedsEventCountAndQueueDepth) {
+  sim::Simulation sim{1};
+  obs::Registry registry(sim);
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(sim::Duration::Seconds(i + 1), []() {});
+  }
+  sim.Run();
+  EXPECT_EQ(registry.counter("sim.events"), 10u);
+  const obs::Histogram* depth = registry.FindHistogram("sim.queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->count(), 10u);
+  EXPECT_EQ(depth->max(), 9u);  // first fire sees the other 9 still queued
+}
+
+TEST(Span, NestedSpansStampSimTime) {
+  sim::Simulation sim{1};
+  obs::Registry registry(sim);
+  auto flow = [&]() -> sim::Task {
+    obs::Span outer(sim, "outer", "test", "flow");
+    {
+      obs::Span inner(sim, "inner", "test", "flow");
+      co_await sim::Delay(sim, sim::Duration::Seconds(1));
+    }
+    co_await sim::Delay(sim, sim::Duration::Seconds(2));
+  };
+  sim.Spawn(flow());
+  sim.Run();
+
+  // Complete events record at end time: inner closes first.
+  ASSERT_EQ(registry.events().size(), 2u);
+  const obs::TraceEvent& inner = registry.events()[0];
+  const obs::TraceEvent& outer = registry.events()[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.track, outer.track);
+  EXPECT_EQ(inner.start.nanoseconds(), 0);
+  EXPECT_EQ(inner.duration, sim::Duration::Seconds(1));
+  EXPECT_EQ(outer.start.nanoseconds(), 0);
+  EXPECT_EQ(outer.duration, sim::Duration::Seconds(3));
+  // Containment: the inner span nests inside the outer one.
+  EXPECT_GE(inner.start, outer.start);
+  EXPECT_LE(inner.start + inner.duration, outer.start + outer.duration);
+}
+
+TEST(Span, MoveTransfersOwnership) {
+  sim::Simulation sim{1};
+  obs::Registry registry(sim);
+  obs::Span a(sim, "moved", "test", "flow");
+  obs::Span b(std::move(a));
+  a.End();  // moved-from: must be inert
+  EXPECT_TRUE(registry.events().empty());
+  b.End();
+  ASSERT_EQ(registry.events().size(), 1u);
+  b.End();  // idempotent
+  EXPECT_EQ(registry.events().size(), 1u);
+}
+
+TEST(Registry, InstantAndRetroactiveComplete) {
+  sim::Simulation sim{1};
+  obs::Registry registry(sim);
+  const sim::Time start = sim.now();
+  sim.Schedule(sim::Duration::Seconds(5), [&]() {
+    obs::Instant(sim, "tick", "test", "flow", {{"k", "v"}});
+    obs::CompleteSince(sim, "window", "test", "flow", start);
+  });
+  sim.Run();
+  ASSERT_EQ(registry.events().size(), 2u);
+  EXPECT_EQ(registry.events()[0].kind, obs::TraceEvent::Kind::kInstant);
+  EXPECT_EQ(registry.events()[0].start, start + sim::Duration::Seconds(5));
+  ASSERT_EQ(registry.events()[0].args.size(), 1u);
+  EXPECT_EQ(registry.events()[0].args[0].second, "v");
+  EXPECT_EQ(registry.events()[1].kind, obs::TraceEvent::Kind::kComplete);
+  EXPECT_EQ(registry.events()[1].duration, sim::Duration::Seconds(5));
+}
+
+TEST(Exporters, ChromeTraceShape) {
+  sim::Simulation sim{1};
+  obs::Registry registry(sim);
+  auto flow = [&]() -> sim::Task {
+    obs::Span span(sim, "work", "test", "flow");
+    co_await sim::Delay(sim, sim::Duration::Milliseconds(1));
+    obs::Instant(sim, "blip", "test", "flow");
+  };
+  sim.Spawn(flow());
+  sim.Run();
+  const std::string json = registry.ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+  // Durations are rendered as microseconds with sub-us precision.
+  EXPECT_NE(json.find("\"dur\":1000.000"), std::string::npos);
+}
+
+TEST(Exporters, MetricsShape) {
+  sim::Simulation sim{1};
+  obs::Registry registry(sim);
+  registry.Add("a.count", 3);
+  registry.Record("a.hist", 42);
+  const std::string text = registry.MetricsText();
+  EXPECT_NE(text.find("counter a.count 3"), std::string::npos);
+  EXPECT_NE(text.find("hist a.hist count=1"), std::string::npos);
+  const std::string json = registry.MetricsJson();
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"a.hist\""), std::string::npos);
+}
+
+// --- Golden-trace determinism ---------------------------------------------
+// The whole point of stamping spans with sim::Time: a fixed seed replays to
+// the same bytes, so traces can be diffed across runs and machines.
+
+struct TraceDump {
+  std::string chrome;
+  std::string metrics;
+};
+
+TraceDump RunSeededProvisioning() {
+  core::CloudConfig config;
+  config.num_machines = 1;
+  config.linuxboot_in_flash = true;
+  core::Cloud cloud(config);
+  obs::Registry registry(cloud.sim());
+
+  core::TrustProfile profile;
+  profile.use_attestation = true;
+  core::Enclave enclave(cloud, "tenant", profile, 42);
+  core::ProvisionOutcome outcome;
+  auto flow = [&]() -> sim::Task {
+    co_await enclave.ProvisionNode("node-0", &outcome);
+  };
+  cloud.sim().Spawn(flow());
+  cloud.sim().Run();
+  EXPECT_TRUE(outcome.success) << outcome.failure;
+  return TraceDump{registry.ChromeTraceJson(), registry.MetricsText()};
+}
+
+TEST(GoldenTrace, SameSeedExportsIdenticalBytes) {
+  const TraceDump first = RunSeededProvisioning();
+  const TraceDump second = RunSeededProvisioning();
+  EXPECT_EQ(first.chrome, second.chrome);
+  EXPECT_EQ(first.metrics, second.metrics);
+  // And they witnessed a real run, not an empty registry.
+  EXPECT_NE(first.chrome.find("attestation"), std::string::npos);
+  EXPECT_NE(first.metrics.find("counter sim.events"), std::string::npos);
+  EXPECT_NE(first.metrics.find("tpm.cmd_ns.quote"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bolted
+
+#endif  // BOLTED_OBS

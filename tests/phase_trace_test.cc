@@ -1,0 +1,161 @@
+// Direct coverage for provision::PhaseTrace: Start/Mark/re-Start semantics,
+// the loud-failure path for Mark() on a never-started trace, and the
+// span-backed migration — phase rows and obs spans must tell the same
+// story, and the Fig. 4 phase names must survive intact.
+//
+// This TU is compiled with BOLTED_STRICT_CHECKS so the misuse abort fires
+// even in NDEBUG builds (the repo's default RelWithDebInfo config).
+
+#include "src/provision/phase_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/cloud.h"
+#include "src/core/enclave.h"
+#include "src/obs/obs.h"
+
+namespace bolted {
+namespace {
+
+TEST(PhaseTrace, MarksRecordElapsedSimTime) {
+  sim::Simulation sim{1};
+  provision::PhaseTrace trace;
+  trace.Start(sim);
+  sim.RunUntil(sim.now() + sim::Duration::Seconds(3));
+  trace.Mark("first");
+  sim.RunUntil(sim.now() + sim::Duration::Seconds(5));
+  trace.Mark("second");
+
+  ASSERT_EQ(trace.phases().size(), 2u);
+  EXPECT_EQ(trace.phases()[0].name, "first");
+  EXPECT_EQ(trace.phases()[0].duration, sim::Duration::Seconds(3));
+  EXPECT_EQ(trace.phases()[1].duration, sim::Duration::Seconds(5));
+  EXPECT_EQ(trace.total(), sim::Duration::Seconds(8));
+  EXPECT_EQ(trace.DurationOf("second"), sim::Duration::Seconds(5));
+  EXPECT_EQ(trace.DurationOf("missing"), sim::Duration::Zero());
+  const std::string text = trace.ToString();
+  EXPECT_NE(text.find("first"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+TEST(PhaseTrace, ConstructorWithSimBehavesLikeStart) {
+  sim::Simulation sim{1};
+  provision::PhaseTrace trace(sim);
+  sim.RunUntil(sim.now() + sim::Duration::Seconds(2));
+  trace.Mark("only");
+  ASSERT_EQ(trace.phases().size(), 1u);
+  EXPECT_EQ(trace.phases()[0].duration, sim::Duration::Seconds(2));
+}
+
+TEST(PhaseTrace, ReStartDiscardsPriorPhases) {
+  sim::Simulation sim{1};
+  provision::PhaseTrace trace;
+  trace.Start(sim);
+  sim.RunUntil(sim.now() + sim::Duration::Seconds(1));
+  trace.Mark("stale");
+  trace.Start(sim);  // rebind: the earlier rows belong to a prior attempt
+  EXPECT_TRUE(trace.phases().empty());
+  sim.RunUntil(sim.now() + sim::Duration::Seconds(4));
+  trace.Mark("fresh");
+  ASSERT_EQ(trace.phases().size(), 1u);
+  EXPECT_EQ(trace.phases()[0].name, "fresh");
+  EXPECT_EQ(trace.phases()[0].duration, sim::Duration::Seconds(4));
+}
+
+// Regression: Mark() on a default-constructed trace used to be a silent
+// no-op — the phases just vanished from the Fig. 4 output.  It now aborts
+// loudly when checks are on.
+TEST(PhaseTraceDeathTest, MarkBeforeStartAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  provision::PhaseTrace trace;
+  EXPECT_DEATH(trace.Mark("orphan"), "never");
+}
+
+#if BOLTED_OBS
+
+TEST(PhaseTrace, MarksEmitMatchingSpans) {
+  sim::Simulation sim{1};
+  obs::Registry registry(sim);
+  provision::PhaseTrace trace;
+  trace.Start(sim, "actor-7");
+  sim.RunUntil(sim.now() + sim::Duration::Seconds(3));
+  trace.Mark("warm-up");
+  sim.RunUntil(sim.now() + sim::Duration::Seconds(9));
+  trace.Mark("main");
+
+  ASSERT_EQ(registry.events().size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    const obs::TraceEvent& event = registry.events()[i];
+    EXPECT_EQ(event.kind, obs::TraceEvent::Kind::kComplete);
+    EXPECT_EQ(event.category, "provision");
+    EXPECT_EQ(event.name, trace.phases()[i].name);
+    EXPECT_EQ(event.duration, trace.phases()[i].duration);
+  }
+  // Spans land on the named actor track; phases abut: each span starts
+  // where the previous one ended.
+  EXPECT_EQ(registry.track_names().at(registry.events()[0].track), "actor-7");
+  EXPECT_EQ(registry.events()[1].start,
+            registry.events()[0].start + registry.events()[0].duration);
+}
+
+TEST(PhaseTrace, NoRegistryMeansRowsOnly) {
+  sim::Simulation sim{1};
+  provision::PhaseTrace trace;
+  trace.Start(sim);
+  sim.RunUntil(sim.now() + sim::Duration::Seconds(1));
+  trace.Mark("quiet");  // no observer attached: must not crash
+  EXPECT_EQ(trace.phases().size(), 1u);
+}
+
+// The Fig. 4 contract: a full provisioning run still produces the same
+// phase rows the bench prints, and every row has a matching span with an
+// identical duration in the chrome trace.
+TEST(PhaseTrace, Fig4PhasesSurviveSpanMigration) {
+  core::CloudConfig config;
+  config.num_machines = 1;
+  config.linuxboot_in_flash = true;
+  core::Cloud cloud(config);
+  obs::Registry registry(cloud.sim());
+
+  core::TrustProfile profile;
+  profile.use_attestation = true;
+  core::Enclave enclave(cloud, "tenant", profile, 42);
+  core::ProvisionOutcome outcome;
+  auto flow = [&]() -> sim::Task {
+    co_await enclave.ProvisionNode("node-0", &outcome);
+  };
+  cloud.sim().Spawn(flow());
+  cloud.sim().Run();
+  ASSERT_TRUE(outcome.success) << outcome.failure;
+
+  const std::vector<std::string> expected = {
+      "allocate+airlock", "POST",            "LinuxBoot boot",
+      "attestation",      "move to enclave", "kexec+kernel boot"};
+  ASSERT_EQ(outcome.trace.phases().size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(outcome.trace.phases()[i].name, expected[i]);
+  }
+  EXPECT_GT(outcome.trace.total(), sim::Duration::Zero());
+
+  // Each phase row has exactly one span twin on the per-node track.
+  for (const auto& phase : outcome.trace.phases()) {
+    int matches = 0;
+    for (const obs::TraceEvent& event : registry.events()) {
+      if (event.kind == obs::TraceEvent::Kind::kComplete &&
+          event.category == "provision" && event.name == phase.name) {
+        EXPECT_EQ(event.duration, phase.duration) << phase.name;
+        EXPECT_EQ(registry.track_names().at(event.track), "provision:node-0");
+        ++matches;
+      }
+    }
+    EXPECT_EQ(matches, 1) << phase.name;
+  }
+}
+
+#endif  // BOLTED_OBS
+
+}  // namespace
+}  // namespace bolted
