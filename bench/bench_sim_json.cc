@@ -1,0 +1,297 @@
+// Simulation-kernel throughput: timing wheel vs the reference heap.
+//
+// Three synthetic workloads exercise the scheduler shapes the datacenter
+// simulation actually produces, at fleet scale:
+//
+//   churn    — 4096 nodes each arming a 30 s timeout per operation and
+//              cancelling it when the (short) operation completes: the
+//              RPC/retry-timer pattern.  Timeouts virtually never fire,
+//              so the reference heap drowns in tombstones and compaction
+//              sweeps while the wheel unlinks in O(1).
+//   pingpong — 64 chains of back-to-back 1 ns events: pure drain-path
+//              throughput, batches of same-instant events every step.
+//   mixed    — a steady population of events with log-uniform delays from
+//              100 ns to ~11 days (so the top wheel levels and the spill
+//              heap both participate), with random cancel/re-arm churn.
+//
+// Each workload runs on both schedulers with identical seeds; the trace
+// digests must match (the same equivalence the scheduler_test suite
+// checks), and the host-side events/second ratio is the headline number.
+//
+// Usage: bench_sim_json [output-path] [--events=N]
+//   (default output: BENCH_sim.json; --events scales every workload, e.g.
+//    --events=50000 for a CI smoke run.)
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+
+namespace {
+
+using bolted::sim::Duration;
+using bolted::sim::EventId;
+using bolted::sim::Rng;
+using bolted::sim::SchedulerKind;
+using bolted::sim::Simulation;
+
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  uint64_t events = 0;
+  double wall_ms = 0;
+  uint64_t trace_digest = 0;
+};
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// --- churn ------------------------------------------------------------------
+
+class ChurnDriver {
+ public:
+  ChurnDriver(Simulation& sim, int nodes, uint64_t operations)
+      : sim_(sim), rng_(0x636875726eu), timeouts_(static_cast<size_t>(nodes)),
+        remaining_(operations) {}
+
+  void Start() {
+    for (size_t i = 0; i < timeouts_.size(); ++i) {
+      if (remaining_ == 0) {
+        return;
+      }
+      --remaining_;
+      Arm(static_cast<uint32_t>(i));
+    }
+  }
+
+ private:
+  void Arm(uint32_t node) {
+    timeouts_[node] = sim_.Schedule(Duration::Seconds(30), []() {});
+    const auto delay = static_cast<int64_t>(100 + rng_.NextBelow(10000));
+    sim_.Schedule(Duration::Nanoseconds(delay),
+                  [this, node]() { Complete(node); });
+  }
+
+  void Complete(uint32_t node) {
+    sim_.Cancel(timeouts_[node]);
+    if (remaining_ > 0) {
+      --remaining_;
+      Arm(node);
+    }
+  }
+
+  Simulation& sim_;
+  Rng rng_;
+  std::vector<EventId> timeouts_;
+  uint64_t remaining_;
+};
+
+RunResult RunChurn(SchedulerKind kind, uint64_t operations) {
+  Simulation sim(kind, 1);
+  ChurnDriver driver(sim, 4096, operations);
+  driver.Start();
+  const auto start = Clock::now();
+  sim.Run();
+  RunResult r;
+  r.wall_ms = MillisSince(start);
+  r.events = sim.events_processed();
+  r.trace_digest = sim.trace_digest();
+  return r;
+}
+
+// --- pingpong ---------------------------------------------------------------
+
+class PingPongDriver {
+ public:
+  PingPongDriver(Simulation& sim, int chains, uint64_t operations)
+      : sim_(sim), remaining_(operations) {
+    for (int i = 0; i < chains; ++i) {
+      Step();
+    }
+  }
+
+ private:
+  void Step() {
+    if (remaining_ == 0) {
+      return;
+    }
+    --remaining_;
+    sim_.Schedule(Duration::Nanoseconds(1), [this]() { Step(); });
+  }
+
+  Simulation& sim_;
+  uint64_t remaining_;
+};
+
+RunResult RunPingPong(SchedulerKind kind, uint64_t operations) {
+  Simulation sim(kind, 2);
+  PingPongDriver driver(sim, 64, operations);
+  const auto start = Clock::now();
+  sim.Run();
+  RunResult r;
+  r.wall_ms = MillisSince(start);
+  r.events = sim.events_processed();
+  r.trace_digest = sim.trace_digest();
+  return r;
+}
+
+// --- mixed ------------------------------------------------------------------
+
+class MixedDriver {
+ public:
+  MixedDriver(Simulation& sim, int population, uint64_t operations)
+      : sim_(sim), rng_(0x6d69786564u), slots_(static_cast<size_t>(population)),
+        remaining_(operations) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      Spawn(static_cast<uint32_t>(i));
+    }
+  }
+
+ private:
+  Duration RandomDelay() {
+    // Log-uniform over [100 ns, ~10^15 ns): most events are near-term, but
+    // every wheel level and the overflow spill see traffic.
+    const double exponent = 2.0 + rng_.NextDouble() * 13.0;
+    return Duration::Nanoseconds(static_cast<int64_t>(std::pow(10.0, exponent)));
+  }
+
+  void Spawn(uint32_t slot) {
+    slots_[slot] = sim_.Schedule(RandomDelay(), [this, slot]() { Fire(slot); });
+  }
+
+  void Fire(uint32_t slot) {
+    if (remaining_ == 0) {
+      return;
+    }
+    --remaining_;
+    Spawn(slot);
+    // A third of operations also cancel and re-arm a random other slot —
+    // its pending event may sit anywhere in the wheel or the spill.
+    if (rng_.NextDouble() < 0.33) {
+      const auto victim =
+          static_cast<uint32_t>(rng_.NextBelow(slots_.size()));
+      sim_.Cancel(slots_[victim]);
+      Spawn(victim);
+    }
+  }
+
+  Simulation& sim_;
+  Rng rng_;
+  std::vector<EventId> slots_;
+  uint64_t remaining_;
+};
+
+RunResult RunMixed(SchedulerKind kind, uint64_t operations) {
+  Simulation sim(kind, 3);
+  MixedDriver driver(sim, 8192, operations);
+  const auto start = Clock::now();
+  // The long tail of far-future events never fires; run until the churn
+  // budget is exhausted, then stop at the current instant.
+  while (sim.events_processed() < operations && sim.Step()) {
+  }
+  RunResult r;
+  r.wall_ms = MillisSince(start);
+  r.events = sim.events_processed();
+  r.trace_digest = sim.trace_digest();
+  return r;
+}
+
+struct WorkloadRow {
+  const char* name;
+  RunResult reference;
+  RunResult wheel;
+};
+
+void AppendRow(std::string& json, const WorkloadRow& row, bool last) {
+  char buf[1024];
+  const double ref_eps =
+      static_cast<double>(row.reference.events) / (row.reference.wall_ms / 1e3);
+  const double wheel_eps =
+      static_cast<double>(row.wheel.events) / (row.wheel.wall_ms / 1e3);
+  const double ref_ns = row.reference.wall_ms * 1e6 /
+                        static_cast<double>(row.reference.events);
+  const double wheel_ns =
+      row.wheel.wall_ms * 1e6 / static_cast<double>(row.wheel.events);
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s_events\": %" PRIu64 ",\n"
+                "  \"%s_reference_wall_ms\": %.3f,\n"
+                "  \"%s_wheel_wall_ms\": %.3f,\n"
+                "  \"%s_reference_events_per_second\": %.0f,\n"
+                "  \"%s_wheel_events_per_second\": %.0f,\n"
+                "  \"%s_reference_ns_per_event\": %.1f,\n"
+                "  \"%s_wheel_ns_per_event\": %.1f,\n"
+                "  \"%s_speedup_vs_reference\": %.2f%s\n",
+                row.name, row.wheel.events, row.name, row.reference.wall_ms,
+                row.name, row.wheel.wall_ms, row.name, ref_eps, row.name,
+                wheel_eps, row.name, ref_ns, row.name, wheel_ns, row.name,
+                ref_eps > 0 ? wheel_eps / ref_eps : 0.0, last ? "" : ",");
+  json += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_sim.json";
+  uint64_t base_events = 2'000'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--events=", 9) == 0 && argv[i][9] != '\0') {
+      base_events = std::strtoull(argv[i] + 9, nullptr, 10);
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  WorkloadRow rows[] = {
+      {"churn", RunChurn(SchedulerKind::kReference, base_events),
+       RunChurn(SchedulerKind::kWheel, base_events)},
+      {"pingpong", RunPingPong(SchedulerKind::kReference, base_events),
+       RunPingPong(SchedulerKind::kWheel, base_events)},
+      {"mixed", RunMixed(SchedulerKind::kReference, base_events / 2),
+       RunMixed(SchedulerKind::kWheel, base_events / 2)},
+  };
+
+  // Same ops, same seeds => the two schedulers must fire the identical
+  // (when, seq) stream.  A digest mismatch here is a correctness bug, not
+  // a performance result.
+  for (const WorkloadRow& row : rows) {
+    if (row.reference.trace_digest != row.wheel.trace_digest ||
+        row.reference.events != row.wheel.events) {
+      std::fprintf(stderr,
+                   "%s: scheduler divergence (ref %" PRIu64 " events digest %016" PRIx64
+                   ", wheel %" PRIu64 " events digest %016" PRIx64 ")\n",
+                   row.name, row.reference.events, row.reference.trace_digest,
+                   row.wheel.events, row.wheel.trace_digest);
+      return 1;
+    }
+  }
+
+  std::string json = "{\n";
+  for (size_t i = 0; i < 3; ++i) {
+    AppendRow(json, rows[i], i == 2);
+  }
+  json += "}\n";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+
+  for (const WorkloadRow& row : rows) {
+    const double speedup = row.reference.wall_ms / row.wheel.wall_ms;
+    std::printf("%-8s %9" PRIu64 " events  reference %8.1f ms  wheel %8.1f ms  speedup %.2fx\n",
+                row.name, row.wheel.events, row.reference.wall_ms,
+                row.wheel.wall_ms, speedup);
+  }
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

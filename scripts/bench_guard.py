@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Bench regression guard: fresh host-time numbers vs committed baselines.
+
+Usage: bench_guard.py BASELINE FRESH [BASELINE FRESH ...]
+
+Each argument pair names a committed baseline JSON at the repo root and a
+freshly generated JSON from the same bench binary.  Every key containing
+"wall_ms" is compared; a fresh value more than 25% above the baseline
+fails the guard.  Cold-start keys (first_round_*, build_*) are skipped —
+they measure one-off setup, not the steady state the guard protects.
+
+Baselines are regenerated manually (on the machine that committed them),
+so the comparison is same-host: 25% of headroom absorbs normal jitter
+while still catching a real frame-path or scheduler regression.
+"""
+
+import json
+import sys
+
+THRESHOLD = 1.25
+SKIP_PREFIXES = ("first_round", "build_")
+
+
+def wall_keys(doc):
+    return {
+        key: value
+        for key, value in doc.items()
+        if "wall_ms" in key and not key.startswith(SKIP_PREFIXES)
+        and isinstance(value, (int, float))
+    }
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) % 2 != 0:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    failures = []
+    for i in range(0, len(argv), 2):
+        baseline_path, fresh_path = argv[i], argv[i + 1]
+        try:
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+        except FileNotFoundError:
+            print(f"  {baseline_path}: no committed baseline, skipping")
+            continue
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+
+        base_keys = wall_keys(baseline)
+        fresh_keys = wall_keys(fresh)
+        for key, base_value in sorted(base_keys.items()):
+            if key not in fresh_keys or base_value <= 0:
+                continue
+            ratio = fresh_keys[key] / base_value
+            status = "FAIL" if ratio > THRESHOLD else "ok"
+            print(f"  {status:4} {baseline_path}:{key}: "
+                  f"{base_value:.1f} -> {fresh_keys[key]:.1f} ms ({ratio:.2f}x)")
+            if ratio > THRESHOLD:
+                failures.append(f"{baseline_path}:{key} regressed {ratio:.2f}x")
+
+    if failures:
+        print("bench regression guard FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench regression guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -51,7 +51,10 @@ if [[ "${want_asan}" == 1 ]]; then
   # loop that exercises the prepared-AIK cache) instrumented.
   echo "== sanitizers: crypto + attestation benches under ASan =="
   ./build-asan/bench/bench_crypto_json /tmp/bolted_asan_bench_crypto.json
-  ./build-asan/bench/fleet_attestation /tmp/bolted_asan_bench_attestation.json
+  # 128 nodes: enough to exercise every code path; 4096 instrumented
+  # nodes would dominate the whole check run.
+  ./build-asan/bench/fleet_attestation --nodes=128 \
+    /tmp/bolted_asan_bench_attestation.json
   # The obs exporters shuffle strings and trace-event vectors; run the
   # registry + span machinery (and a traced provisioning flow) instrumented.
   echo "== sanitizers: observability suite under ASan =="
@@ -61,8 +64,18 @@ fi
 if [[ "${want_bench}" == 1 ]]; then
   echo "== bench smoke: ctest -L bench_smoke (uninstrumented build) =="
   ctest --test-dir build --output-on-failure -L bench_smoke
-  echo "smoke JSON outputs land in build/bench/ (committed copies are"
-  echo "regenerated manually at the repo root)"
+  echo "== bench regression guard: full-scale runs vs committed baselines =="
+  # Fresh full-scale runs (4096-node fleets, 2M-op scheduler workloads),
+  # then a >25% host-time comparison against the committed BENCH_*.json
+  # baselines.  Regenerate baselines by copying build/bench output to the
+  # repo root when a change legitimately moves the numbers.
+  ./build/bench/bench_sim_json build/bench/BENCH_sim.fresh.json
+  ./build/bench/fleet_attestation build/bench/BENCH_attestation.fresh.json
+  ./build/bench/fleet_provisioning build/bench/BENCH_provisioning.fresh.json
+  python3 scripts/bench_guard.py \
+    BENCH_sim.json build/bench/BENCH_sim.fresh.json \
+    BENCH_attestation.json build/bench/BENCH_attestation.fresh.json \
+    BENCH_provisioning.json build/bench/BENCH_provisioning.fresh.json
 fi
 
 echo "All checks passed."

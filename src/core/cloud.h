@@ -41,6 +41,10 @@ struct CloudConfig {
   double rack_uplink_bytes_per_second = 5e9;  // 40 Gbit uplink
   Calibration cal;
   uint64_t seed = 0x626f6c746564u;
+  // Event-queue implementation for the owned Simulation; kDefault honours
+  // the BOLTED_SCHEDULER environment override.  The cross-scheduler
+  // equivalence tests pin this explicitly.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kDefault;
 };
 
 class Cloud {

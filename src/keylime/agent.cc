@@ -13,14 +13,27 @@ namespace {
 // TPM command accounting, by opcode: the full charged latency (model cost
 // plus any injected spike) lands in a per-opcode histogram, and failed
 // commands are counted separately so chaos traces show where a stalled
-// phase burned its time.
+// phase burned its time.  The per-opcode metric ids are cached so a busy
+// attestation loop never rebuilds the concatenated names.
 void ObserveTpmCommand(sim::Simulation& sim, std::string_view opcode,
                        sim::Duration charged, bool failed) {
 #if BOLTED_OBS
   if (obs::Registry* r = sim.observer()) {
-    r->RecordDuration("tpm.cmd_ns." + std::string(opcode), charged);
+    struct OpcodeIds {
+      uint32_t cmd_ns;
+      uint32_t cmd_failed;
+    };
+    static thread_local std::map<std::string, OpcodeIds, std::less<>> cache;
+    auto it = cache.find(opcode);
+    if (it == cache.end()) {
+      const OpcodeIds ids{
+          obs::InternMetric("tpm.cmd_ns." + std::string(opcode)),
+          obs::InternMetric("tpm.cmd_failed." + std::string(opcode))};
+      it = cache.emplace(std::string(opcode), ids).first;
+    }
+    r->RecordDurationById(it->second.cmd_ns, charged);
     if (failed) {
-      r->Add("tpm.cmd_failed." + std::string(opcode));
+      r->AddById(it->second.cmd_failed);
     }
   }
 #else

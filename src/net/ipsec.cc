@@ -107,7 +107,7 @@ std::optional<crypto::Bytes> IpsecContext::Open(Address peer, crypto::ByteView w
 sim::Task BulkTransfer(sim::Simulation& sim, PathEnd src, PathEnd dst,
                        double payload_bytes, const IpsecParams& params,
                        const IpsecCostModel& model) {
-  std::vector<WeightedDemand> demands;
+  DemandList demands;
   if (!params.enabled) {
     // Plain TCP: header overhead only.
     const double payload_per_packet =

@@ -5,6 +5,27 @@
 #include "src/obs/obs.h"
 
 namespace bolted::net {
+namespace {
+
+// Fixed frame-path metric names, interned once per process so the send
+// coroutine records through ids (no hashing, no string temporaries).
+struct NetMetricIds {
+  uint32_t dropped_isolation = obs::InternMetric("net.frames.dropped_isolation");
+  uint32_t fault_dropped = obs::InternMetric("net.frames.fault_dropped");
+  uint32_t fault_delayed = obs::InternMetric("net.frames.fault_delayed");
+  uint32_t fault_extra_delay = obs::InternMetric("net.fault_extra_delay");
+  uint32_t dropped_in_flight = obs::InternMetric("net.frames.dropped_in_flight");
+  uint32_t forwarded = obs::InternMetric("net.frames.forwarded");
+  uint32_t frame_bytes = obs::InternMetric("net.frame_bytes");
+  uint32_t fault_duplicated = obs::InternMetric("net.frames.fault_duplicated");
+};
+
+const NetMetricIds& Ids() {
+  static const NetMetricIds ids;
+  return ids;
+}
+
+}  // namespace
 
 Endpoint::Endpoint(sim::Simulation& sim, Network& network, Address address,
                    std::string name, double bandwidth_bytes_per_second)
@@ -14,15 +35,18 @@ Endpoint::Endpoint(sim::Simulation& sim, Network& network, Address address,
       name_(std::move(name)),
       tx_(sim, bandwidth_bytes_per_second, name_ + ".tx"),
       rx_(sim, bandwidth_bytes_per_second, name_ + ".rx"),
-      inbox_(sim) {}
+      inbox_(sim),
+      tx_bytes_metric_(obs::InternMetric("net.link." + name_ + ".tx_bytes")),
+      rx_bytes_metric_(obs::InternMetric("net.link." + name_ + ".rx_bytes")) {}
 
 // Plain (non-coroutine) shim: boxes the aggregate before the coroutine
-// boundary — see the header note on the GCC 12 parameter-copy bug.
+// boundary — see the header note on the GCC 12 parameter-copy bug.  The
+// box is pooled, so in the steady state this allocates nothing.
 sim::Task Endpoint::Send(Address dst, Message message) {
-  return SendBoxed(dst, std::make_shared<Message>(std::move(message)));
+  return SendBoxed(dst, MessageBox(std::move(message)));
 }
 
-sim::Task Endpoint::SendBoxed(Address dst, std::shared_ptr<Message> message) {
+sim::Task Endpoint::SendBoxed(Address dst, MessageBox message) {
   message->src = address_;
   message->dst = dst;
   ++messages_sent_;
@@ -33,7 +57,7 @@ sim::Task Endpoint::SendBoxed(Address dst, std::shared_ptr<Message> message) {
       !network_.LinkUp(dst)) {
     ++messages_dropped_;
     ++network_.total_drops_;
-    obs::Count(sim_, "net.frames.dropped_isolation");
+    obs::CountById(sim_, Ids().dropped_isolation);
     co_return;
   }
 
@@ -46,17 +70,17 @@ sim::Task Endpoint::SendBoxed(Address dst, std::shared_ptr<Message> message) {
       ++messages_dropped_;
       ++network_.total_drops_;
       ++network_.fault_drops_;
-      obs::Count(sim_, "net.frames.fault_dropped");
+      obs::CountById(sim_, Ids().fault_dropped);
       co_return;
     }
     if (fault.extra_delay > sim::Duration::Zero()) {
-      obs::Count(sim_, "net.frames.fault_delayed");
-      obs::RecordDuration(sim_, "net.fault_extra_delay", fault.extra_delay);
+      obs::CountById(sim_, Ids().fault_delayed);
+      obs::RecordDurationById(sim_, Ids().fault_extra_delay, fault.extra_delay);
     }
   }
 
   const double wire_bytes = static_cast<double>(message->EffectiveWireBytes());
-  std::vector<WeightedDemand> demands;
+  DemandList demands;
   demands.push_back(WeightedDemand{&tx_, wire_bytes});
   demands.push_back(WeightedDemand{&receiver->rx_, wire_bytes});
   // Cross-switch frames also traverse the top-of-rack uplinks.
@@ -79,27 +103,28 @@ sim::Task Endpoint::SendBoxed(Address dst, std::shared_ptr<Message> message) {
       !network_.LinkUp(dst)) {
     ++messages_dropped_;
     ++network_.total_drops_;
-    obs::Count(sim_, "net.frames.dropped_in_flight");
+    obs::CountById(sim_, Ids().dropped_in_flight);
     co_return;
   }
 #if BOLTED_OBS
   // Forwarded-frame accounting: totals, size distribution, and per-link
   // byte counters keyed on the endpoint names (the "per-port ifconfig" of
-  // the simulated switch).
+  // the simulated switch).  All ids were interned at attach time, so this
+  // block neither hashes nor builds metric-name strings.
   if (obs::Registry* r = sim_.observer()) {
     const auto bytes = message->EffectiveWireBytes();
-    r->Add("net.frames.forwarded", 1 + static_cast<uint64_t>(fault.duplicates));
-    r->Record("net.frame_bytes", bytes);
-    r->Add("net.link." + name_ + ".tx_bytes", bytes);
-    r->Add("net.link." + receiver->name_ + ".rx_bytes",
-           bytes * (1 + static_cast<uint64_t>(fault.duplicates)));
+    r->AddById(Ids().forwarded, 1 + static_cast<uint64_t>(fault.duplicates));
+    r->RecordById(Ids().frame_bytes, bytes);
+    r->AddById(tx_bytes_metric_, bytes);
+    r->AddById(receiver->rx_bytes_metric_,
+               bytes * (1 + static_cast<uint64_t>(fault.duplicates)));
   }
 #endif
   // A duplicating switch delivers extra copies of the same frame; each copy
   // is provider-visible traffic, so the sniffer sees all of them.
   for (int copy = 0; copy < fault.duplicates; ++copy) {
     ++network_.fault_duplicates_;
-    obs::Count(sim_, "net.frames.fault_duplicated");
+    obs::CountById(sim_, Ids().fault_duplicated);
     if (network_.sniffer_) {
       network_.sniffer_(vlan, *message);
     }
@@ -140,6 +165,9 @@ Endpoint& Network::CreateEndpoint(const std::string& name,
                                              bandwidth_bytes_per_second);
   Endpoint& ref = *endpoint;
   endpoints_.emplace(address, std::move(endpoint));
+  // emplace keeps the first binding, so duplicate names keep resolving to
+  // the earliest-created endpoint (what the old linear scan returned).
+  endpoints_by_name_.emplace(name, address);
   endpoint_switch_[address] = 0;
   return ref;
 }
@@ -176,12 +204,8 @@ Endpoint* Network::FindEndpoint(Address address) {
 }
 
 Endpoint* Network::FindByName(const std::string& name) {
-  for (auto& [address, endpoint] : endpoints_) {
-    if (endpoint->name() == name) {
-      return endpoint.get();
-    }
-  }
-  return nullptr;
+  const auto it = endpoints_by_name_.find(name);
+  return it == endpoints_by_name_.end() ? nullptr : FindEndpoint(it->second);
 }
 
 void Network::AttachToVlan(Address endpoint, VlanId vlan) {
@@ -203,7 +227,7 @@ void Network::DetachFromAllVlans(Address endpoint) {
 }
 
 bool Network::Reachable(Address a, Address b) const {
-  return const_cast<Network*>(this)->SharedVlan(a, b) != 0;
+  return SharedVlan(a, b) != 0;
 }
 
 VlanId Network::SharedVlan(Address a, Address b) const {
@@ -212,12 +236,7 @@ VlanId Network::SharedVlan(Address a, Address b) const {
   if (ita == endpoints_.end() || itb == endpoints_.end()) {
     return 0;
   }
-  for (VlanId vlan : ita->second->vlans()) {
-    if (itb->second->vlans().contains(vlan)) {
-      return vlan;
-    }
-  }
-  return 0;
+  return VlanSet::LowestShared(ita->second->vlans(), itb->second->vlans());
 }
 
 }  // namespace bolted::net

@@ -16,6 +16,8 @@
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -25,33 +27,73 @@
 #include <vector>
 
 #include "src/crypto/bytes.h"
+#include "src/net/message_pool.h"
 #include "src/net/resource.h"
 #include "src/sim/simulation.h"
 #include "src/sim/task.h"
 
 namespace bolted::net {
 
-using Address = uint32_t;
-using VlanId = uint16_t;
-
-struct Message {
-  Address src = 0;
-  Address dst = 0;
-  std::string kind;       // protocol tag, e.g. "keylime.quote"
-  crypto::Bytes payload;  // real bytes (may be encrypted)
-  // Bytes accounted on the wire; defaults to the payload size but can be
-  // larger for messages that model bulk data without carrying it.
-  uint64_t wire_bytes = 0;
-  // RPC correlation (see src/net/rpc.h).
-  uint64_t rpc_id = 0;
-  bool rpc_response = false;
-
-  uint64_t EffectiveWireBytes() const {
-    return wire_bytes != 0 ? wire_bytes : payload.size();
-  }
-};
-
 class Network;
+
+// Switch-port VLAN membership as a bitset.  The per-frame reachability
+// check (SharedVlan on the send and delivery paths) is a word-AND scan
+// with an early exit — no tree walk, no per-frame allocation — and
+// VLAN 0 keeps its "no VLAN" meaning because a zero result already means
+// "none" to every caller.
+class VlanSet {
+ public:
+  bool contains(VlanId vlan) const {
+    const size_t word = vlan >> 6;
+    return word < words_.size() && ((words_[word] >> (vlan & 63)) & 1) != 0;
+  }
+  void insert(VlanId vlan) {
+    const size_t word = vlan >> 6;
+    if (word >= words_.size()) {
+      words_.resize(word + 1, 0);
+    }
+    const uint64_t bit = uint64_t{1} << (vlan & 63);
+    count_ += static_cast<size_t>((words_[word] & bit) == 0);
+    words_[word] |= bit;
+  }
+  void erase(VlanId vlan) {
+    const size_t word = vlan >> 6;
+    if (word >= words_.size()) {
+      return;
+    }
+    const uint64_t bit = uint64_t{1} << (vlan & 63);
+    count_ -= static_cast<size_t>((words_[word] & bit) != 0);
+    words_[word] &= ~bit;
+  }
+  void clear() {
+    words_.clear();
+    count_ = 0;
+  }
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+
+  // The lowest VLAN present in both sets, or 0 when the sets are disjoint.
+  // The word array of each set only spans up to its highest member (HIL
+  // hands out ids monotonically, so a typical endpoint needs one or two
+  // words), and the scan stops at the shorter of the two.
+  static VlanId LowestShared(const VlanSet& a, const VlanSet& b) {
+    const size_t words = std::min(a.words_.size(), b.words_.size());
+    for (size_t i = 0; i < words; ++i) {
+      const uint64_t both = a.words_[i] & b.words_[i];
+      if (both != 0) {
+        return static_cast<VlanId>(i * 64 +
+                                   static_cast<size_t>(std::countr_zero(both)));
+      }
+    }
+    return 0;
+  }
+
+ private:
+  // Bitset over VLAN ids, grown a 64-id word at a time up to the id
+  // domain (VlanId is 16 bits, so at most 1024 words).
+  std::vector<uint64_t> words_;
+  size_t count_ = 0;
+};
 
 // Per-frame verdict from an installed fault filter (see
 // Network::SetFaultFilter).  Defaults model a healthy fabric.
@@ -72,7 +114,7 @@ class Endpoint {
   const std::string& name() const { return name_; }
 
   // VLAN membership of this endpoint's switch port.
-  const std::set<VlanId>& vlans() const { return vlans_; }
+  const VlanSet& vlans() const { return vlans_; }
   bool InVlan(VlanId vlan) const { return vlans_.contains(vlan); }
 
   SharedResource& tx() { return tx_; }
@@ -88,8 +130,9 @@ class Endpoint {
   // Implementation note: Message is an aggregate, and GCC 12 miscompiles
   // by-value aggregate parameters of coroutines (the frame copy is a
   // bitwise copy, aliasing the caller's SSO string buffers).  Send is
-  // therefore a plain function that boxes the message before entering the
-  // coroutine (SendBoxed).
+  // therefore a plain function that boxes the message — into a pooled
+  // MessageBox, so the steady-state frame path is allocation-free —
+  // before entering the coroutine (SendBoxed).
   sim::Task Send(Address dst, Message message);
   // Fire-and-forget variant.
   void Post(Address dst, Message message);
@@ -99,17 +142,25 @@ class Endpoint {
 
  private:
   friend class Network;
+  // RpcNode forwards already-boxed requests straight to SendBoxed, so a
+  // call doesn't re-box per hop.
+  friend class RpcNode;
 
-  sim::Task SendBoxed(Address dst, std::shared_ptr<Message> message);
+  sim::Task SendBoxed(Address dst, MessageBox message);
 
   sim::Simulation& sim_;
   Network& network_;
   Address address_;
   std::string name_;
-  std::set<VlanId> vlans_;
+  VlanSet vlans_;
   SharedResource tx_;
   SharedResource rx_;
   sim::Channel<Message> inbox_;
+  // Interned per-link byte-counter ids ("net.link.<name>.{tx,rx}_bytes"),
+  // resolved once at attach time so the per-frame accounting in SendBoxed
+  // never concatenates or hashes metric names.
+  uint32_t tx_bytes_metric_;
+  uint32_t rx_bytes_metric_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
 };
@@ -149,6 +200,9 @@ class Network {
   int SwitchOf(Address endpoint) const;
 
   Endpoint* FindEndpoint(Address address);
+  // Name lookup through an index maintained by CreateEndpoint — O(log n),
+  // not a scan.  Duplicate names resolve to the earliest-created endpoint,
+  // matching the original linear search.
   Endpoint* FindByName(const std::string& name);
 
   // Switch-port VLAN management (privileged: used by HIL only).
@@ -185,6 +239,9 @@ class Network {
   double default_bandwidth_;
   Address next_address_ = 1;
   std::map<Address, std::unique_ptr<Endpoint>> endpoints_;
+  // Name -> address index for FindByName; heterogeneous compare so a
+  // string_view lookup needs no temporary.
+  std::map<std::string, Address, std::less<>> endpoints_by_name_;
   std::map<Address, int> endpoint_switch_;
   std::vector<std::unique_ptr<SharedResource>> uplinks_;  // switch 1..N
   Sniffer sniffer_;

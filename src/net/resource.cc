@@ -41,16 +41,19 @@ void SharedResource::Sync() {
   // Complete every drained job.  The threshold is relative to capacity:
   // anything under a picosecond of work counts as done, which (together
   // with the 1 ns minimum reschedule below) guarantees forward progress
-  // despite floating-point residue.
+  // despite floating-point residue.  Survivors compact in place, keeping
+  // arrival order (Set() only schedules the resume, so signalling before
+  // compaction is safe).
   const double epsilon = capacity_ * 1e-12;
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (it->remaining <= epsilon) {
-      it->done->Set();
-      it = jobs_.erase(it);
+  size_t kept = 0;
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i].remaining <= epsilon) {
+      jobs_[i].done->Set();
     } else {
-      ++it;
+      jobs_[kept++] = jobs_[i];
     }
   }
+  jobs_.resize(kept);
 
   if (has_pending_event_) {
     sim_.Cancel(pending_event_);
@@ -81,23 +84,24 @@ sim::Task SharedResource::Consume(double amount) {
   }
   // Settle existing jobs up to now before the new one starts competing.
   AdvanceTo(sim_.now());
-  auto done = std::make_shared<sim::Event>(sim_);
-  jobs_.push_back(Job{amount, done});
+  // The completion event lives in this frame: the job holds a pointer to
+  // it, and the frame stays suspended (alive) until the event fires.
+  sim::Event done(sim_);
+  jobs_.push_back(Job{amount, &done});
   Sync();
-  co_await *done;
+  co_await done;
 }
 
 sim::Task ConsumeAll(sim::Simulation& sim, std::vector<SharedResource*> resources,
                      double amount) {
-  std::vector<WeightedDemand> demands;
-  demands.reserve(resources.size());
+  DemandList demands;
   for (SharedResource* resource : resources) {
     demands.push_back(WeightedDemand{resource, amount});
   }
   co_await ConsumeAllWeighted(sim, std::move(demands));
 }
 
-sim::Task ConsumeAllWeighted(sim::Simulation& sim, std::vector<WeightedDemand> demands) {
+sim::Task ConsumeAllWeighted(sim::Simulation& sim, DemandList demands) {
   sim::TaskGroup group(sim);
   for (const WeightedDemand& demand : demands) {
     if (demand.resource != nullptr && demand.amount > 0) {

@@ -15,12 +15,12 @@
 #define SRC_NET_RESOURCE_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/sim/simulation.h"
+#include "src/sim/small_vec.h"
 #include "src/sim/task.h"
 
 namespace bolted::net {
@@ -47,9 +47,11 @@ class SharedResource {
  private:
   struct Job {
     double remaining = 0;
-    // Shared with the consuming coroutine so the Event outlives job
-    // erasure inside Sync().
-    std::shared_ptr<sim::Event> done;
+    // Points into the consuming coroutine's frame (Consume's local
+    // Event).  Valid until that frame resumes, which cannot happen before
+    // done->Set() — Sync() signals and erases the job in one pass, and
+    // resumption goes through the event queue.
+    sim::Event* done = nullptr;
   };
 
   // Advances all jobs to the current time and reschedules the next
@@ -60,7 +62,9 @@ class SharedResource {
   sim::Simulation& sim_;
   double capacity_;
   std::string name_;
-  std::list<Job> jobs_;
+  // Contiguous for the fluid-model sweeps; completion compacts in place
+  // preserving arrival order.
+  std::vector<Job> jobs_;
   sim::Time last_update_;
   sim::EventId pending_event_ = 0;
   bool has_pending_event_ = false;
@@ -80,7 +84,12 @@ struct WeightedDemand {
   SharedResource* resource;
   double amount;
 };
-sim::Task ConsumeAllWeighted(sim::Simulation& sim, std::vector<WeightedDemand> demands);
+// Inline-capacity demand list: the common frame shape (tx + rx, plus up to
+// two rack uplinks) fits without touching the heap.  SmallVec's
+// user-declared constructors also make it safe as a by-value coroutine
+// parameter under GCC 12 (see the toolchain note in src/sim/task.h).
+using DemandList = sim::SmallVec<WeightedDemand, 4>;
+sim::Task ConsumeAllWeighted(sim::Simulation& sim, DemandList demands);
 
 }  // namespace bolted::net
 

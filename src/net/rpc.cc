@@ -7,9 +7,36 @@
 #include "src/obs/obs.h"
 
 namespace bolted::net {
+namespace {
+
+struct RpcMetricIds {
+  uint32_t calls = obs::InternMetric("rpc.calls");
+  uint32_t timeouts = obs::InternMetric("rpc.timeouts");
+  uint32_t retries = obs::InternMetric("rpc.retries");
+};
+
+const RpcMetricIds& Ids() {
+  static const RpcMetricIds ids;
+  return ids;
+}
+
+// Sentinel for "observer was not attached at call start".
+constexpr uint32_t kNoMetric = 0xffffffffu;
+
+}  // namespace
 
 RpcNode::RpcNode(sim::Simulation& sim, Endpoint& endpoint)
     : sim_(sim), endpoint_(endpoint) {}
+
+uint32_t RpcNode::CallDurationMetric(const std::string& kind) {
+  const auto it = call_ns_ids_.find(kind);
+  if (it != call_ns_ids_.end()) {
+    return it->second;
+  }
+  const uint32_t id = obs::InternMetric("rpc.call_ns." + kind);
+  call_ns_ids_.emplace(kind, id);
+  return id;
+}
 
 void RpcNode::RegisterHandler(const std::string& kind, Handler handler) {
   handlers_[kind] = std::move(handler);
@@ -40,11 +67,11 @@ sim::Task RpcNode::Dispatch() {
       call.done->Set();
       continue;
     }
-    sim_.Spawn(HandleRequest(std::make_shared<Message>(std::move(message))));
+    sim_.Spawn(HandleRequest(MessageBox(std::move(message))));
   }
 }
 
-sim::Task RpcNode::HandleRequest(std::shared_ptr<Message> request) {
+sim::Task RpcNode::HandleRequest(MessageBox request) {
   const auto it = handlers_.find(request->kind);
   if (it == handlers_.end()) {
     co_return;  // unknown service; drop like a closed port
@@ -62,12 +89,11 @@ sim::Task RpcNode::HandleRequest(std::shared_ptr<Message> request) {
 // Plain shim: boxes the aggregate before the coroutine boundary.
 sim::Task RpcNode::Call(Address dst, Message request, Message* response, bool* ok,
                         sim::Duration timeout) {
-  return CallBoxed(dst, std::make_shared<Message>(std::move(request)), response, ok,
-                   timeout);
+  return CallBoxed(dst, MessageBox(std::move(request)), response, ok, timeout);
 }
 
-sim::Task RpcNode::CallBoxed(Address dst, std::shared_ptr<Message> request,
-                             Message* response, bool* ok, sim::Duration timeout) {
+sim::Task RpcNode::CallBoxed(Address dst, MessageBox request, Message* response,
+                             bool* ok, sim::Duration timeout) {
   assert(started_ && "Start() the RpcNode before calling");
   const uint64_t id = next_rpc_id_++;
   request->rpc_id = id;
@@ -76,8 +102,11 @@ sim::Task RpcNode::CallBoxed(Address dst, std::shared_ptr<Message> request,
     *ok = false;
   }
 
-  auto done = std::make_shared<sim::Event>(sim_);
-  pending_.emplace(id, PendingCall{done, response, ok});
+  // The completion event lives in this frame; responders and the timeout
+  // timer reach it through the pending_ entry, and the frame cannot
+  // resume (or die) before one of them fires it.
+  sim::Event done(sim_);
+  pending_.emplace(id, PendingCall{&done, response, ok});
 
   const sim::EventId timer = sim_.Schedule(timeout, [this, id]() {
     const auto it = pending_.find(id);
@@ -87,24 +116,28 @@ sim::Task RpcNode::CallBoxed(Address dst, std::shared_ptr<Message> request,
     PendingCall call = std::move(it->second);
     pending_.erase(it);
     ++call_timeouts_;
-    obs::Count(sim_, "rpc.timeouts");
+    obs::CountById(sim_, Ids().timeouts);
     call.done->Set();  // ok stays false
   });
 
 #if BOLTED_OBS
-  // Copy the kind (Send consumes the message) only when someone is
-  // listening — an unconditional string copy would tax every untraced call.
+  // Resolve the per-kind duration metric (Send consumes the message) only
+  // when someone is listening — the id comes from a per-node cache, so
+  // repeated calls of one kind neither copy nor concatenate the name.
   const sim::Time call_start = sim_.now();
-  const std::string kind =
-      sim_.observer() != nullptr ? request->kind : std::string();
+  const uint32_t call_ns_metric = sim_.observer() != nullptr
+                                      ? CallDurationMetric(request->kind)
+                                      : kNoMetric;
 #endif
-  co_await endpoint_.Send(dst, std::move(*request));
-  co_await *done;
+  co_await endpoint_.SendBoxed(dst, std::move(request));
+  co_await done;
   sim_.Cancel(timer);
 #if BOLTED_OBS
-  if (obs::Registry* r = sim_.observer()) {
-    r->Add("rpc.calls");
-    r->RecordDuration("rpc.call_ns." + kind, sim_.now() - call_start);
+  if (call_ns_metric != kNoMetric) {
+    if (obs::Registry* r = sim_.observer()) {
+      r->AddById(Ids().calls);
+      r->RecordDurationById(call_ns_metric, sim_.now() - call_start);
+    }
   }
 #endif
 }
@@ -112,12 +145,11 @@ sim::Task RpcNode::CallBoxed(Address dst, std::shared_ptr<Message> request,
 // Plain shim: boxes the aggregate before the coroutine boundary.
 sim::Task RpcNode::CallWithRetry(Address dst, Message request, Message* response,
                                  bool* ok, CallOptions options) {
-  return CallWithRetryBoxed(dst, std::make_shared<Message>(std::move(request)),
-                            response, ok, options);
+  return CallWithRetryBoxed(dst, MessageBox(std::move(request)), response, ok,
+                            options);
 }
 
-sim::Task RpcNode::CallWithRetryBoxed(Address dst,
-                                      std::shared_ptr<Message> request,
+sim::Task RpcNode::CallWithRetryBoxed(Address dst, MessageBox request,
                                       Message* response, bool* ok,
                                       CallOptions options) {
   bool attempt_ok = false;
@@ -125,7 +157,7 @@ sim::Task RpcNode::CallWithRetryBoxed(Address dst,
   for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
     if (attempt > 1) {
       ++call_retries_;
-      obs::Count(sim_, "rpc.retries");
+      obs::CountById(sim_, Ids().retries);
       // Jittered backoff: scale by a uniform factor in [1 - jitter, 1] so
       // retries from independent callers decorrelate without ever waiting
       // longer than the deterministic cap.
@@ -134,9 +166,10 @@ sim::Task RpcNode::CallWithRetryBoxed(Address dst,
       co_await sim::Delay(sim_, backoff.Scaled(scale));
       backoff = std::min(backoff * 2, options.backoff_cap);
     }
-    // CallBoxed consumes the message; each attempt sends a fresh copy.
-    co_await CallBoxed(dst, std::make_shared<Message>(*request), response,
-                       &attempt_ok, options.timeout);
+    // CallBoxed consumes the message; each attempt sends a fresh copy
+    // (into a recycled pooled box, so no steady-state allocation).
+    co_await CallBoxed(dst, MessageBox(*request), response, &attempt_ok,
+                       options.timeout);
     if (attempt_ok) {
       break;
     }

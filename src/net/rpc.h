@@ -67,22 +67,29 @@ class RpcNode {
 
  private:
   struct PendingCall {
-    std::shared_ptr<sim::Event> done;
+    // Points at the completion event in CallBoxed's coroutine frame; valid
+    // until that frame resumes, which is always after Set() (resumption
+    // goes through the event queue).
+    sim::Event* done = nullptr;
     Message* response = nullptr;
     bool* ok = nullptr;
   };
 
   sim::Task Dispatch();
-  sim::Task HandleRequest(std::shared_ptr<Message> request);
-  sim::Task CallBoxed(Address dst, std::shared_ptr<Message> request,
-                      Message* response, bool* ok, sim::Duration timeout);
-  sim::Task CallWithRetryBoxed(Address dst, std::shared_ptr<Message> request,
+  sim::Task HandleRequest(MessageBox request);
+  sim::Task CallBoxed(Address dst, MessageBox request, Message* response,
+                      bool* ok, sim::Duration timeout);
+  sim::Task CallWithRetryBoxed(Address dst, MessageBox request,
                                Message* response, bool* ok, CallOptions options);
+  // Interned id of "rpc.call_ns.<kind>", cached per node so traced calls
+  // don't rebuild (or rehash) the concatenated metric name.
+  uint32_t CallDurationMetric(const std::string& kind);
 
   sim::Simulation& sim_;
   Endpoint& endpoint_;
   std::map<std::string, Handler> handlers_;
   std::map<uint64_t, PendingCall> pending_;
+  std::map<std::string, uint32_t, std::less<>> call_ns_ids_;
   uint64_t next_rpc_id_ = 1;
   bool started_ = false;
   uint64_t call_timeouts_ = 0;

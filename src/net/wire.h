@@ -8,6 +8,7 @@
 #define SRC_NET_WIRE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "src/crypto/bytes.h"
@@ -47,27 +48,25 @@ class WireReader {
  public:
   explicit WireReader(crypto::ByteView data) : data_(data) {}
 
+  // Fixed-width reads go through memcpy + byteswap: one unaligned load
+  // and a bswap instruction instead of a byte-at-a-time shift loop.
   uint32_t U32() {
     if (!Require(4)) {
       return 0;
     }
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v = (v << 8) | data_[static_cast<size_t>(i)];
-    }
+    uint32_t v;
+    std::memcpy(&v, data_.data(), sizeof(v));
     data_ = data_.subspan(4);
-    return v;
+    return FromBigEndian32(v);
   }
   uint64_t U64() {
     if (!Require(8)) {
       return 0;
     }
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v = (v << 8) | data_[static_cast<size_t>(i)];
-    }
+    uint64_t v;
+    std::memcpy(&v, data_.data(), sizeof(v));
     data_ = data_.subspan(8);
-    return v;
+    return FromBigEndian64(v);
   }
   crypto::Bytes Blob() {
     const uint32_t size = U32();
@@ -78,9 +77,15 @@ class WireReader {
     data_ = data_.subspan(size);
     return out;
   }
+  // Reads the string straight out of the buffer — no intermediate Bytes.
   std::string Str() {
-    const crypto::Bytes blob = Blob();
-    return std::string(blob.begin(), blob.end());
+    const uint32_t size = U32();
+    if (!Require(size)) {
+      return {};
+    }
+    std::string out(reinterpret_cast<const char*>(data_.data()), size);
+    data_ = data_.subspan(size);
+    return out;
   }
   crypto::Digest Digest() {
     crypto::Digest d{};
@@ -97,6 +102,23 @@ class WireReader {
   bool ok() const { return ok_; }
 
  private:
+  // C++20 has no std::byteswap; on little-endian targets these lower to a
+  // single bswap via the GCC/Clang builtins.
+  static uint32_t FromBigEndian32(uint32_t v) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return v;
+#else
+    return __builtin_bswap32(v);
+#endif
+  }
+  static uint64_t FromBigEndian64(uint64_t v) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return v;
+#else
+    return __builtin_bswap64(v);
+#endif
+  }
+
   bool Require(size_t n) {
     if (!ok_ || data_.size() < n) {
       ok_ = false;

@@ -29,7 +29,9 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -39,6 +41,60 @@
 #include "src/sim/time.h"
 
 namespace bolted::obs {
+
+// --- Metric-name interning --------------------------------------------------
+// Process-wide name -> dense id table.  Hot call sites intern their metric
+// names once (at construction / first use) and then record through the id,
+// so the per-event cost is an array index instead of a string hash — and
+// string-concatenation keys ("net.link." + name + ".tx_bytes") disappear
+// from the frame path entirely.  Ids are process-global and never exported;
+// all output is keyed by name, so metric dumps stay deterministic even
+// though id assignment order depends on which subsystems ran first.
+//
+// Defined inline (function-local static) so bolted_net and friends can
+// intern without linking bolted_obs, mirroring the inline Registry methods.
+
+namespace detail {
+struct MetricInterner {
+  std::mutex mu;
+  std::map<std::string, uint32_t, std::less<>> ids;
+  std::deque<std::string> names;  // deque: stable addresses for map keys
+
+  static MetricInterner& Instance() {
+    static MetricInterner interner;
+    return interner;
+  }
+};
+}  // namespace detail
+
+inline uint32_t InternMetric(std::string_view name) {
+  auto& interner = detail::MetricInterner::Instance();
+  std::lock_guard<std::mutex> lock(interner.mu);
+  const auto it = interner.ids.find(name);
+  if (it != interner.ids.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<uint32_t>(interner.names.size());
+  interner.names.emplace_back(name);
+  interner.ids.emplace(interner.names.back(), id);
+  return id;
+}
+
+// Non-creating lookup; -1 when the name has never been interned (in which
+// case no Registry in the process can hold data for it).
+inline int64_t FindMetricId(std::string_view name) {
+  auto& interner = detail::MetricInterner::Instance();
+  std::lock_guard<std::mutex> lock(interner.mu);
+  const auto it = interner.ids.find(name);
+  return it == interner.ids.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+// Interned strings are never removed, so the reference stays valid.
+inline const std::string& MetricName(uint32_t id) {
+  auto& interner = detail::MetricInterner::Instance();
+  std::lock_guard<std::mutex> lock(interner.mu);
+  return interner.names[id];
+}
 
 // Log2-bucketed histogram over non-negative integer values (nanoseconds,
 // bytes, queue depths).  Bucket i counts values whose bit width is i, i.e.
@@ -124,36 +180,48 @@ class Registry {
   sim::Simulation& sim() { return sim_; }
 
   // --- Counters -----------------------------------------------------------
+  // Storage is a dense vector indexed by interned metric id; the string
+  // overloads intern on each call and exist for cold sites and tests.  Hot
+  // sites cache the id (see net::Endpoint's per-link byte counters).
   void Add(std::string_view name, uint64_t delta = 1) {
-    const auto it = counters_.find(name);
-    if (it != counters_.end()) {
-      it->second += delta;
-    } else {
-      counters_.emplace(std::string(name), delta);
+    AddById(InternMetric(name), delta);
+  }
+  void AddById(uint32_t id, uint64_t delta = 1) {
+    if (id >= counter_values_.size()) {
+      counter_values_.resize(id + 1, 0);
+      counter_touched_.resize(id + 1, 0);
     }
+    counter_values_[id] += delta;
+    counter_touched_[id] = 1;
   }
   uint64_t counter(std::string_view name) const {
-    const auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    const int64_t id = FindMetricId(name);
+    return id < 0 ? 0 : CounterById(static_cast<uint32_t>(id));
   }
-  const std::map<std::string, uint64_t, std::less<>>& counters() const {
-    return counters_;
+  uint64_t CounterById(uint32_t id) const {
+    return id < counter_values_.size() ? counter_values_[id] : 0;
   }
 
   // --- Histograms ---------------------------------------------------------
   void Record(std::string_view name, uint64_t value) {
-    MutableHistogram(name).Record(value);
+    RecordById(InternMetric(name), value);
+  }
+  void RecordById(uint32_t id, uint64_t value) {
+    HistogramById(id).Record(value);
   }
   void RecordDuration(std::string_view name, sim::Duration duration) {
+    RecordDurationById(InternMetric(name), duration);
+  }
+  void RecordDurationById(uint32_t id, sim::Duration duration) {
     const int64_t ns = duration.nanoseconds();
-    Record(name, ns > 0 ? static_cast<uint64_t>(ns) : 0);
+    RecordById(id, ns > 0 ? static_cast<uint64_t>(ns) : 0);
   }
   const Histogram* FindHistogram(std::string_view name) const {
-    const auto it = histograms_.find(name);
-    return it == histograms_.end() ? nullptr : &it->second;
-  }
-  const std::map<std::string, Histogram, std::less<>>& histograms() const {
-    return histograms_;
+    const int64_t id = FindMetricId(name);
+    if (id < 0 || static_cast<size_t>(id) >= hist_cells_.size()) {
+      return nullptr;
+    }
+    return hist_cells_[static_cast<size_t>(id)];
   }
 
   // --- Tracks (chrome tids) -----------------------------------------------
@@ -190,11 +258,12 @@ class Registry {
   const std::vector<TraceEvent>& events() const { return events_; }
 
   // --- Simulation hot path ------------------------------------------------
-  // Called from Simulation::Step for every fired event; the cells are
-  // pre-resolved at construction so the cost is two increments and a
-  // histogram bump.
+  // Called from Simulation::Step for every fired event; the counter id and
+  // histogram cell are pre-resolved at construction so the cost is an
+  // indexed increment and a histogram bump.  (The counter is addressed by
+  // id, not pointer — the cell vector may reallocate as metrics register.)
   void OnSimStep(size_t queue_depth) {
-    ++*sim_events_;
+    counter_values_[sim_events_id_] += 1;
     sim_queue_depth_->Record(queue_depth);
   }
 
@@ -210,21 +279,39 @@ class Registry {
   bool WriteChromeTrace(const std::string& path) const;
 
  private:
-  Histogram& MutableHistogram(std::string_view name) {
-    const auto it = histograms_.find(name);
-    if (it != histograms_.end()) {
-      return it->second;
+  Histogram& HistogramById(uint32_t id) {
+    if (id >= hist_cells_.size()) {
+      hist_cells_.resize(id + 1, nullptr);
     }
-    return histograms_.emplace(std::string(name), Histogram{}).first->second;
+    Histogram*& cell = hist_cells_[id];
+    if (cell == nullptr) {
+      // Deque storage: cells never move, so cached Histogram pointers
+      // (sim_queue_depth_, bench-side lookups) stay valid for the
+      // Registry's lifetime.
+      hist_storage_.emplace_back();
+      cell = &hist_storage_.back();
+    }
+    return *cell;
   }
 
+  // Touched counters / materialised histograms sorted by metric name, for
+  // the exporters (registry.cc).
+  std::vector<std::pair<std::string_view, uint64_t>> SortedCounters() const;
+  std::vector<std::pair<std::string_view, const Histogram*>> SortedHistograms()
+      const;
+
   sim::Simulation& sim_;
-  std::map<std::string, uint64_t, std::less<>> counters_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  // Dense per-interned-id cells.  `touched` distinguishes "registered,
+  // value 0" from "never seen here" — only touched counters export, and
+  // ids interned by *other* Registries in the same process stay invisible.
+  std::vector<uint64_t> counter_values_;
+  std::vector<uint8_t> counter_touched_;
+  std::vector<Histogram*> hist_cells_;
+  std::deque<Histogram> hist_storage_;
   std::vector<TraceEvent> events_;
   std::map<std::string, uint32_t, std::less<>> track_ids_;
   std::vector<std::string> track_names_;
-  uint64_t* sim_events_ = nullptr;
+  uint32_t sim_events_id_ = 0;
   Histogram* sim_queue_depth_ = nullptr;
 };
 
@@ -254,6 +341,26 @@ inline void RecordDuration(sim::Simulation& sim, std::string_view name,
                            sim::Duration duration) {
   if (Registry* r = sim.observer()) {
     r->RecordDuration(name, duration);
+  }
+}
+
+// Id-based variants for hot sites that interned their names up front.
+inline void CountById(sim::Simulation& sim, uint32_t id, uint64_t delta = 1) {
+  if (Registry* r = sim.observer()) {
+    r->AddById(id, delta);
+  }
+}
+
+inline void RecordById(sim::Simulation& sim, uint32_t id, uint64_t value) {
+  if (Registry* r = sim.observer()) {
+    r->RecordById(id, value);
+  }
+}
+
+inline void RecordDurationById(sim::Simulation& sim, uint32_t id,
+                               sim::Duration duration) {
+  if (Registry* r = sim.observer()) {
+    r->RecordDurationById(id, duration);
   }
 }
 
@@ -348,6 +455,9 @@ inline Registry* Get(sim::Simulation&) { return nullptr; }
 inline void Count(sim::Simulation&, std::string_view, uint64_t = 1) {}
 inline void Record(sim::Simulation&, std::string_view, uint64_t) {}
 inline void RecordDuration(sim::Simulation&, std::string_view, sim::Duration) {}
+inline void CountById(sim::Simulation&, uint32_t, uint64_t = 1) {}
+inline void RecordById(sim::Simulation&, uint32_t, uint64_t) {}
+inline void RecordDurationById(sim::Simulation&, uint32_t, sim::Duration) {}
 inline void Instant(sim::Simulation&, std::string_view, std::string_view,
                     std::string_view, Args = {}) {}
 inline void CompleteSince(sim::Simulation&, std::string_view, std::string_view,

@@ -4,6 +4,7 @@
 
 #include "src/obs/obs.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -75,11 +76,13 @@ void AppendEventArgs(std::string& out, const Args& args) {
 
 Registry::Registry(sim::Simulation& sim) : sim_(sim) {
   Track("sim");  // track 0
-  // Pre-resolve the per-event-dispatch cells consulted by OnSimStep; map
-  // nodes are pointer-stable, so these stay valid for the Registry's life.
-  sim_events_ = &counters_.emplace("sim.events", 0).first->second;
-  sim_queue_depth_ =
-      &histograms_.emplace("sim.queue_depth", Histogram{}).first->second;
+  // Pre-register the per-event-dispatch cells consulted by OnSimStep.  The
+  // counter is kept as an id (the value vector may reallocate as other
+  // metrics register); the histogram lives in deque storage, so its
+  // pointer is stable for the Registry's life.
+  sim_events_id_ = InternMetric("sim.events");
+  AddById(sim_events_id_, 0);
+  sim_queue_depth_ = &HistogramById(InternMetric("sim.queue_depth"));
   sim_.set_observer(this);
 }
 
@@ -152,15 +155,47 @@ std::string Registry::ChromeTraceJson() const {
   return out;
 }
 
+// The cell vectors are ordered by process-wide intern id (first-use order
+// across *all* Registries); exporters re-sort by name so output depends
+// only on what this Registry recorded.
+std::vector<std::pair<std::string_view, uint64_t>> Registry::SortedCounters()
+    const {
+  std::vector<std::pair<std::string_view, uint64_t>> out;
+  for (uint32_t id = 0; id < counter_values_.size(); ++id) {
+    if (counter_touched_[id] != 0) {
+      out.emplace_back(MetricName(id), counter_values_[id]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string_view, const Histogram*>>
+Registry::SortedHistograms() const {
+  std::vector<std::pair<std::string_view, const Histogram*>> out;
+  for (uint32_t id = 0; id < hist_cells_.size(); ++id) {
+    if (hist_cells_[id] != nullptr) {
+      out.emplace_back(MetricName(id), hist_cells_[id]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::string Registry::MetricsText() const {
   std::string out;
-  for (const auto& [name, value] : counters_) {
-    out += "counter " + name + " ";
+  for (const auto& [name, value] : SortedCounters()) {
+    out += "counter ";
+    out += name;
+    out += ' ';
     AppendU64(out, value);
     out += '\n';
   }
-  for (const auto& [name, hist] : histograms_) {
-    out += "hist " + name + " count=";
+  for (const auto& [name, hist_ptr] : SortedHistograms()) {
+    const Histogram& hist = *hist_ptr;
+    out += "hist ";
+    out += name;
+    out += " count=";
     AppendU64(out, hist.count());
     out += " sum=";
     AppendU64(out, hist.sum());
@@ -180,7 +215,7 @@ std::string Registry::MetricsText() const {
 std::string Registry::MetricsJson() const {
   std::string out = "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : SortedCounters()) {
     if (!first) {
       out += ',';
     }
@@ -192,7 +227,8 @@ std::string Registry::MetricsJson() const {
   }
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& [name, hist] : histograms_) {
+  for (const auto& [name, hist_ptr] : SortedHistograms()) {
+    const Histogram& hist = *hist_ptr;
     if (!first) {
       out += ',';
     }

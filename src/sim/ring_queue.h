@@ -1,0 +1,60 @@
+// RingQueue<T>: a FIFO on a power-of-two circular buffer.
+//
+// Channel inboxes and Semaphore waiter lists only ever push at the back
+// and pop at the front.  std::deque pays a node allocation every time the
+// cursor crosses a block boundary — steady-state message traffic churns
+// the allocator forever.  A ring buffer reaches its high-water capacity
+// once and then cycles allocation-free, which is what lets the send-path
+// counting-allocator test demand exactly zero.
+
+#ifndef SRC_SIM_RING_QUEUE_H_
+#define SRC_SIM_RING_QUEUE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bolted::sim {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  T& front() { return buffer_[head_]; }
+  const T& front() const { return buffer_[head_]; }
+
+  void push_back(T value) {
+    if (size_ == buffer_.size()) {
+      Grow();
+    }
+    buffer_[(head_ + size_) & (buffer_.size() - 1)] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    buffer_[head_] = T();  // drop any resources the slot still owns
+    head_ = (head_ + 1) & (buffer_.size() - 1);
+    --size_;
+  }
+
+ private:
+  void Grow() {
+    const size_t new_capacity = buffer_.empty() ? 8 : buffer_.size() * 2;
+    std::vector<T> fresh(new_capacity);
+    for (size_t i = 0; i < size_; ++i) {
+      fresh[i] = std::move(buffer_[(head_ + i) & (buffer_.size() - 1)]);
+    }
+    buffer_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  std::vector<T> buffer_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace bolted::sim
+
+#endif  // SRC_SIM_RING_QUEUE_H_

@@ -1,7 +1,5 @@
 #include "src/sim/simulation.h"
 
-#include <algorithm>
-#include <functional>
 #include <utility>
 
 #include "src/obs/obs.h"
@@ -21,7 +19,13 @@ uint64_t MixDigest(uint64_t h, uint64_t v) {
 
 }  // namespace
 
-Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(uint64_t seed)
+    : Simulation(SchedulerKind::kDefault, seed) {}
+
+Simulation::Simulation(SchedulerKind scheduler, uint64_t seed)
+    : scheduler_kind_(ResolveSchedulerKind(scheduler)),
+      scheduler_(MakeScheduler(scheduler_kind_)),
+      rng_(seed) {}
 
 Simulation::~Simulation() = default;
 
@@ -33,80 +37,39 @@ EventId Simulation::ScheduleAt(Time when, EventFn fn) {
   if (when < now_) {
     when = now_;
   }
-  const EventId id = next_id_++;
-  pending_.insert(id);
-  heap_.push_back(Entry{when, next_seq_++, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
-  return id;
+  return scheduler_->Schedule(now_, when, next_seq_++, std::move(fn));
 }
 
-void Simulation::Cancel(EventId id) {
-  // Removing the id from pending_ is the whole cancellation; the heap
-  // entry is dropped lazily when it reaches the top.  Cancelling a fired
-  // or already-cancelled id finds nothing to erase, so stale cancels can
-  // never accumulate state.  This is safe under re-entrancy: the currently
-  // firing event was erased from pending_ before its callback ran, so a
-  // callback cancelling a same-tick sibling only ever marks entries that
-  // have not fired yet.
-  if (pending_.erase(id) != 0) {
-    ++dead_in_heap_;
-    MaybeCompactHeap();
-  }
-}
-
-void Simulation::MaybeCompactHeap() {
-  // Lazy deletion leaves cancelled entries in the heap until they surface
-  // at the top.  Workloads that re-arm timers far in the future and cancel
-  // them every round (RPC retry timeouts under fault injection) would grow
-  // the heap without bound; rebuild once tombstones dominate.
-  if (dead_in_heap_ < 64 || dead_in_heap_ * 2 < heap_.size()) {
-    return;
-  }
-  std::erase_if(heap_, [this](const Entry& e) { return !pending_.contains(e.id); });
-  std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
-  dead_in_heap_ = 0;
-}
-
-Simulation::Entry Simulation::PopTop() {
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  return entry;
-}
-
-void Simulation::DropCancelledTop() {
-  while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
-    PopTop();
-    --dead_in_heap_;
-  }
-}
+void Simulation::Cancel(EventId id) { scheduler_->Cancel(id); }
 
 void Simulation::RecordTraceEvent(uint64_t tag) {
-  trace_digest_ = MixDigest(MixDigest(trace_digest_, static_cast<uint64_t>(now_.nanoseconds())), tag);
+  trace_digest_ = MixDigest(
+      MixDigest(trace_digest_, static_cast<uint64_t>(now_.nanoseconds())), tag);
 }
 
 bool Simulation::Step() {
-  DropCancelledTop();
-  if (heap_.empty()) {
+  Time when;
+  uint64_t seq;
+  EventFn fn;
+  if (!scheduler_->PopNext(&when, &seq, &fn)) {
     return false;
   }
-  Entry entry = PopTop();
-  pending_.erase(entry.id);
-  now_ = entry.when;
+  now_ = when;
   ++events_processed_;
   // Fold the firing into the trace digest before user code runs, so a
-  // callback that inspects the digest sees its own event included.
+  // callback that inspects the digest sees its own event included.  The
+  // mix is over (when, seq) — insertion order, not scheduler ids — so the
+  // digest is scheduler-independent.
   trace_digest_ = MixDigest(
-      MixDigest(trace_digest_, static_cast<uint64_t>(entry.when.nanoseconds())),
-      entry.id);
+      MixDigest(trace_digest_, static_cast<uint64_t>(when.nanoseconds())), seq);
 #if BOLTED_OBS
   // Dispatch accounting: event count plus the live queue depth at fire
-  // time (heap size net of lazy-deleted tombstones).
+  // time (net of the event popped just now).
   if (observer_ != nullptr) {
-    observer_->OnSimStep(pending_.size());
+    observer_->OnSimStep(scheduler_->pending());
   }
 #endif
-  entry.fn();
+  fn();
   if ((events_processed_ & 0x3ff) == 0) {
     ReapTasks();
   }
@@ -121,8 +84,8 @@ void Simulation::Run() {
 
 void Simulation::RunUntil(Time horizon) {
   for (;;) {
-    DropCancelledTop();
-    if (heap_.empty() || heap_.front().when > horizon) {
+    Time next;
+    if (!scheduler_->PeekNextTime(&next) || next > horizon) {
       break;
     }
     Step();

@@ -1,8 +1,13 @@
 // Discrete-event simulation kernel.
 //
-// The simulator owns a virtual clock and a priority queue of pending
-// events.  Events scheduled for the same instant fire in insertion order,
-// which (together with the seeded Rng) makes every run deterministic.
+// The simulator owns a virtual clock and a queue of pending events.
+// Events scheduled for the same instant fire in insertion order, which
+// (together with the seeded Rng) makes every run deterministic.
+//
+// The queue itself is a pluggable Scheduler (src/sim/scheduler.h): a
+// hierarchical timing wheel by default, with the original binary heap
+// preserved as ReferenceScheduler so the two can be replayed against each
+// other — same seed, same (when, seq) fire stream, same trace digest.
 //
 // Higher-level flows (boot sequences, attestation protocols) are written
 // as C++20 coroutines (see src/sim/task.h) that suspend on Delay()
@@ -12,11 +17,12 @@
 #define SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "src/sim/event_fn.h"
 #include "src/sim/random.h"
+#include "src/sim/scheduler.h"
 #include "src/sim/time.h"
 
 namespace bolted::obs {
@@ -27,12 +33,11 @@ namespace bolted::sim {
 
 class Task;
 
-// Identifies a scheduled event so it can be cancelled.
-using EventId = uint64_t;
-
 class Simulation {
  public:
   explicit Simulation(uint64_t seed = 0x626f6c746564u);
+  // Pins the event-queue implementation (equivalence tests, chaos replay).
+  explicit Simulation(SchedulerKind scheduler, uint64_t seed = 0x626f6c746564u);
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -40,6 +45,8 @@ class Simulation {
 
   Time now() const { return now_; }
   Rng& rng() { return rng_; }
+  // The resolved (never kDefault) scheduler kind this simulation runs on.
+  SchedulerKind scheduler_kind() const { return scheduler_kind_; }
 
   // Schedules fn to run after delay (>= 0) of simulated time.  EventFn
   // converts from any void() callable; small captures stay allocation-free.
@@ -58,14 +65,16 @@ class Simulation {
   uint64_t events_processed() const { return events_processed_; }
   // Live (scheduled, not yet fired or cancelled) events; bounds all
   // internal bookkeeping, so long-running simulations cannot leak ids.
-  size_t pending_events() const { return pending_.size(); }
+  size_t pending_events() const { return scheduler_->pending(); }
 
   // --- Event-trace digest -------------------------------------------------
   // Rolling 64-bit digest over the ordered (time, event) stream: every
-  // fired event mixes in (when, id), and components may fold in domain
+  // fired event mixes in (when, seq), and components may fold in domain
   // events via RecordTraceEvent.  Two runs of the same seeded scenario
   // must produce the same digest — the replay invariant the chaos harness
-  // checks byte-for-byte rather than end-state-equal.
+  // checks byte-for-byte rather than end-state-equal.  The digest is a
+  // function of the fire order alone (seq, not any scheduler-internal id),
+  // so it is identical across scheduler implementations.
   uint64_t trace_digest() const { return trace_digest_; }
   // Folds (now, tag) into the digest.  Tags identify domain events (frame
   // delivered, fault injected, verdict reached); pick any stable constant.
@@ -84,44 +93,15 @@ class Simulation {
   void Spawn(Task task);
 
  private:
-  struct Entry {
-    Time when;
-    uint64_t seq;  // tie-break: earlier scheduling fires first
-    EventId id;
-    EventFn fn;
-    // Min-heap order via std::greater (see heap_): later-firing sorts
-    // greater.
-    bool operator>(const Entry& other) const {
-      if (when != other.when) {
-        return when > other.when;
-      }
-      return seq > other.seq;
-    }
-  };
-
   void ReapTasks();
-  // Pops cancelled entries off the heap top; afterwards the top (if any)
-  // is a live event.
-  void DropCancelledTop();
-  Entry PopTop();
-  // Rebuilds the heap without dead (cancelled) entries once they dominate
-  // it — retry timers that are armed and cancelled on every attempt must
-  // not accumulate tombstones for the lifetime of a long chaos run.
-  void MaybeCompactHeap();
 
   Time now_;
   uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
   uint64_t events_processed_ = 0;
-  // Binary min-heap (std::push_heap/std::pop_heap with std::greater):
-  // move-only entries, which std::priority_queue's const-top API cannot
-  // hold without the old shared_ptr indirection.
-  std::vector<Entry> heap_;
-  std::unordered_set<EventId> pending_;
-  // Cancelled entries still sitting in heap_ (lazy deletion).  pending_
-  // holds exactly the ids of live heap entries, so Cancel can maintain
-  // this count precisely.
-  size_t dead_in_heap_ = 0;
+  SchedulerKind scheduler_kind_;
+  // Declared before live_tasks_ so queued EventFns (which may reference
+  // coroutine frames) are destroyed after the frames that own them.
+  std::unique_ptr<Scheduler> scheduler_;
   uint64_t trace_digest_ = 0x626f6c746564u;
   obs::Registry* observer_ = nullptr;
   std::vector<Task> live_tasks_;

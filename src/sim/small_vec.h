@@ -1,0 +1,136 @@
+// SmallVec<T, N>: a vector with inline storage for the first N elements.
+//
+// Hot paths in the kernel and the data plane (per-frame demand lists,
+// Event waiter lists) hold a handful of elements almost always; SmallVec
+// keeps them on the stack / in the owning object and only touches the
+// heap when a workload genuinely exceeds the inline capacity.
+//
+// The class has user-declared constructors on purpose: GCC 12 miscompiles
+// non-trivial *aggregate* temporaries and by-value aggregate parameters in
+// coroutines (see the toolchain note in src/sim/task.h), and types with
+// user-declared constructors are promoted into coroutine frames correctly.
+// SmallVec values may therefore safely cross co_await boundaries by value.
+
+#ifndef SRC_SIM_SMALL_VEC_H_
+#define SRC_SIM_SMALL_VEC_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace bolted::sim {
+
+template <typename T, size_t N>
+class SmallVec {
+ public:
+  SmallVec() noexcept {}
+  SmallVec(SmallVec&& other) noexcept { MoveFrom(other); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear();
+      ReleaseHeap();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+  ~SmallVec() {
+    clear();
+    ReleaseHeap();
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& back() { return data_[size_ - 1]; }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... ArgTypes>
+  T& emplace_back(ArgTypes&&... args) {
+    if (size_ == capacity_) {
+      Grow();
+    }
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<ArgTypes>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  void clear() {
+    while (size_ > 0) {
+      pop_back();
+    }
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  bool IsInline() const {
+    return data_ == reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void Grow() {
+    const size_t new_capacity = capacity_ * 2;
+    T* fresh = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    ReleaseHeap();
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void ReleaseHeap() {
+    if (!IsInline()) {
+      ::operator delete(static_cast<void*>(data_));
+      data_ = InlineData();
+      capacity_ = N;
+    }
+  }
+
+  // Steals other's heap buffer, or element-moves out of its inline slots;
+  // other is left empty (and inline) either way.
+  void MoveFrom(SmallVec& other) noexcept {
+    if (other.IsInline()) {
+      for (size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      size_ = other.size_;
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.InlineData();
+      other.size_ = 0;
+      other.capacity_ = N;
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace bolted::sim
+
+#endif  // SRC_SIM_SMALL_VEC_H_

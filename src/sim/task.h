@@ -35,12 +35,14 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <optional>
 #include <utility>
 
+#include "src/sim/frame_pool.h"
+#include "src/sim/ring_queue.h"
 #include "src/sim/simulation.h"
+#include "src/sim/small_vec.h"
 #include "src/sim/time.h"
 
 namespace bolted::sim {
@@ -51,6 +53,17 @@ class [[nodiscard]] Task {
   using Handle = std::coroutine_handle<promise_type>;
 
   struct promise_type {
+    // Coroutine frames come from the thread-local size-class pool: in the
+    // steady state, spawning a flow costs a freelist pop instead of a
+    // trip through the allocator (the sized delete gives the pool the
+    // class back for free).
+    static void* operator new(size_t size) {
+      return detail::FramePool::Allocate(size);
+    }
+    static void operator delete(void* chunk, size_t size) {
+      detail::FramePool::Deallocate(chunk, size);
+    }
+
     Task get_return_object() { return Task(Handle::from_promise(*this)); }
     std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -189,11 +202,15 @@ class Event {
  private:
   Simulation& sim_;
   bool set_ = false;
-  std::deque<std::coroutine_handle<>> waiters_;
+  // Most events have zero or one waiter (RPC completions, Consume
+  // grants); inline storage keeps frame-local Events allocation-free.
+  SmallVec<std::coroutine_handle<>, 2> waiters_;
 };
 
 // Unbounded FIFO channel.  Send never blocks; Recv suspends until a value
-// is available.  Values are handed directly to the oldest waiter.
+// is available.  Values are handed directly to the oldest waiter.  Both
+// queues are rings (see ring_queue.h): once an inbox has seen its
+// high-water mark, steady-state traffic allocates nothing.
 template <typename T>
 class Channel {
  public:
@@ -240,8 +257,8 @@ class Channel {
  private:
   friend struct RecvAwaiter;
   Simulation& sim_;
-  std::deque<T> items_;
-  std::deque<RecvAwaiter*> waiters_;
+  RingQueue<T> items_;
+  RingQueue<RecvAwaiter*> waiters_;
 };
 
 // Counting semaphore with strictly FIFO waiters.  Used, e.g., to model the
@@ -282,7 +299,7 @@ class Semaphore {
  private:
   Simulation& sim_;
   int64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  RingQueue<std::coroutine_handle<>> waiters_;
 };
 
 // RAII permit for Semaphore.

@@ -93,7 +93,7 @@ sim::Task WorkloadRunner::ExchangeStream(const WorkloadSpec& spec,
   const uint64_t messages = (bytes + spec.message_bytes - 1) / spec.message_bytes;
   co_await sim::Delay(sim, kPerMessageLatency * static_cast<int64_t>(messages));
 
-  std::vector<net::WeightedDemand> wire;
+  net::DemandList wire;
   wire.push_back({&self.endpoint().tx(), static_cast<double>(bytes)});
   wire.push_back({&peer.endpoint().rx(), static_cast<double>(bytes)});
   // Cross-rack exchanges traverse the oversubscribed ToR uplinks.
@@ -116,7 +116,7 @@ sim::Task WorkloadRunner::ExchangeStream(const WorkloadSpec& spec,
     const double cycles = net::IpsecCryptoCycles(model, params.hardware_aes,
                                                  effective_mtu,
                                                  static_cast<double>(bytes));
-    std::vector<net::WeightedDemand> crypto;
+    net::DemandList crypto;
     crypto.push_back({&self.crypto_cpu(), cycles});
     crypto.push_back({&peer.crypto_cpu(), cycles});
     co_await net::ConsumeAllWeighted(sim, std::move(crypto));

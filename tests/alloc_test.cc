@@ -1,0 +1,110 @@
+// Counting-allocator proof of the allocation-free frame path.
+//
+// The data-plane claim (DESIGN.md §10): once the pools are warm, a
+// steady-state Endpoint::Send — message boxing, the send coroutine's
+// frame, the NIC demand list, resource jobs, the scheduler record, and
+// delivery into the receiver's inbox — touches the global allocator
+// exactly zero times.  This binary replaces ::operator new/delete with
+// counting shims and asserts that a measured send burst performs no
+// allocations at all, not "few".
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "src/net/network.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace {
+
+uint64_t g_allocations = 0;
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace bolted::net {
+namespace {
+
+constexpr VlanId kVlan = 10;
+
+TEST(SendPathAllocTest, SteadyStateSendsAreAllocationFree) {
+  sim::Simulation sim(7);
+  Network fabric(sim, sim::Duration::Microseconds(5), 1.25e9);
+  Endpoint& a = fabric.CreateEndpoint("alloc-a");
+  Endpoint& b = fabric.CreateEndpoint("alloc-b");
+  fabric.AttachToVlan(a.address(), kVlan);
+  fabric.AttachToVlan(b.address(), kVlan);
+
+  // Perpetual consumer so delivered frames cycle through the inbox ring
+  // instead of accumulating (the task is reclaimed with the simulation).
+  uint64_t received = 0;
+  auto consumer = [&]() -> sim::Task {
+    for (;;) {
+      Message m = co_await b.inbox().Recv();
+      ++received;
+    }
+  };
+  sim.Spawn(consumer());
+
+  const auto send_burst = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      Message m;
+      m.kind = "alloc.frame";  // within SSO capacity — no string heap
+      m.wire_bytes = 1500;
+      sim.Spawn(a.Send(b.address(), std::move(m)));
+    }
+    sim.Run();
+  };
+
+  // Warm-up sizes every cache involved: coroutine-frame pool, message
+  // pool, scheduler record pool, resource job vectors, inbox rings, the
+  // live-task list.  The warm burst is larger than the measured one so
+  // every high-water mark is already reached.
+  send_burst(512);
+  ASSERT_EQ(received, 512u);
+
+  const uint64_t before = g_allocations;
+  send_burst(256);
+  const uint64_t during = g_allocations - before;
+
+  EXPECT_EQ(received, 768u);
+  EXPECT_EQ(during, 0u)
+      << "steady-state send path performed " << during << " heap allocations";
+}
+
+}  // namespace
+}  // namespace bolted::net
