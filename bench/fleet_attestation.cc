@@ -8,14 +8,19 @@
 // whitelist checks — over the simulated network for every node, and
 // reports how much host CPU one full round costs.  The first round pays
 // the per-node Prepare (decode + on-curve check + verify tables); steady
-// rounds hit the verifier's AIK cache.
+// rounds hit the verifier's AIK cache and the golden boot-log cache, and
+// verify signatures through the batched multi-scalar path
+// (Verifier::VerifyFleet).  A final sweep re-times single rounds across
+// batch sizes and worker counts, plus the legacy per-node VerifyNode path
+// for an honest old-vs-new row.
 //
-// Usage: fleet_attestation [output-path] [--nodes=N] [--trace=out.json]
+// Usage: fleet_attestation [output-path] [--nodes=N] [--rounds=N]
+//                          [--batch=N] [--workers=N] [--no-sweep]
+//                          [--trace=out.json]
 //   (default output: BENCH_attestation.json, default fleet 4096; --trace
-//    additionally exports a
-//    chrome://tracing JSON of the whole run — registration, every
-//    verify round, TPM command latencies.  Tracing adds bookkeeping to
-//    the timed path, so compare wall numbers only between untraced runs.)
+//    additionally exports a chrome://tracing JSON of the whole run.
+//    Tracing adds bookkeeping to the timed path, so compare wall numbers
+//    only between untraced runs.)
 
 #include <chrono>
 #include <cstdio>
@@ -34,7 +39,7 @@
 namespace {
 
 constexpr int kDefaultFleetSize = 4096;
-constexpr int kSteadyRounds = 4;
+constexpr int kDefaultSteadyRounds = 4;
 constexpr int kAttestationVlan = 50;
 
 using Clock = std::chrono::steady_clock;
@@ -50,17 +55,29 @@ int main(int argc, char** argv) {
   const char* out_path = "BENCH_attestation.json";
   const char* trace_path = nullptr;
   int fleet_size = kDefaultFleetSize;
+  int steady_rounds = kDefaultSteadyRounds;
+  int batch_size = 64;
+  int workers = 1;
+  bool sweep = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0 && argv[i][8] != '\0') {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--nodes=", 8) == 0 && argv[i][8] != '\0') {
       fleet_size = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0 && argv[i][9] != '\0') {
+      steady_rounds = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0 && argv[i][8] != '\0') {
+      batch_size = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0 && argv[i][10] != '\0') {
+      workers = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--no-sweep") == 0) {
+      sweep = false;
     } else {
       out_path = argv[i];
     }
   }
-  if (fleet_size <= 0) {
-    std::fprintf(stderr, "--nodes must be positive\n");
+  if (fleet_size <= 0 || steady_rounds <= 0 || batch_size <= 0 || workers <= 0) {
+    std::fprintf(stderr, "--nodes/--rounds/--batch/--workers must be positive\n");
     return 2;
   }
   const int kFleetSize = fleet_size;
@@ -81,6 +98,7 @@ int main(int argc, char** argv) {
   net::Endpoint& verifier_ep = fabric.CreateEndpoint("verifier");
   keylime::Registrar registrar(sim, registrar_ep, 1);
   keylime::Verifier verifier(sim, verifier_ep, registrar_ep.address(), 2);
+  verifier.SetFleetOptions({.workers = workers, .batch_size = batch_size});
   fabric.AttachToVlan(registrar_ep.address(), kAttestationVlan);
   fabric.AttachToVlan(verifier_ep.address(), kAttestationVlan);
 
@@ -128,10 +146,21 @@ int main(int argc, char** argv) {
     verifier.AddNode(names[static_cast<size_t>(i)], std::move(config));
   }
 
-  // One poll round = VerifyNode across the whole fleet, driven to
+  // One poll round = VerifyFleet across the whole fleet, driven to
   // completion through the simulated fabric.
   std::vector<keylime::VerificationResult> results(kFleetSize);
   auto poll_round = [&]() -> double {
+    const auto start = Clock::now();
+    auto round = [&]() -> sim::Task {
+      co_await verifier.VerifyFleet(names, results.data());
+    };
+    sim.Spawn(round());
+    sim.Run();
+    return MillisSince(start);
+  };
+  // The pre-batching path: one VerifyNode task per node, signatures
+  // verified one at a time.  Timed once at the end for the old-vs-new row.
+  auto legacy_round = [&]() -> double {
     const auto start = Clock::now();
     for (int i = 0; i < kFleetSize; ++i) {
       auto one = [&](int node) -> sim::Task {
@@ -143,12 +172,26 @@ int main(int argc, char** argv) {
     sim.Run();
     return MillisSince(start);
   };
+  auto check_round = [&](const char* what) -> bool {
+    for (int i = 0; i < kFleetSize; ++i) {
+      if (!results[static_cast<size_t>(i)].passed) {
+        std::fprintf(stderr, "%s failed for %s: %s\n", what,
+                     names[static_cast<size_t>(i)].c_str(),
+                     results[static_cast<size_t>(i)].failure.c_str());
+        return false;
+      }
+    }
+    return true;
+  };
 
   const double first_round_ms = poll_round();
+  if (!check_round("first round")) {
+    return 1;
+  }
   double steady_total_ms = 0;
   double steady_max_ms = 0;
   const uint64_t steady_events_start = sim.events_processed();
-  for (int r = 0; r < kSteadyRounds; ++r) {
+  for (int r = 0; r < steady_rounds; ++r) {
     const double ms = poll_round();
     steady_total_ms += ms;
     if (ms > steady_max_ms) {
@@ -156,16 +199,11 @@ int main(int argc, char** argv) {
     }
   }
   const uint64_t steady_events = sim.events_processed() - steady_events_start;
-  for (int i = 0; i < kFleetSize; ++i) {
-    if (!results[static_cast<size_t>(i)].passed) {
-      std::fprintf(stderr, "attestation failed for %s: %s\n",
-                   names[static_cast<size_t>(i)].c_str(),
-                   results[static_cast<size_t>(i)].failure.c_str());
-      return 1;
-    }
+  if (!check_round("attestation")) {
+    return 1;
   }
 
-  const double steady_mean_ms = steady_total_ms / kSteadyRounds;
+  const double steady_mean_ms = steady_total_ms / steady_rounds;
   const double per_node_us = steady_mean_ms * 1000.0 / kFleetSize;
   // Host-side event rate over the steady rounds: the number the scheduler
   // and frame-path optimisations move, tracked by scripts/check.sh --bench.
@@ -173,6 +211,41 @@ int main(int argc, char** argv) {
       static_cast<double>(steady_events) / (steady_total_ms / 1e3);
   const double ns_per_event =
       steady_total_ms * 1e6 / static_cast<double>(steady_events);
+
+  // Batch-size / worker sweep (one timed round per config), then the
+  // legacy per-node path.  All of these run after the steady measurement
+  // so they cannot disturb it.
+  struct SweepRow {
+    int batch;
+    int workers;
+    double ms;
+  };
+  std::vector<SweepRow> sweep_rows;
+  if (sweep) {
+    const int batches[] = {1, 8, 16, 32, 64, 128};
+    for (const int b : batches) {
+      verifier.SetFleetOptions({.workers = 1, .batch_size = b});
+      const double ms = poll_round();
+      if (!check_round("sweep round")) {
+        return 1;
+      }
+      sweep_rows.push_back({b, 1, ms});
+    }
+    const int worker_counts[] = {2, 8};
+    for (const int w : worker_counts) {
+      verifier.SetFleetOptions({.workers = w, .batch_size = batch_size});
+      const double ms = poll_round();
+      if (!check_round("sweep round")) {
+        return 1;
+      }
+      sweep_rows.push_back({batch_size, w, ms});
+    }
+    verifier.SetFleetOptions({.workers = workers, .batch_size = batch_size});
+  }
+  const double legacy_ms = legacy_round();
+  if (!check_round("legacy round")) {
+    return 1;
+  }
 
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -183,36 +256,65 @@ int main(int argc, char** argv) {
                "{\n"
                "  \"fleet_nodes\": %d,\n"
                "  \"steady_rounds\": %d,\n"
+               "  \"batch_size\": %d,\n"
+               "  \"workers\": %d,\n"
                "  \"first_round_wall_ms\": %.3f,\n"
                "  \"steady_round_wall_ms_mean\": %.3f,\n"
                "  \"steady_round_wall_ms_max\": %.3f,\n"
                "  \"per_node_wall_us_mean\": %.3f,\n"
+               "  \"legacy_round_wall_ms\": %.3f,\n"
                "  \"steady_events\": %llu,\n"
                "  \"events_per_second\": %.0f,\n"
                "  \"ns_per_event\": %.1f,\n"
                "  \"verifications\": %llu,\n"
+               "  \"batched_verifications\": %llu,\n"
+               "  \"batch_bisections\": %u,\n"
+               "  \"batch_sqrt_recoveries\": %u,\n"
+               "  \"batch_rejected_hints\": %u,\n"
                "  \"aik_cache_hits\": %llu,\n"
-               "  \"aik_cache_misses\": %llu\n"
-               "}\n",
-               kFleetSize, kSteadyRounds, first_round_ms, steady_mean_ms,
-               steady_max_ms, per_node_us,
+               "  \"aik_cache_misses\": %llu,\n"
+               "  \"boot_log_cache_hits\": %llu,\n"
+               "  \"boot_log_cache_misses\": %llu,\n",
+               kFleetSize, steady_rounds, batch_size, workers, first_round_ms,
+               steady_mean_ms, steady_max_ms, per_node_us, legacy_ms,
                static_cast<unsigned long long>(steady_events),
                events_per_second, ns_per_event,
                static_cast<unsigned long long>(verifier.verifications()),
+               static_cast<unsigned long long>(verifier.batched_verifications()),
+               verifier.batch_stats().bisections,
+               verifier.batch_stats().sqrt_recoveries,
+               verifier.batch_stats().rejected_hints,
                static_cast<unsigned long long>(verifier.aik_cache_hits()),
-               static_cast<unsigned long long>(verifier.aik_cache_misses()));
+               static_cast<unsigned long long>(verifier.aik_cache_misses()),
+               static_cast<unsigned long long>(verifier.boot_log_cache_hits()),
+               static_cast<unsigned long long>(verifier.boot_log_cache_misses()));
+  std::fprintf(f, "  \"sweep\": [");
+  for (size_t i = 0; i < sweep_rows.size(); ++i) {
+    std::fprintf(f, "%s\n    {\"batch_size\": %d, \"workers\": %d, \"round_wall_ms\": %.3f}",
+                 i == 0 ? "" : ",", sweep_rows[i].batch, sweep_rows[i].workers,
+                 sweep_rows[i].ms);
+  }
+  std::fprintf(f, "%s]\n}\n", sweep_rows.empty() ? "" : "\n  ");
   std::fclose(f);
 
-  std::printf("fleet of %d nodes, %d steady rounds\n", kFleetSize, kSteadyRounds);
-  std::printf("first poll round (cold AIK cache): %8.1f ms wall\n", first_round_ms);
+  std::printf("fleet of %d nodes, %d steady rounds (batch %d, %d workers)\n",
+              kFleetSize, steady_rounds, batch_size, workers);
+  std::printf("first poll round (cold caches):    %8.1f ms wall\n", first_round_ms);
   std::printf("steady poll round mean:            %8.1f ms wall (%.1f us/node)\n",
               steady_mean_ms, per_node_us);
   std::printf("steady poll round max:             %8.1f ms wall\n", steady_max_ms);
+  std::printf("legacy per-node round:             %8.1f ms wall\n", legacy_ms);
   std::printf("steady event rate:                 %8.0f events/s (%.1f ns/event)\n",
               events_per_second, ns_per_event);
-  std::printf("AIK cache: %llu hits / %llu misses\n",
+  std::printf("AIK cache: %llu hits / %llu misses; boot-log cache: %llu / %llu\n",
               static_cast<unsigned long long>(verifier.aik_cache_hits()),
-              static_cast<unsigned long long>(verifier.aik_cache_misses()));
+              static_cast<unsigned long long>(verifier.aik_cache_misses()),
+              static_cast<unsigned long long>(verifier.boot_log_cache_hits()),
+              static_cast<unsigned long long>(verifier.boot_log_cache_misses()));
+  for (const SweepRow& row : sweep_rows) {
+    std::printf("sweep batch=%-4d workers=%d:         %8.1f ms wall\n", row.batch,
+                row.workers, row.ms);
+  }
   std::printf("wrote %s\n", out_path);
 #if BOLTED_OBS
   if (registry != nullptr) {

@@ -5,9 +5,11 @@ Usage: bench_guard.py BASELINE FRESH [BASELINE FRESH ...]
 
 Each argument pair names a committed baseline JSON at the repo root and a
 freshly generated JSON from the same bench binary.  Every key containing
-"wall_ms" is compared; a fresh value more than 25% above the baseline
-fails the guard.  Cold-start keys (first_round_*, build_*) are skipped —
-they measure one-off setup, not the steady state the guard protects.
+"wall_ms" is compared, along with the throughput keys "ns_per_event"
+(lower is better) and "events_per_second" (higher is better); a fresh
+value more than 25% worse than the baseline fails the guard.  Cold-start
+keys (first_round_*, build_*) are skipped — they measure one-off setup,
+not the steady state the guard protects.
 
 Baselines are regenerated manually (on the machine that committed them),
 so the comparison is same-host: 25% of headroom absorbs normal jitter
@@ -19,13 +21,17 @@ import sys
 
 THRESHOLD = 1.25
 SKIP_PREFIXES = ("first_round", "build_")
+# Keys where a HIGHER fresh value is an improvement, not a regression:
+# the guard inverts the ratio so >1.25 always means "25% worse".
+HIGHER_IS_BETTER = ("events_per_second",)
 
 
 def wall_keys(doc):
     return {
         key: value
         for key, value in doc.items()
-        if "wall_ms" in key and not key.startswith(SKIP_PREFIXES)
+        if ("wall_ms" in key or key in ("ns_per_event", "events_per_second"))
+        and not key.startswith(SKIP_PREFIXES)
         and isinstance(value, (int, float))
     }
 
@@ -50,12 +56,15 @@ def main(argv):
         base_keys = wall_keys(baseline)
         fresh_keys = wall_keys(fresh)
         for key, base_value in sorted(base_keys.items()):
-            if key not in fresh_keys or base_value <= 0:
+            if key not in fresh_keys or base_value <= 0 or fresh_keys[key] <= 0:
                 continue
-            ratio = fresh_keys[key] / base_value
+            if key in HIGHER_IS_BETTER:
+                ratio = base_value / fresh_keys[key]
+            else:
+                ratio = fresh_keys[key] / base_value
             status = "FAIL" if ratio > THRESHOLD else "ok"
             print(f"  {status:4} {baseline_path}:{key}: "
-                  f"{base_value:.1f} -> {fresh_keys[key]:.1f} ms ({ratio:.2f}x)")
+                  f"{base_value:.1f} -> {fresh_keys[key]:.1f} ({ratio:.2f}x)")
             if ratio > THRESHOLD:
                 failures.append(f"{baseline_path}:{key} regressed {ratio:.2f}x")
 

@@ -43,6 +43,9 @@ BOLTED_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
 echo "== tier-1: observability suite (ctest -L obs) =="
 ctest --test-dir build --output-on-failure -L obs
 
+echo "== tier-1: batched attestation suite (ctest -L attestation) =="
+ctest --test-dir build --output-on-failure -L attestation
+
 if [[ "${want_asan}" == 1 ]]; then
   echo "== sanitizers: ASan + UBSan =="
   run_suite build-asan -DBOLTED_SANITIZE=ON
@@ -59,6 +62,11 @@ if [[ "${want_asan}" == 1 ]]; then
   # registry + span machinery (and a traced provisioning flow) instrumented.
   echo "== sanitizers: observability suite under ASan =="
   ctest --test-dir build-asan --output-on-failure -L obs
+  # The batch verifier's bisection, square-root recovery, and worker-pool
+  # scatter paths all juggle raw spans and index vectors; run them
+  # instrumented too.
+  echo "== sanitizers: batched attestation suite under ASan =="
+  ctest --test-dir build-asan --output-on-failure -L attestation
 fi
 
 if [[ "${want_bench}" == 1 ]]; then

@@ -560,6 +560,11 @@ EcPoint P256::MultiplyReference(const U256& k, const EcPoint& point) const {
 }
 
 EcdsaSignature P256::Sign(const U256& private_key, const Digest& message_hash) const {
+  return Sign(private_key, message_hash, nullptr);
+}
+
+EcdsaSignature P256::Sign(const U256& private_key, const Digest& message_hash,
+                          EcPoint* r_point) const {
   const U256 z = fn_.Reduce(U256::FromBytes(DigestView(message_hash)));
   const Bytes priv_bytes = private_key.ToBytes();
 
@@ -593,7 +598,20 @@ EcdsaSignature P256::Sign(const U256& private_key, const Digest& message_hash) c
     if (s.IsZero()) {
       continue;
     }
-    return EcdsaSignature{r, s};
+    if (r_point == nullptr) {
+      return EcdsaSignature{r, s};
+    }
+    // Batch-friendly form: (r, s) with nonce point R and (r, n−s) with −R
+    // are the same signature, so pick the variant whose R has even y.
+    // VerifyBatch's square-root recovery then reconstructs R from r alone.
+    EcPoint nonce = kg;
+    U256 s_out = s;
+    if (kg.y.IsOdd()) {
+      SubBorrow(n_, s, s_out);
+      SubBorrow(p_, kg.y, nonce.y);
+    }
+    *r_point = nonce;
+    return EcdsaSignature{r, s_out};
   }
 }
 
@@ -708,6 +726,289 @@ bool P256::Verify(const PreparedKey& public_key, const Digest& message_hash,
   return VerifyCommon(message_hash, signature, [&](const U256& u1, const U256& u2) {
     return MulShamirPrepared(u1, u2, public_key.odd_);
   });
+}
+
+// --- Batch verification ------------------------------------------------------
+
+struct P256::BatchItem {
+  const PreparedKey* key = nullptr;
+  U256 u1_mont;        // z/s, Montgomery domain of n
+  U256 u2_mont;        // r/s, Montgomery domain of n
+  AffineMont r_point;  // recovered nonce point R, fp Montgomery affine
+  bool batchable = false;
+};
+
+namespace {
+
+// a^((p+1)/4) mod p — the square root candidate for p ≡ 3 (mod 4).
+// Montgomery domain in and out; the caller re-squares to confirm a was a
+// quadratic residue.
+U256 SqrtCandidateFp(const U256& a_mont, const U256& one_mont) {
+  static const U256 e = U256::FromHexString(
+      "3fffffffc000000040000000000000000000000040000000"
+      "0000000000000000");
+  U256 acc = one_mont;
+  bool started = false;
+  for (int i = 255; i >= 0; --i) {
+    if (started) {
+      acc = Fp::Sqr(acc);
+    }
+    if (e.Bit(i)) {
+      acc = started ? Fp::Mul(acc, a_mont) : a_mont;
+      started = true;
+    }
+  }
+  return acc;
+}
+
+uint64_t Load64BigEndian(const Digest& d) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | d[static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace
+
+bool P256::BatchCombinationHolds(const BatchItem* items,
+                                 std::span<const size_t> idxs) const {
+  // Fiat–Shamir coefficient seed over the sub-batch transcript: the exact
+  // (Q, u1, u2, R) tuples the combination will check.  Deterministic, so
+  // replays and bisection retries are reproducible.
+  Sha256 transcript;
+  transcript.Update(ToBytes("bolted-p256-batch-v1"));
+  for (const size_t i : idxs) {
+    const BatchItem& it = items[i];
+    transcript.Update(it.key->point().x.ToBytes());
+    transcript.Update(it.key->point().y.ToBytes());
+    transcript.Update(it.u1_mont.ToBytes());
+    transcript.Update(it.u2_mont.ToBytes());
+    transcript.Update(it.r_point.x.ToBytes());
+    transcript.Update(it.r_point.y.ToBytes());
+  }
+  const Digest seed = transcript.Finish();
+
+  // Per item: the 256-bit scalar cᵢ·u2ᵢ split limb-wise over the four
+  // PreparedKey table groups (width-6 NAF), and the 64-bit cᵢ itself on
+  // Rᵢ (width-4 NAF over odd multiples 1,3,5,7 of R, normalized to
+  // affine in one Montgomery-trick batch below).
+  const size_t m = idxs.size();
+  std::vector<int8_t> q_digits(m * 4 * static_cast<size_t>(kNafDigits));
+  std::vector<int8_t> r_digits(m * static_cast<size_t>(kNafDigits));
+  std::vector<Jacobian> r_jac(m * 4);
+  std::vector<AffineMont> r_tab(m * 4);
+  U256 a_mont = U256::Zero();  // Σ cᵢ·u1ᵢ, Montgomery domain of n
+  int top = 0;
+  for (size_t s = 0; s < m; ++s) {
+    const BatchItem& it = items[idxs[s]];
+    Bytes c_input = DigestBytes(seed);
+    AppendU32(c_input, static_cast<uint32_t>(s));
+    uint64_t c64 = Load64BigEndian(Sha256::Hash(c_input));
+    if (c64 == 0) {
+      c64 = 1;
+    }
+    const U256 c{{c64, 0, 0, 0}};
+    const U256 c_mont = fn_.ToMont(c);
+    a_mont = field::Fn::Add(a_mont, field::Fn::Mul(c_mont, it.u1_mont));
+    const U256 q_scalar = fn_.FromMont(field::Fn::Mul(c_mont, it.u2_mont));
+    for (int j = 0; j < 4; ++j) {
+      const U256 chunk{{q_scalar.limb[static_cast<size_t>(j)], 0, 0, 0}};
+      const int t = RecodeWnaf(
+          chunk, /*width=*/6,
+          &q_digits[(s * 4 + static_cast<size_t>(j)) * static_cast<size_t>(kNafDigits)]);
+      top = t > top ? t : top;
+    }
+    const int t = RecodeWnaf(c, /*width=*/4,
+                             &r_digits[s * static_cast<size_t>(kNafDigits)]);
+    top = t > top ? t : top;
+
+    // Odd multiples 1,3,5,7 of R.  R has order n (it passed the on-curve
+    // check and the curve group is prime), so none of them is infinity.
+    Jacobian base{it.r_point.x, it.r_point.y, fp_.one_mont()};
+    Jacobian twice = base;
+    DoubleFast(twice);
+    r_jac[s * 4] = base;
+    for (size_t k = 1; k < 4; ++k) {
+      r_jac[s * 4 + k] = r_jac[s * 4 + k - 1];
+      AddJacobianFast(r_jac[s * 4 + k], twice);
+    }
+  }
+  NormalizeBatch(r_jac, r_tab.data());
+
+  // One shared doubling chain for every item's Q and R terms; the ΣG term
+  // rides the fixed-base comb afterwards with no doublings of its own.
+  Jacobian sum{};
+  for (int i = top; i >= 0; --i) {
+    DoubleFast(sum);
+    for (size_t s = 0; s < m; ++s) {
+      const BatchItem& it = items[idxs[s]];
+      for (size_t j = 0; j < 4; ++j) {
+        const int d =
+            q_digits[(s * 4 + j) * static_cast<size_t>(kNafDigits) + static_cast<size_t>(i)];
+        if (d != 0) {
+          const size_t index =
+              16 * j + static_cast<size_t>((d < 0 ? -d : d) - 1) / 2;
+          AddMixed(sum, it.key->odd_[index], /*negate=*/d < 0);
+        }
+      }
+      const int d =
+          r_digits[s * static_cast<size_t>(kNafDigits) + static_cast<size_t>(i)];
+      if (d != 0) {
+        const size_t index = s * 4 + static_cast<size_t>((d < 0 ? -d : d) - 1) / 2;
+        // The Rᵢ term enters negated: Σ cᵢ(u1ᵢG + u2ᵢQᵢ − Rᵢ) = O.
+        AddMixed(sum, r_tab[index], /*negate=*/d > 0);
+      }
+    }
+  }
+  const U256 a = fn_.FromMont(a_mont);
+  for (int w = 0; w < kCombWindows; ++w) {
+    const uint64_t d = CombWindow(a, w);
+    if (d != 0) {
+      AddMixed(sum, fixed_[static_cast<size_t>(w) * kCombRow + d - 1],
+               /*negate=*/false);
+    }
+  }
+  return sum.z.IsZero();
+}
+
+bool P256::VerifyBatchRange(const BatchItem* items, const BatchEntry* entries,
+                            bool* ok, size_t lo, size_t hi,
+                            BatchStats* stats) const {
+  std::vector<size_t> idxs;
+  idxs.reserve(hi - lo);
+  for (size_t i = lo; i < hi; ++i) {
+    if (items[i].batchable) {
+      idxs.push_back(i);
+    }
+  }
+  if (idxs.empty()) {
+    return true;  // every entry in range already settled as invalid
+  }
+  if (idxs.size() == 1) {
+    const size_t i = idxs[0];
+    ok[i] = Verify(*entries[i].key, entries[i].message_hash, entries[i].signature);
+    return ok[i];
+  }
+  if (BatchCombinationHolds(items, idxs)) {
+    for (const size_t i : idxs) {
+      ok[i] = true;
+    }
+    return true;
+  }
+  // The combination failed: at least one entry in the range is bad (or
+  // carried a wrong R).  Bisect; singletons fall back to the exact
+  // sequential verify, so no wrong verdict can survive.
+  ++stats->bisections;
+  const size_t mid = lo + (hi - lo) / 2;
+  const bool left = VerifyBatchRange(items, entries, ok, lo, mid, stats);
+  const bool right = VerifyBatchRange(items, entries, ok, mid, hi, stats);
+  return left && right;
+}
+
+bool P256::VerifyBatch(std::span<const BatchEntry> entries, bool* ok,
+                       BatchStats* stats) const {
+  const size_t n = entries.size();
+  if (n == 0) {
+    return true;
+  }
+  BatchStats local_stats;
+  if (stats == nullptr) {
+    stats = &local_stats;
+  }
+  if (n == 1) {
+    ok[0] = entries[0].key != nullptr &&
+            Verify(*entries[0].key, entries[0].message_hash, entries[0].signature);
+    return ok[0];
+  }
+
+  const auto on_curve_mont = [&](const U256& x_mont, const U256& y_mont) {
+    const U256 y2 = Fp::Sqr(y_mont);
+    const U256 x3 = Fp::Mul(Fp::Sqr(x_mont), x_mont);
+    return y2 == Fp::Add(Fp::Sub(x3, Fp::Mul(three_mont_, x_mont)), b_mont_);
+  };
+  // Recovers the nonce point R for one entry: accept the signer's hint if
+  // it validates, otherwise take the even-y square root at x = r (then
+  // x = r + n when that stays below p).  Returns false when no curve
+  // point matches — which proves the signature invalid outright.
+  const auto recover_r = [&](const BatchEntry& e, AffineMont* out) -> bool {
+    if (e.r_hint != nullptr) {
+      const EcPoint& h = *e.r_hint;
+      if (!h.infinity && h.x < p_ && h.y < p_ &&
+          fn_.Reduce(h.x) == e.signature.r) {
+        const U256 hx = fp_.ToMont(h.x);
+        const U256 hy = fp_.ToMont(h.y);
+        if (on_curve_mont(hx, hy)) {
+          out->x = hx;
+          out->y = hy;
+          return true;
+        }
+      }
+      ++stats->rejected_hints;
+    }
+    ++stats->sqrt_recoveries;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      U256 x = e.signature.r;
+      if (attempt == 1 && (AddCarry(e.signature.r, n_, x) != 0 || x >= p_)) {
+        break;
+      }
+      const U256 x_mont = fp_.ToMont(x);
+      const U256 rhs = Fp::Add(
+          Fp::Sub(Fp::Mul(Fp::Sqr(x_mont), x_mont), Fp::Mul(three_mont_, x_mont)),
+          b_mont_);
+      U256 y_mont = SqrtCandidateFp(rhs, fp_.one_mont());
+      if (Fp::Sqr(y_mont) != rhs) {
+        continue;  // x is not on the curve
+      }
+      if (fp_.FromMont(y_mont).IsOdd()) {
+        y_mont = Fp::Neg(y_mont);
+      }
+      out->x = x_mont;
+      out->y = y_mont;
+      return true;
+    }
+    return false;
+  };
+
+  // Shape checks plus one batched inversion for every s: prefix products
+  // in the Montgomery domain of n, then a single divstep inverse peeled
+  // back into the individual w = s⁻¹ values.
+  std::vector<BatchItem> items(n);
+  std::vector<U256> s_mont(n);
+  std::vector<U256> prefix(n);
+  U256 acc = fn_.one_mont();
+  for (size_t i = 0; i < n; ++i) {
+    const BatchEntry& e = entries[i];
+    ok[i] = false;
+    if (e.key == nullptr || e.signature.r.IsZero() || e.signature.s.IsZero() ||
+        e.signature.r >= n_ || e.signature.s >= n_) {
+      continue;  // malformed; ok[i] = false is already exact
+    }
+    items[i].key = e.key;
+    s_mont[i] = fn_.ToMont(e.signature.s);
+    prefix[i] = acc;
+    acc = field::Fn::Mul(acc, s_mont[i]);
+  }
+  U256 inv = InvMontFn(acc, r2_fn_);
+  for (size_t i = n; i-- > 0;) {
+    if (items[i].key == nullptr) {
+      continue;
+    }
+    const BatchEntry& e = entries[i];
+    const U256 w_mont = field::Fn::Mul(inv, prefix[i]);
+    inv = field::Fn::Mul(inv, s_mont[i]);
+    const U256 z = fn_.Reduce(U256::FromBytes(DigestView(e.message_hash)));
+    items[i].u1_mont = field::Fn::Mul(fn_.ToMont(z), w_mont);
+    items[i].u2_mont = field::Fn::Mul(fn_.ToMont(e.signature.r), w_mont);
+    items[i].batchable = recover_r(e, &items[i].r_point);
+  }
+
+  VerifyBatchRange(items.data(), entries.data(), ok, 0, n, stats);
+  bool all = true;
+  for (size_t i = 0; i < n; ++i) {
+    all = all && ok[i];
+  }
+  return all;
 }
 
 bool P256::VerifyReference(const EcPoint& public_key, const Digest& message_hash,

@@ -62,6 +62,13 @@ class P256 {
   bool IsOnCurve(const EcPoint& point) const;
 
   EcdsaSignature Sign(const U256& private_key, const Digest& message_hash) const;
+  // Like Sign, but also returns the nonce point R = k·G and normalizes the
+  // signature to the batch-friendly even-y convention (s ↦ n−s, R ↦ −R
+  // when R.y is odd — the same signature, in the variant VerifyBatch's
+  // square-root recovery reconstructs from r alone).  The plain Sign
+  // output is unchanged, so its known-answer vectors still hold.
+  EcdsaSignature Sign(const U256& private_key, const Digest& message_hash,
+                      EcPoint* r_point) const;
   bool Verify(const EcPoint& public_key, const Digest& message_hash,
               const EcdsaSignature& signature) const;
 
@@ -95,6 +102,38 @@ class P256 {
   std::optional<PreparedKey> Prepare(const EcPoint& public_key) const;
   bool Verify(const PreparedKey& public_key, const Digest& message_hash,
               const EcdsaSignature& signature) const;
+
+  // --- Batch verification --------------------------------------------------
+  // One signature's worth of batch input.  r_hint optionally points at the
+  // signer's nonce point R = k·G (plain affine coordinates).  The hint is
+  // UNTRUSTED accelerator data: it is only accepted after an on-curve check
+  // and x ≡ r (mod n); a wrong-but-plausible hint can at worst force the
+  // batch into the bisection fallback, never flip a verdict.  Without a
+  // hint, R is recovered by a modular square root, which assumes the
+  // signer normalized s so that R has even y (Tpm::MakeQuote does); a
+  // signature without that convention still verifies correctly, just
+  // through the bisection path.
+  struct BatchEntry {
+    const PreparedKey* key = nullptr;
+    Digest message_hash{};
+    EcdsaSignature signature;
+    const EcPoint* r_hint = nullptr;
+  };
+  struct BatchStats {
+    uint32_t bisections = 0;       // sub-batch RLC checks that failed
+    uint32_t sqrt_recoveries = 0;  // entries that paid the sqrt fallback
+    uint32_t rejected_hints = 0;   // r_hints that failed validation
+  };
+  // Verifies all entries jointly: one multi-scalar check of the random
+  // linear combination Σ cᵢ·(u1ᵢ·G + u2ᵢ·Qᵢ − Rᵢ) = O with deterministic
+  // 64-bit Fiat–Shamir coefficients cᵢ, sharing a single doubling chain,
+  // one fixed-base comb pass, and one batched modular inversion across the
+  // whole batch.  On failure the batch is bisected until every bad entry
+  // is pinned by an exact single verify — ok[i] always equals what
+  // Verify(PreparedKey, ...) would return for entry i (fail-closed).
+  // Returns true iff every entry verified.
+  bool VerifyBatch(std::span<const BatchEntry> entries, bool* ok,
+                   BatchStats* stats = nullptr) const;
 
   // ECDH: x-coordinate of private_key * peer, as 32 bytes.  Returns
   // nullopt when peer is invalid or the product is the point at infinity.
@@ -159,6 +198,17 @@ class P256 {
   template <typename Ladder>
   bool VerifyCommon(const Digest& message_hash, const EcdsaSignature& signature,
                     const Ladder& ladder) const;
+
+  // Per-entry state shared between the batch RLC check and its bisection
+  // retries (defined in p256.cc).
+  struct BatchItem;
+  // Runs the single multi-scalar RLC check over the listed items; returns
+  // whether the combination landed on the point at infinity.
+  bool BatchCombinationHolds(const BatchItem* items,
+                             std::span<const size_t> idxs) const;
+  // Recursive bisection driver over items [lo, hi).
+  bool VerifyBatchRange(const BatchItem* items, const BatchEntry* entries,
+                        bool* ok, size_t lo, size_t hi, BatchStats* stats) const;
 
   U256 p_;  // field prime
   U256 n_;  // group order

@@ -62,13 +62,16 @@ inline U256 ShiftRight1(const U256& a, uint64_t top = 0) {
   return out;
 }
 
-// a^-1 mod m for odd m and gcd(a, m) = 1, via the binary extended
-// Euclidean algorithm — no multiplications, so it beats the Fermat
-// exponentiation in Montgomery::Inverse by a wide margin.  Plain (non
-// Montgomery) domain; requires a < m; returns zero for a = 0.  Defined
-// inline so hot callers (the P-256 ladders) compile it with their own
-// optimization flags.
-inline U256 ModInverseOdd(const U256& a, const U256& m) {
+// a^-1 mod m for odd m and gcd(a, m) = 1, via signed-62-limb divsteps
+// (Bernstein–Yang safegcd, variable-time): the gcd state collapses through
+// 64-bit transition matrices instead of one U256 pass per bit, which makes
+// it several times faster again than the binary extended Euclid below.
+// Plain (non Montgomery) domain; requires a < m; returns zero for a = 0.
+U256 ModInverseOdd(const U256& a, const U256& m);
+
+// The pre-divstep implementation (binary extended Euclid, one bit per
+// round).  Kept as the differential-test oracle for ModInverseOdd.
+inline U256 ModInverseOddBinary(const U256& a, const U256& m) {
   if (a.IsZero()) {
     return U256::Zero();
   }

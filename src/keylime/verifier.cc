@@ -1,5 +1,9 @@
 #include "src/keylime/verifier.h"
 
+#include <algorithm>
+#include <memory>
+#include <thread>
+
 #include "src/crypto/ecies.h"
 #include "src/keylime/agent.h"
 #include "src/net/wire.h"
@@ -115,6 +119,39 @@ sim::Task Verifier::VerifyNodeTraced(const std::string& name,
   span.End();
 }
 
+void Verifier::InvalidateKeyCache(const std::string& name) {
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    return;
+  }
+  it->second.aik_prepared.reset();
+  it->second.aik_wire.clear();
+  it->second.nk_decoded.reset();
+  it->second.nk_wire.clear();
+}
+
+const Verifier::BootReplay* Verifier::ReplayBootLog(const crypto::Bytes& wire) {
+  const crypto::Digest key = crypto::Sha256::Hash(wire);
+  const auto it = boot_log_cache_.find(key);
+  if (it != boot_log_cache_.end()) {
+    ++boot_log_cache_hits_;
+    return &it->second;
+  }
+  auto decoded = tpm::EventLog::Deserialize(wire);
+  if (!decoded.has_value()) {
+    return nullptr;  // malformed logs are not cached (they carry no replay)
+  }
+  BootReplay replay;
+  replay.log = std::move(*decoded);
+  for (const tpm::MeasurementEvent& event : replay.log.events()) {
+    auto& pcr = replay.pcrs[static_cast<size_t>(event.pcr_index)];
+    pcr = tpm::ExtendDigest(pcr, event.measurement);
+  }
+  ++boot_log_cache_misses_;
+  obs::Count(sim_, "keylime.boot_log_cache_miss");
+  return &boot_log_cache_.emplace(key, std::move(replay)).first->second;
+}
+
 sim::Task Verifier::VerifyNodeImpl(const std::string& name,
                                    VerificationResult* result) {
   result->passed = false;
@@ -126,6 +163,21 @@ sim::Task Verifier::VerifyNodeImpl(const std::string& name,
   NodeState& state = it->second;
   ++verifications_;
 
+  QuoteExchange exchange;
+  co_await FetchQuote(name, state, &exchange);
+  if (!exchange.failure.empty()) {
+    result->failure = std::move(exchange.failure);
+    co_return;
+  }
+  // 3a (signature): the single-node path verifies inline; VerifyFleet
+  // replaces exactly this step with the batched multi-scalar check.
+  const bool signature_ok =
+      tpm::Tpm::VerifyQuote(*exchange.quote, *state.aik_prepared);
+  co_await FinishVerification(name, state, exchange, signature_ok, result);
+}
+
+sim::Task Verifier::FetchQuote(const std::string& name, NodeState& state,
+                               QuoteExchange* out) {
   // 1. Certified keys from the registrar.
   net::Message key_request;
   key_request.kind = std::string(kRpcGetKeys);
@@ -135,7 +187,7 @@ sim::Task Verifier::VerifyNodeImpl(const std::string& name,
   co_await node_.CallWithRetry(registrar_, std::move(key_request), &key_response,
                                &rpc_ok, call_options_);
   if (!rpc_ok || key_response.kind == "kl.reg.error") {
-    result->failure = "registrar lookup failed";
+    out->failure = "registrar lookup failed";
     co_return;
   }
   net::WireReader key_reader(key_response.payload);
@@ -144,7 +196,7 @@ sim::Task Verifier::VerifyNodeImpl(const std::string& name,
   const crypto::Bytes nk_wire = key_reader.Blob();
   const bool activated = key_reader.U32() == 1;
   if (!key_reader.AtEnd()) {
-    result->failure = "malformed registrar response";
+    out->failure = "malformed registrar response";
     co_return;
   }
   // Decode + curve-check + table build happen once per distinct wire
@@ -165,80 +217,85 @@ sim::Task Verifier::VerifyNodeImpl(const std::string& name,
     state.nk_wire = nk_wire;
   }
   if (!state.aik_prepared.has_value() || !state.nk_decoded.has_value()) {
-    result->failure = "malformed registrar response";
+    out->failure = "malformed registrar response";
     co_return;
   }
   if (!activated) {
-    result->failure = "AIK not activated";
+    out->failure = "AIK not activated";
     co_return;
   }
 
   // 2. Fresh nonce, quote request.  The request carries the incremental
   // cursor so the agent only ships new IMA measurements.
-  const crypto::Bytes nonce = drbg_.Generate(20);
+  out->nonce = drbg_.Generate(20);
   net::Message quote_request;
   quote_request.kind = std::string(kRpcQuote);
-  quote_request.payload =
-      net::WireWriter().Blob(nonce).U32(kQuotePcrMask).U64(state.ima_seen).Take();
+  quote_request.payload = net::WireWriter()
+                              .Blob(out->nonce)
+                              .U32(kQuotePcrMask)
+                              .U64(state.ima_seen)
+                              .Take();
   net::Message quote_response;
   co_await node_.CallWithRetry(state.config.agent, std::move(quote_request),
                                &quote_response, &rpc_ok, call_options_);
   if (!rpc_ok || quote_response.kind == "kl.agent.error") {
-    result->failure = "agent unreachable";
+    out->failure = "agent unreachable";
     co_return;
   }
   net::WireReader reader(quote_response.payload);
-  const auto quote = tpm::Quote::Deserialize(reader.Blob());
-  const auto boot_log = tpm::EventLog::Deserialize(reader.Blob());
-  const uint64_t ima_total = reader.U64();
-  const auto ima_log = tpm::EventLog::Deserialize(reader.Blob());
-  if (!reader.AtEnd() || !quote || !boot_log || !ima_log) {
-    result->failure = "malformed quote response";
+  out->quote = tpm::Quote::Deserialize(reader.Blob());
+  out->boot = ReplayBootLog(reader.Blob());
+  out->ima_total = reader.U64();
+  out->ima_log = tpm::EventLog::Deserialize(reader.Blob());
+  if (!reader.AtEnd() || !out->quote || out->boot == nullptr || !out->ima_log) {
+    out->failure = "malformed quote response";
     co_return;
   }
-  if (boot_log->events().empty()) {
+  if (out->boot->log.events().empty()) {
     // A freshly power-cycled TPM has all-zero PCRs, and an empty boot log
     // replays to exactly those values — so without this check a crashed,
     // unbooted machine would sail through replay and (vacuously) through
     // the whitelist.  A measured boot always logs at least the firmware.
-    result->failure = "empty boot event log";
+    out->failure = "empty boot event log";
     co_return;
   }
-  if (ima_total < state.ima_seen) {
+  if (out->ima_total < state.ima_seen) {
     // The measurement list can only grow within one boot; a shrink means
     // the node rebooted out from under continuous attestation.
-    result->failure = "IMA measurement list regressed (unexpected reboot?)";
+    out->failure = "IMA measurement list regressed (unexpected reboot?)";
     co_return;
   }
-  if (ima_log->size() != ima_total - state.ima_seen) {
-    result->failure = "IMA delta is inconsistent with the advertised total";
+  if (out->ima_log->size() != out->ima_total - state.ima_seen) {
+    out->failure = "IMA delta is inconsistent with the advertised total";
     co_return;
   }
+}
 
-  // 3a. Signature and freshness.
-  if (!tpm::Tpm::VerifyQuote(*quote, *state.aik_prepared)) {
+sim::Task Verifier::FinishVerification(const std::string& name, NodeState& state,
+                                       QuoteExchange& ex, bool signature_ok,
+                                       VerificationResult* result) {
+  // 3a. Signature (verdict computed by the caller — inline single verify
+  // or the batched multi-scalar check) and freshness.
+  const tpm::Quote& quote = *ex.quote;
+  if (!signature_ok) {
     result->failure = "quote signature invalid";
     co_return;
   }
-  if (quote->nonce != nonce) {
+  if (quote.nonce != ex.nonce) {
     result->failure = "stale quote (nonce mismatch)";
     co_return;
   }
-  if (quote->pcr_mask != kQuotePcrMask) {
+  if (quote.pcr_mask != kQuotePcrMask) {
     result->failure = "wrong PCR selection";
     co_return;
   }
 
   // 3b. Log replay must reproduce the quoted PCR values exactly.  The
-  // IMA PCR continues from the validated prefix's value; everything else
-  // replays from the (static) boot log.
-  std::array<crypto::Digest, tpm::kNumPcrs> replayed{};
-  for (const tpm::MeasurementEvent& event : boot_log->events()) {
-    auto& pcr = replayed[static_cast<size_t>(event.pcr_index)];
-    pcr = tpm::ExtendDigest(pcr, event.measurement);
-  }
+  // boot-log replay comes precomputed from the golden-log cache; the IMA
+  // PCR continues from the validated prefix's value.
+  std::array<crypto::Digest, tpm::kNumPcrs> replayed = ex.boot->pcrs;
   crypto::Digest ima_pcr = state.ima_pcr;
-  for (const tpm::MeasurementEvent& event : ima_log->events()) {
+  for (const tpm::MeasurementEvent& event : ex.ima_log->events()) {
     if (event.pcr_index != tpm::kPcrIma) {
       result->failure = "IMA delta contains a non-IMA event";
       co_return;
@@ -247,7 +304,7 @@ sim::Task Verifier::VerifyNodeImpl(const std::string& name,
   }
   replayed[static_cast<size_t>(tpm::kPcrIma)] = ima_pcr;
   for (int pcr = 0; pcr < tpm::kNumPcrs; ++pcr) {
-    const crypto::Digest* quoted = QuotedPcr(*quote, pcr);
+    const crypto::Digest* quoted = QuotedPcr(quote, pcr);
     if (quoted != nullptr && *quoted != replayed[static_cast<size_t>(pcr)]) {
       result->failure = "event log does not match quoted PCR " + std::to_string(pcr);
       co_return;
@@ -259,13 +316,13 @@ sim::Task Verifier::VerifyNodeImpl(const std::string& name,
     result->failure = "no whitelist configured";
     co_return;
   }
-  for (const tpm::MeasurementEvent& event : boot_log->events()) {
+  for (const tpm::MeasurementEvent& event : ex.boot->log.events()) {
     if (!state.config.whitelist->boot.contains(event.measurement)) {
       result->failure = "unwhitelisted boot measurement: " + event.description;
       co_return;
     }
   }
-  for (const tpm::MeasurementEvent& event : ima_log->events()) {
+  for (const tpm::MeasurementEvent& event : ex.ima_log->events()) {
     if (!state.config.whitelist->runtime.contains(event.measurement)) {
       result->failure = "unwhitelisted runtime file: " + event.description;
       co_return;
@@ -283,9 +340,127 @@ sim::Task Verifier::VerifyNodeImpl(const std::string& name,
   }
   // Commit the incremental cursor only after full success so a failed
   // verification never advances past unvalidated measurements.
-  state.ima_seen = ima_total;
+  state.ima_seen = ex.ima_total;
   state.ima_pcr = ima_pcr;
   result->passed = true;
+}
+
+namespace {
+
+// Stable node-id hash for shard assignment (FNV-1a; std::hash is not
+// pinned across standard libraries).
+uint64_t ShardHash(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+sim::Task Verifier::VerifyFleet(std::span<const std::string> names,
+                                VerificationResult* results) {
+  const size_t n = names.size();
+  std::vector<QuoteExchange> exchanges(n);
+  std::vector<NodeState*> states(n, nullptr);
+  sim::TaskGroup group(sim_);
+  for (size_t i = 0; i < n; ++i) {
+    results[i] = VerificationResult{};
+    const auto it = nodes_.find(names[i]);
+    if (it == nodes_.end()) {
+      exchanges[i].failure = "unknown node";
+      continue;
+    }
+    states[i] = &it->second;
+    ++verifications_;
+    group.Spawn(FetchQuote(names[i], it->second, &exchanges[i]));
+  }
+  co_await group.WaitAll();
+
+  // Every quote that landed in this round, sharded by node id and verified
+  // through the batched multi-scalar path.  This section is host CPU only —
+  // it schedules no sim event — so batch size and worker count cannot
+  // perturb the event sequence, and verdicts/digests match the workers = 1
+  // oracle byte for byte.
+  const size_t workers = static_cast<size_t>(std::max(1, fleet_options_.workers));
+  const size_t batch_size =
+      static_cast<size_t>(std::max(1, fleet_options_.batch_size));
+  std::vector<std::vector<size_t>> shards(workers);
+  for (size_t i = 0; i < n; ++i) {
+    if (exchanges[i].failure.empty()) {
+      shards[ShardHash(names[i]) % workers].push_back(i);
+    }
+  }
+  std::vector<uint8_t> signature_ok(n, 0);
+  struct ShardReport {
+    crypto::P256::BatchStats stats;
+    std::vector<uint64_t> chunk_sizes;
+  };
+  std::vector<ShardReport> reports(workers);
+  const auto run_shard = [&](size_t s) {
+    const std::vector<size_t>& index = shards[s];
+    ShardReport& report = reports[s];
+    std::vector<tpm::Tpm::QuoteBatchEntry> entries;
+    for (size_t start = 0; start < index.size(); start += batch_size) {
+      const size_t count = std::min(batch_size, index.size() - start);
+      entries.resize(count);
+      for (size_t k = 0; k < count; ++k) {
+        const size_t i = index[start + k];
+        entries[k].quote = &*exchanges[i].quote;
+        entries[k].aik = &*states[i]->aik_prepared;
+      }
+      const std::unique_ptr<bool[]> ok(new bool[count]());
+      tpm::Tpm::VerifyQuoteBatch(entries, ok.get(), &report.stats);
+      for (size_t k = 0; k < count; ++k) {
+        signature_ok[index[start + k]] = ok[k] ? 1 : 0;
+      }
+      report.chunk_sizes.push_back(count);
+    }
+  };
+  if (workers == 1 || n < 2) {
+    for (size_t s = 0; s < workers; ++s) {
+      run_shard(s);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t s = 0; s < workers; ++s) {
+      pool.emplace_back(run_shard, s);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  // Bookkeeping in deterministic shard order (obs must not be touched from
+  // the worker threads).
+  for (size_t s = 0; s < workers; ++s) {
+    const ShardReport& report = reports[s];
+    batched_verifications_ += shards[s].size();
+    batch_stats_.bisections += report.stats.bisections;
+    batch_stats_.sqrt_recoveries += report.stats.sqrt_recoveries;
+    batch_stats_.rejected_hints += report.stats.rejected_hints;
+    obs::Record(sim_, "keylime.shard_quotes", shards[s].size());
+    for (const uint64_t chunk : report.chunk_sizes) {
+      obs::Record(sim_, "keylime.batch_size", chunk);
+    }
+    if (report.stats.bisections != 0) {
+      obs::Count(sim_, "keylime.batch_bisections", report.stats.bisections);
+    }
+  }
+
+  // Merge verdicts back in submission order; each node's post-signature
+  // pipeline runs exactly as the single-node path would.
+  for (size_t i = 0; i < n; ++i) {
+    if (!exchanges[i].failure.empty()) {
+      results[i].failure = std::move(exchanges[i].failure);
+      continue;
+    }
+    co_await FinishVerification(names[i], *states[i], exchanges[i],
+                                signature_ok[i] != 0, &results[i]);
+  }
 }
 
 void Verifier::StartContinuous(const std::string& name, sim::Duration interval) {

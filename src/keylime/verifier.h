@@ -32,6 +32,7 @@
 #include "src/keylime/registrar.h"
 #include "src/net/rpc.h"
 #include "src/tpm/event_log.h"
+#include "src/tpm/tpm.h"
 
 namespace bolted::keylime {
 
@@ -92,6 +93,31 @@ class Verifier {
   // node's track plus pass/fail counters.
   sim::Task VerifyNode(const std::string& name, VerificationResult* result);
 
+  // Fleet poll-round knobs.  Both are HOST-SIDE only: they change how much
+  // CPU the signature checks cost, never the simulation's event sequence,
+  // so verdicts and trace digests are byte-identical across any batch size
+  // and worker count (the single-threaded oracle is workers = 1).
+  struct FleetOptions {
+    int workers = 1;     // deterministic worker pool for shard verification
+    int batch_size = 64; // quotes per VerifyQuoteBatch call within a shard
+  };
+  void SetFleetOptions(const FleetOptions& options) { fleet_options_ = options; }
+
+  // One poll round over the whole fleet: fans the nonce/quote exchanges out
+  // concurrently, collects every quote that lands in the round into
+  // per-shard batches (sharded by node id), verifies the signatures through
+  // Tpm::VerifyQuoteBatch on the worker pool, and completes each node's
+  // replay/whitelist pipeline in submission order.  results[i] is exactly
+  // what VerifyNode(names[i], ...) would produce.
+  sim::Task VerifyFleet(std::span<const std::string> names,
+                        VerificationResult* results);
+
+  // Drops the node's cached prepared AIK / NK.  The cache already keys on
+  // the registrar's wire bytes, so a re-registered AIK can never validate
+  // against the stale tables; this hook additionally frees the stale entry
+  // eagerly when the control plane knows the node was re-provisioned.
+  void InvalidateKeyCache(const std::string& name);
+
   // Continuous attestation loop.  Stops on violation (after running the
   // revocation flow) or StopContinuous().
   void StartContinuous(const std::string& name, sim::Duration interval);
@@ -112,6 +138,13 @@ class Verifier {
   // verification after a node's first should hit.
   uint64_t aik_cache_hits() const { return aik_cache_hits_; }
   uint64_t aik_cache_misses() const { return aik_cache_misses_; }
+  // Quotes whose signatures went through the batched multi-scalar path.
+  uint64_t batched_verifications() const { return batched_verifications_; }
+  // Cumulative VerifyBatch statistics across all fleet rounds.
+  const crypto::P256::BatchStats& batch_stats() const { return batch_stats_; }
+  // Golden boot-log cache (decode + replay once per distinct log).
+  uint64_t boot_log_cache_hits() const { return boot_log_cache_hits_; }
+  uint64_t boot_log_cache_misses() const { return boot_log_cache_misses_; }
 
  private:
   struct NodeState {
@@ -137,8 +170,39 @@ class Verifier {
     std::optional<crypto::EcPoint> nk_decoded;
   };
 
+  // A boot event log decoded and replayed exactly once per distinct wire
+  // encoding (the whole fleet boots the same golden firmware, so steady
+  // rounds hit this cache 4096 times per decode).  Entries are immutable
+  // and pointer-stable once inserted.
+  struct BootReplay {
+    tpm::EventLog log;
+    std::array<crypto::Digest, tpm::kNumPcrs> pcrs{};
+  };
+
+  // Everything a node's quote exchange produced ahead of the signature
+  // check: either an early failure (exact VerifyNode failure string) or
+  // the parsed quote plus decoded logs.
+  struct QuoteExchange {
+    std::string failure;  // nonempty = failed before the signature stage
+    std::optional<tpm::Quote> quote;
+    const BootReplay* boot = nullptr;
+    std::optional<tpm::EventLog> ima_log;
+    uint64_t ima_total = 0;
+    crypto::Bytes nonce;
+  };
+
   sim::Task VerifyNodeImpl(const std::string& name, VerificationResult* result);
   sim::Task VerifyNodeTraced(const std::string& name, VerificationResult* result);
+  // Stage A: registrar keys, nonce, quote RPC, parsing, and every check
+  // that precedes the signature verification, in VerifyNode's order.
+  sim::Task FetchQuote(const std::string& name, NodeState& state,
+                       QuoteExchange* out);
+  // Stage B: everything after the signature verdict — freshness, replay,
+  // whitelists, payload delivery, cursor commit.
+  sim::Task FinishVerification(const std::string& name, NodeState& state,
+                               QuoteExchange& ex, bool signature_ok,
+                               VerificationResult* result);
+  const BootReplay* ReplayBootLog(const crypto::Bytes& wire);
   sim::Task ContinuousLoop(std::string name, sim::Duration interval,
                            uint64_t generation);
   sim::Task Revoke(const std::string& name);
@@ -155,11 +219,20 @@ class Verifier {
   net::CallOptions call_options_{.timeout = sim::Duration::Seconds(10),
                                  .max_attempts = 2};
   int max_transient_strikes_ = 3;
+  FleetOptions fleet_options_;
+  // Keyed on SHA-256 of the log's wire bytes; std::map keeps entries
+  // pointer-stable for the QuoteExchange references.  Bounded by the number
+  // of distinct firmware images the fleet runs, not by fleet size.
+  std::map<crypto::Digest, BootReplay> boot_log_cache_;
   uint64_t verifications_ = 0;
   uint64_t violations_ = 0;
   uint64_t transient_retries_ = 0;
   uint64_t aik_cache_hits_ = 0;
   uint64_t aik_cache_misses_ = 0;
+  uint64_t batched_verifications_ = 0;
+  crypto::P256::BatchStats batch_stats_{};
+  uint64_t boot_log_cache_hits_ = 0;
+  uint64_t boot_log_cache_misses_ = 0;
 };
 
 }  // namespace bolted::keylime

@@ -50,14 +50,18 @@ sim::Task Endpoint::SendBoxed(Address dst, MessageBox message) {
   message->src = address_;
   message->dst = dst;
   ++messages_sent_;
+  // One static-guard check per frame, not one per metric operation.
+  const NetMetricIds& ids = Ids();
 
   Endpoint* receiver = network_.FindEndpoint(dst);
-  const VlanId vlan = network_.SharedVlan(address_, dst);
-  if (receiver == nullptr || vlan == 0 || !network_.LinkUp(address_) ||
-      !network_.LinkUp(dst)) {
+  const VlanId vlan =
+      receiver == nullptr
+          ? 0
+          : VlanSet::LowestShared(vlans_, receiver->vlans_);
+  if (vlan == 0 || !network_.LinkUp(address_) || !network_.LinkUp(dst)) {
     ++messages_dropped_;
     ++network_.total_drops_;
-    obs::CountById(sim_, Ids().dropped_isolation);
+    obs::CountById(sim_, ids.dropped_isolation);
     co_return;
   }
 
@@ -70,12 +74,12 @@ sim::Task Endpoint::SendBoxed(Address dst, MessageBox message) {
       ++messages_dropped_;
       ++network_.total_drops_;
       ++network_.fault_drops_;
-      obs::CountById(sim_, Ids().fault_dropped);
+      obs::CountById(sim_, ids.fault_dropped);
       co_return;
     }
     if (fault.extra_delay > sim::Duration::Zero()) {
-      obs::CountById(sim_, Ids().fault_delayed);
-      obs::RecordDurationById(sim_, Ids().fault_extra_delay, fault.extra_delay);
+      obs::CountById(sim_, ids.fault_delayed);
+      obs::RecordDurationById(sim_, ids.fault_extra_delay, fault.extra_delay);
     }
   }
 
@@ -99,11 +103,11 @@ sim::Task Endpoint::SendBoxed(Address dst, MessageBox message) {
 
   // Re-check reachability at delivery time: HIL may have moved ports (or a
   // link may have dropped) while the frame was in flight.
-  if (network_.SharedVlan(address_, dst) == 0 || !network_.LinkUp(address_) ||
-      !network_.LinkUp(dst)) {
+  if (VlanSet::LowestShared(vlans_, receiver->vlans_) == 0 ||
+      !network_.LinkUp(address_) || !network_.LinkUp(dst)) {
     ++messages_dropped_;
     ++network_.total_drops_;
-    obs::CountById(sim_, Ids().dropped_in_flight);
+    obs::CountById(sim_, ids.dropped_in_flight);
     co_return;
   }
 #if BOLTED_OBS
@@ -113,8 +117,8 @@ sim::Task Endpoint::SendBoxed(Address dst, MessageBox message) {
   // block neither hashes nor builds metric-name strings.
   if (obs::Registry* r = sim_.observer()) {
     const auto bytes = message->EffectiveWireBytes();
-    r->AddById(Ids().forwarded, 1 + static_cast<uint64_t>(fault.duplicates));
-    r->RecordById(Ids().frame_bytes, bytes);
+    r->AddById(ids.forwarded, 1 + static_cast<uint64_t>(fault.duplicates));
+    r->RecordById(ids.frame_bytes, bytes);
     r->AddById(tx_bytes_metric_, bytes);
     r->AddById(receiver->rx_bytes_metric_,
                bytes * (1 + static_cast<uint64_t>(fault.duplicates)));
@@ -124,7 +128,7 @@ sim::Task Endpoint::SendBoxed(Address dst, MessageBox message) {
   // is provider-visible traffic, so the sniffer sees all of them.
   for (int copy = 0; copy < fault.duplicates; ++copy) {
     ++network_.fault_duplicates_;
-    obs::CountById(sim_, Ids().fault_duplicated);
+    obs::CountById(sim_, ids.fault_duplicated);
     if (network_.sniffer_) {
       network_.sniffer_(vlan, *message);
     }
@@ -137,11 +141,13 @@ sim::Task Endpoint::SendBoxed(Address dst, MessageBox message) {
 }
 
 void Network::SetLinkUp(Address endpoint, bool up) {
-  if (up) {
-    down_links_.erase(endpoint);
-  } else {
-    down_links_.insert(endpoint);
+  if (endpoint >= link_down_.size()) {
+    if (up) {
+      return;  // unknown links default to up
+    }
+    link_down_.resize(endpoint + 1, 0);
   }
+  link_down_[endpoint] = up ? 0 : 1;
 }
 
 void Endpoint::Post(Address dst, Message message) {
@@ -168,13 +174,23 @@ Endpoint& Network::CreateEndpoint(const std::string& name,
   // emplace keeps the first binding, so duplicate names keep resolving to
   // the earliest-created endpoint (what the old linear scan returned).
   endpoints_by_name_.emplace(name, address);
-  endpoint_switch_[address] = 0;
+  // Index slot `address` exactly (SetLinkUp may have grown link_down_ past
+  // the created range already, so push_back would misalign).
+  if (endpoint_index_.size() <= address) {
+    endpoint_index_.resize(address + 1, nullptr);
+    switch_index_.resize(address + 1, 0);
+  }
+  if (link_down_.size() <= address) {
+    link_down_.resize(address + 1, 0);
+  }
+  endpoint_index_[address] = &ref;
+  switch_index_[address] = 0;
   return ref;
 }
 
 Endpoint& Network::CreateEndpointOnSwitch(const std::string& name, int switch_id) {
   Endpoint& endpoint = CreateEndpoint(name);
-  endpoint_switch_[endpoint.address()] = switch_id;
+  switch_index_[endpoint.address()] = switch_id;
   return endpoint;
 }
 
@@ -190,17 +206,17 @@ SharedResource& Network::uplink(int switch_id) {
 }
 
 void Network::AssignToSwitch(Address endpoint, int switch_id) {
-  endpoint_switch_[endpoint] = switch_id;
+  if (endpoint < switch_index_.size()) {
+    switch_index_[endpoint] = switch_id;
+  }
 }
 
 int Network::SwitchOf(Address endpoint) const {
-  const auto it = endpoint_switch_.find(endpoint);
-  return it == endpoint_switch_.end() ? 0 : it->second;
+  return endpoint < switch_index_.size() ? switch_index_[endpoint] : 0;
 }
 
 Endpoint* Network::FindEndpoint(Address address) {
-  const auto it = endpoints_.find(address);
-  return it == endpoints_.end() ? nullptr : it->second.get();
+  return address < endpoint_index_.size() ? endpoint_index_[address] : nullptr;
 }
 
 Endpoint* Network::FindByName(const std::string& name) {
@@ -231,12 +247,12 @@ bool Network::Reachable(Address a, Address b) const {
 }
 
 VlanId Network::SharedVlan(Address a, Address b) const {
-  const auto ita = endpoints_.find(a);
-  const auto itb = endpoints_.find(b);
-  if (ita == endpoints_.end() || itb == endpoints_.end()) {
+  if (a >= endpoint_index_.size() || b >= endpoint_index_.size() ||
+      endpoint_index_[a] == nullptr || endpoint_index_[b] == nullptr) {
     return 0;
   }
-  return VlanSet::LowestShared(ita->second->vlans(), itb->second->vlans());
+  return VlanSet::LowestShared(endpoint_index_[a]->vlans(),
+                               endpoint_index_[b]->vlans());
 }
 
 }  // namespace bolted::net

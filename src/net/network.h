@@ -222,7 +222,9 @@ class Network {
   // port neither sends nor receives; frames in flight when a link drops
   // are lost at delivery time.  Links start up.
   void SetLinkUp(Address endpoint, bool up);
-  bool LinkUp(Address endpoint) const { return !down_links_.contains(endpoint); }
+  bool LinkUp(Address endpoint) const {
+    return endpoint >= link_down_.size() || link_down_[endpoint] == 0;
+  }
 
   sim::Duration propagation_latency() const { return latency_; }
   sim::Simulation& simulation() { return sim_; }
@@ -239,14 +241,18 @@ class Network {
   double default_bandwidth_;
   Address next_address_ = 1;
   std::map<Address, std::unique_ptr<Endpoint>> endpoints_;
+  // Addresses are handed out densely from 1, so the per-frame lookups
+  // (endpoint, switch, link state — two of each per frame) are flat array
+  // indexing instead of tree walks.  Index = address; slot 0 unused.
+  std::vector<Endpoint*> endpoint_index_{nullptr};
+  std::vector<int> switch_index_{0};
+  std::vector<uint8_t> link_down_{0};
   // Name -> address index for FindByName; heterogeneous compare so a
   // string_view lookup needs no temporary.
   std::map<std::string, Address, std::less<>> endpoints_by_name_;
-  std::map<Address, int> endpoint_switch_;
   std::vector<std::unique_ptr<SharedResource>> uplinks_;  // switch 1..N
   Sniffer sniffer_;
   FaultFilter fault_filter_;
-  std::set<Address> down_links_;
   uint64_t total_drops_ = 0;
   uint64_t fault_drops_ = 0;
   uint64_t fault_duplicates_ = 0;

@@ -1,5 +1,6 @@
 #include "src/net/resource.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <utility>
@@ -20,17 +21,9 @@ SharedResource::~SharedResource() {
 }
 
 void SharedResource::AdvanceTo(sim::Time now) {
-  if (now <= last_update_ || jobs_.empty()) {
-    last_update_ = now;
-    return;
-  }
-  const double elapsed = (now - last_update_).ToSecondsF();
-  const double rate = capacity_ / static_cast<double>(jobs_.size());
-  const double served = rate * elapsed;
-  for (Job& job : jobs_) {
-    const double delta = std::min(job.remaining, served);
-    job.remaining -= delta;
-    total_served_ += delta;
+  if (now > last_update_ && !jobs_.empty()) {
+    const double elapsed = (now - last_update_).ToSecondsF();
+    v_ += capacity_ * elapsed / static_cast<double>(jobs_.size());
   }
   last_update_ = now;
 }
@@ -38,22 +31,21 @@ void SharedResource::AdvanceTo(sim::Time now) {
 void SharedResource::Sync() {
   AdvanceTo(sim_.now());
 
-  // Complete every drained job.  The threshold is relative to capacity:
-  // anything under a picosecond of work counts as done, which (together
-  // with the 1 ns minimum reschedule below) guarantees forward progress
-  // despite floating-point residue.  Survivors compact in place, keeping
-  // arrival order (Set() only schedules the resume, so signalling before
-  // compaction is safe).
+  // Complete every drained job, earliest virtual finish first (ties in
+  // arrival order).  The threshold is relative to capacity: anything under
+  // a picosecond of work counts as done, which (together with the 1 ns
+  // minimum reschedule below) guarantees forward progress despite
+  // floating-point residue.  Set() only schedules the resume, so the
+  // frame holding the job's Event stays alive until after the pop.
   const double epsilon = capacity_ * 1e-12;
-  size_t kept = 0;
-  for (size_t i = 0; i < jobs_.size(); ++i) {
-    if (jobs_[i].remaining <= epsilon) {
-      jobs_[i].done->Set();
-    } else {
-      jobs_[kept++] = jobs_[i];
-    }
+  while (!jobs_.empty() && jobs_.front().finish_v - v_ <= epsilon) {
+    Job& job = jobs_.front();
+    job.done->Set();
+    completed_ += job.finish_v - job.start_v;
+    start_v_sum_ -= job.start_v;
+    std::pop_heap(jobs_.begin(), jobs_.end(), JobLater{});
+    jobs_.pop_back();
   }
-  jobs_.resize(kept);
 
   if (has_pending_event_) {
     sim_.Cancel(pending_event_);
@@ -63,10 +55,7 @@ void SharedResource::Sync() {
     return;
   }
 
-  double min_remaining = jobs_.front().remaining;
-  for (const Job& job : jobs_) {
-    min_remaining = std::min(min_remaining, job.remaining);
-  }
+  const double min_remaining = jobs_.front().finish_v - v_;
   const double rate = capacity_ / static_cast<double>(jobs_.size());
   const int64_t delay_ns = std::max<int64_t>(
       1, static_cast<int64_t>(min_remaining / rate * 1e9));
@@ -87,7 +76,9 @@ sim::Task SharedResource::Consume(double amount) {
   // The completion event lives in this frame: the job holds a pointer to
   // it, and the frame stays suspended (alive) until the event fires.
   sim::Event done(sim_);
-  jobs_.push_back(Job{amount, &done});
+  jobs_.push_back(Job{v_ + amount, v_, next_seq_++, &done});
+  std::push_heap(jobs_.begin(), jobs_.end(), JobLater{});
+  start_v_sum_ += v_;
   Sync();
   co_await done;
 }

@@ -41,34 +41,54 @@ class SharedResource {
   size_t active_consumers() const { return jobs_.size(); }
   double capacity_per_second() const { return capacity_; }
   const std::string& name() const { return name_; }
-  // Total units served since construction.
-  double total_served() const { return total_served_; }
+  // Total units served since construction (partial service of in-flight
+  // jobs included: each active job has received v_ - start_v units).
+  double total_served() const {
+    return completed_ + static_cast<double>(jobs_.size()) * v_ - start_v_sum_;
+  }
 
  private:
+  // Processor sharing in virtual time: v_ counts units served *per job*
+  // since construction (dv/dt = capacity / active jobs), so a job arriving
+  // at virtual time s with demand a finishes exactly when v_ reaches
+  // s + a.  Advancing the model is O(1) and a completion is a heap pop —
+  // the per-event cost no longer scales with the number of concurrent
+  // flows, which is what keeps fleet-size fan-in (thousands of quote
+  // responses converging on one verifier NIC) linear instead of
+  // quadratic per poll round.
   struct Job {
-    double remaining = 0;
+    double finish_v = 0;  // start_v + demand
+    double start_v = 0;
+    uint64_t seq = 0;  // arrival order; tie-break for simultaneous finishes
     // Points into the consuming coroutine's frame (Consume's local
     // Event).  Valid until that frame resumes, which cannot happen before
-    // done->Set() — Sync() signals and erases the job in one pass, and
-    // resumption goes through the event queue.
+    // done->Set() — Sync() signals before popping, and resumption goes
+    // through the event queue.
     sim::Event* done = nullptr;
   };
+  struct JobLater {
+    bool operator()(const Job& a, const Job& b) const {
+      return a.finish_v != b.finish_v ? a.finish_v > b.finish_v : a.seq > b.seq;
+    }
+  };
 
-  // Advances all jobs to the current time and reschedules the next
-  // completion event.
+  // Advances virtual time to now, completes drained jobs, and reschedules
+  // the next completion event.
   void Sync();
   void AdvanceTo(sim::Time now);
 
   sim::Simulation& sim_;
   double capacity_;
   std::string name_;
-  // Contiguous for the fluid-model sweeps; completion compacts in place
-  // preserving arrival order.
+  // Min-heap on (finish_v, seq).
   std::vector<Job> jobs_;
   sim::Time last_update_;
   sim::EventId pending_event_ = 0;
   bool has_pending_event_ = false;
-  double total_served_ = 0;
+  double v_ = 0;             // virtual units served per job so far
+  uint64_t next_seq_ = 0;
+  double completed_ = 0;     // total demand of finished jobs
+  double start_v_sum_ = 0;   // sum of start_v over active jobs
 };
 
 // Consumes `amount` from several resources concurrently and completes when

@@ -94,6 +94,7 @@ class Simulation {
 
  private:
   void ReapTasks();
+  void ReapTasksIncremental();
 
   Time now_;
   uint64_t next_seq_ = 0;
@@ -105,6 +106,10 @@ class Simulation {
   uint64_t trace_digest_ = 0x626f6c746564u;
   obs::Registry* observer_ = nullptr;
   std::vector<Task> live_tasks_;
+  // Wrap-around cursor for ReapTasksIncremental, so the periodic in-run
+  // reap scans a bounded slice of live_tasks_ instead of the whole vector
+  // (a fleet-size poll keeps thousands of coroutines live at once).
+  size_t reap_cursor_ = 0;
   Rng rng_;
 };
 

@@ -48,6 +48,10 @@ crypto::Bytes Quote::Serialize() const {
     crypto::Append(out, crypto::DigestView(value));
   }
   crypto::Append(out, signature.Encode());
+  if (r_hint.has_value()) {
+    crypto::Append(out, r_hint->x.ToBytes());
+    crypto::Append(out, r_hint->y.ToBytes());
+  }
   return out;
 }
 
@@ -70,22 +74,33 @@ std::optional<Quote> Quote::Deserialize(crypto::ByteView data) {
   quote.nonce.assign(data.begin(), data.begin() + nonce_size);
   data = data.subspan(nonce_size);
 
+  // Trailer is the 64-byte signature, optionally followed by a 64-byte
+  // nonce-point hint (x || y) for batched verification.
   uint32_t value_count = 0;
   if (!read_u32(quote.pcr_mask) || !read_u32(value_count) ||
-      value_count > kNumPcrs || data.size() != value_count * 32 + 64) {
+      value_count > kNumPcrs ||
+      (data.size() != value_count * 32 + 64 &&
+       data.size() != value_count * 32 + 128)) {
     return std::nullopt;
   }
+  const bool has_hint = data.size() == value_count * 32 + 128;
   for (uint32_t i = 0; i < value_count; ++i) {
     crypto::Digest value;
     std::copy_n(data.begin(), 32, value.begin());
     data = data.subspan(32);
     quote.pcr_values.push_back(value);
   }
-  const auto signature = crypto::EcdsaSignature::Decode(data);
+  const auto signature = crypto::EcdsaSignature::Decode(data.subspan(0, 64));
   if (!signature) {
     return std::nullopt;
   }
   quote.signature = *signature;
+  if (has_hint) {
+    crypto::EcPoint hint;
+    hint.x = crypto::U256::FromBytes(data.subspan(64, 32));
+    hint.y = crypto::U256::FromBytes(data.subspan(96, 32));
+    quote.r_hint = hint;
+  }
   return quote;
 }
 
@@ -174,8 +189,12 @@ Quote Tpm::MakeQuote(crypto::ByteView nonce, uint32_t pcr_mask) const {
       quote.pcr_values.push_back(pcrs_[static_cast<size_t>(i)]);
     }
   }
-  quote.signature =
-      crypto::P256::Instance().Sign(*aik_private_, quote.MessageDigest());
+  // Sign in the batch-friendly even-y form and ship the nonce point as the
+  // verifier's batch hint (the digest does not cover it; see Quote::r_hint).
+  crypto::EcPoint nonce_point;
+  quote.signature = crypto::P256::Instance().Sign(
+      *aik_private_, quote.MessageDigest(), &nonce_point);
+  quote.r_hint = nonce_point;
   return quote;
 }
 
@@ -205,6 +224,26 @@ bool Tpm::VerifyQuote(const Quote& quote,
   return QuoteShapeOk(quote) &&
          crypto::P256::Instance().Verify(aik_public, quote.MessageDigest(),
                                          quote.signature);
+}
+
+bool Tpm::VerifyQuoteBatch(std::span<const QuoteBatchEntry> entries, bool* ok,
+                           crypto::P256::BatchStats* stats) {
+  const size_t n = entries.size();
+  std::vector<crypto::P256::BatchEntry> batch(n);
+  for (size_t i = 0; i < n; ++i) {
+    const QuoteBatchEntry& e = entries[i];
+    ok[i] = false;
+    if (e.quote == nullptr || e.aik == nullptr || !QuoteShapeOk(*e.quote)) {
+      continue;  // key stays null; VerifyBatch reports it false
+    }
+    batch[i].key = e.aik;
+    batch[i].message_hash = e.quote->MessageDigest();
+    batch[i].signature = e.quote->signature;
+    if (e.quote->r_hint.has_value()) {
+      batch[i].r_hint = &*e.quote->r_hint;
+    }
+  }
+  return crypto::P256::Instance().VerifyBatch(batch, ok, stats);
 }
 
 crypto::Bytes MakeCredential(const crypto::EcPoint& ek_public,

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -65,6 +66,12 @@ struct Quote {
   uint32_t pcr_mask = 0;
   std::vector<crypto::Digest> pcr_values;  // ascending PCR index order
   crypto::EcdsaSignature signature;        // by the quoting AIK
+  // Nonce point R = k·G of the signature, carried as an UNTRUSTED batch-
+  // verification accelerator hint (saves the verifier a square root per
+  // quote).  Not covered by the signature — VerifyQuoteBatch validates it
+  // before use and a corrupted hint can never flip a verdict.  Optional on
+  // the wire for compatibility with hint-less quotes.
+  std::optional<crypto::EcPoint> r_hint;
 
   // Digest the signature covers.
   crypto::Digest MessageDigest() const;
@@ -117,6 +124,20 @@ class Tpm {
   static bool VerifyQuote(const Quote& quote, const crypto::EcPoint& aik_public);
   static bool VerifyQuote(const Quote& quote,
                           const crypto::P256::PreparedKey& aik_public);
+
+  // Fleet-rate path: verifies many quotes in one multi-scalar batched
+  // signature check (P256::VerifyBatch), sharing one doubling chain and one
+  // modular inversion across the whole batch and consuming each quote's
+  // r_hint when it validates.  ok[i] is exactly what VerifyQuote would
+  // return for entries[i] — a bad quote in the batch is bisected out and
+  // blamed individually, never masked and never contagious.  Returns true
+  // iff every entry verified.
+  struct QuoteBatchEntry {
+    const Quote* quote = nullptr;
+    const crypto::P256::PreparedKey* aik = nullptr;
+  };
+  static bool VerifyQuoteBatch(std::span<const QuoteBatchEntry> entries, bool* ok,
+                               crypto::P256::BatchStats* stats = nullptr);
 
   // TPM2_ActivateCredential: recovers the secret from MakeCredential's
   // blob iff this TPM holds the EK private key and its current AIK matches

@@ -237,10 +237,18 @@ TEST_P(QuoteFuzzSweep, CorruptedQuotesNeverVerify) {
   }
   const auto parsed = tpm::Quote::Deserialize(corrupted);
   if (parsed.has_value()) {
-    // Parsing may succeed, but verification must fail unless the bytes
-    // happen to be identical (flips can cancel; guard against that).
-    if (corrupted != wire) {
+    // Parsing may succeed, but verification must fail whenever any
+    // signature-covered byte changed (flips can cancel; guard against
+    // that).  The trailing 64 bytes are the untrusted batch-verification
+    // hint: corrupting only them must NOT flip the verdict either way.
+    const size_t signed_len = wire.size() - 64;
+    const bool signed_bytes_differ = !std::equal(
+        wire.begin(), wire.begin() + static_cast<ptrdiff_t>(signed_len),
+        corrupted.begin());
+    if (signed_bytes_differ) {
       EXPECT_FALSE(tpm::Tpm::VerifyQuote(*parsed, machine_tpm.aik_public()));
+    } else if (corrupted != wire) {
+      EXPECT_TRUE(tpm::Tpm::VerifyQuote(*parsed, machine_tpm.aik_public()));
     }
   }
 }
