@@ -23,6 +23,7 @@
 //    only between untraced runs.)
 
 #include <chrono>
+#include <thread>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -231,7 +232,10 @@ int main(int argc, char** argv) {
       }
       sweep_rows.push_back({b, 1, ms});
     }
-    const int worker_counts[] = {2, 8};
+    // Worker rounds run the signature shards on the persistent
+    // sim::WorkerPool (real shard cores when the host has them; on a
+    // single-core host the rows measure pool overhead honestly).
+    const int worker_counts[] = {2, 4, 8};
     for (const int w : worker_counts) {
       verifier.SetFleetOptions({.workers = w, .batch_size = batch_size});
       const double ms = poll_round();
@@ -258,6 +262,7 @@ int main(int argc, char** argv) {
                "  \"steady_rounds\": %d,\n"
                "  \"batch_size\": %d,\n"
                "  \"workers\": %d,\n"
+               "  \"host_cores\": %u,\n"
                "  \"first_round_wall_ms\": %.3f,\n"
                "  \"steady_round_wall_ms_mean\": %.3f,\n"
                "  \"steady_round_wall_ms_max\": %.3f,\n"
@@ -275,7 +280,8 @@ int main(int argc, char** argv) {
                "  \"aik_cache_misses\": %llu,\n"
                "  \"boot_log_cache_hits\": %llu,\n"
                "  \"boot_log_cache_misses\": %llu,\n",
-               kFleetSize, steady_rounds, batch_size, workers, first_round_ms,
+               kFleetSize, steady_rounds, batch_size, workers,
+               std::thread::hardware_concurrency(), first_round_ms,
                steady_mean_ms, steady_max_ms, per_node_us, legacy_ms,
                static_cast<unsigned long long>(steady_events),
                events_per_second, ns_per_event,

@@ -1,0 +1,227 @@
+// Sharded-simulation throughput: one fleet, swept over shard counts.
+//
+// A 4096-node datacenter (64 racks x 64 nodes) runs a steady control-
+// plane workload: every node fires a local event each 5-15 us (rng
+// jitter), and one in eight of those sends a 128-byte frame to a random
+// other rack.  The identical seeded scenario is executed with shards (and
+// worker threads) in {1, 2, 4, 8}; shards=1/workers=1 is the
+// single-threaded oracle, and every other configuration must reproduce
+// its per-rack trace digests exactly — a digest mismatch is a correctness
+// bug and the bench fails, not a performance result.
+//
+// The headline numbers are host-side events/second per shard count and
+// the speedup_shardsN ratios.  Parallel speedup obviously requires
+// cores: the JSON carries "host_cores" so the regression guard
+// (scripts/bench_guard.py) only enforces the >= 3x @ 4 shards bar on
+// hosts with at least 4 cores.  On smaller hosts the sweep still runs —
+// the digest cross-check and the (honest) thread-overhead numbers are
+// worth having everywhere.
+//
+// Usage: fleet_sharding [output-path] [--nodes=N] [--horizon-ms=M]
+//   (default: 4096 nodes, 5 simulated ms, writes BENCH_sharding.json)
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/shard.h"
+#include "src/sim/simulation.h"
+
+namespace {
+
+using bolted::sim::CrossShardFrame;
+using bolted::sim::Duration;
+using bolted::sim::Rack;
+using bolted::sim::ShardedFleet;
+using bolted::sim::ShardOptions;
+using bolted::sim::Time;
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint64_t kSeed = 0x73686172646564u;  // "sharded"
+
+struct Config {
+  uint32_t racks = 64;
+  uint32_t nodes_per_rack = 64;
+  int64_t horizon_ns = 5'000'000;  // 5 simulated ms
+};
+
+struct RunResult {
+  uint64_t events = 0;
+  uint64_t frames = 0;
+  uint64_t windows = 0;
+  uint64_t spills = 0;
+  double wall_ms = 0;
+  uint64_t fleet_digest = 0;
+  std::vector<uint64_t> rack_digests;
+};
+
+// Self-rescheduling per-node control loop.  All rng draws come from the
+// owning rack's seeded stream inside the rack's own event executions, so
+// the schedule is a pure function of (seed, rack) — shard/worker layout
+// cannot perturb it.
+void NodeStep(ShardedFleet& fleet, Rack& rack, uint32_t node) {
+  auto& rng = rack.sim().rng();
+  if (rng.NextBelow(8) == 0) {
+    const uint32_t racks = fleet.num_racks();
+    const uint32_t dst =
+        (rack.index() + 1 + static_cast<uint32_t>(rng.NextBelow(racks - 1))) %
+        racks;
+    rack.Send(dst, fleet.lookahead() + Duration::Nanoseconds(
+                       static_cast<int64_t>(rng.NextBelow(2000))),
+              /*kind=*/1, /*bytes=*/128, /*payload0=*/node);
+  }
+  const auto next = static_cast<int64_t>(5000 + rng.NextBelow(10000));
+  rack.sim().Schedule(Duration::Nanoseconds(next),
+                      [&fleet, &rack, node] { NodeStep(fleet, rack, node); });
+}
+
+RunResult RunFleet(const Config& config, uint32_t shards, uint32_t workers) {
+  ShardOptions options;
+  options.racks = config.racks;
+  options.shards = shards;
+  options.workers = workers;
+  options.seed = kSeed;
+  options.lookahead = Duration::Microseconds(50);
+  options.pin_workers = true;
+  ShardedFleet fleet(options);
+
+  // Frame ingress costs the destination rack one follow-up event (the
+  // "NIC interrupt" of the model).
+  fleet.set_frame_handler([](Rack& rack, const CrossShardFrame&) {
+    rack.sim().Schedule(Duration::Microseconds(2), [] {});
+  });
+
+  for (uint32_t r = 0; r < config.racks; ++r) {
+    Rack& rack = fleet.rack(r);
+    for (uint32_t n = 0; n < config.nodes_per_rack; ++n) {
+      // Staggered starts so rack queues are never in lockstep.
+      rack.sim().Schedule(Duration::Nanoseconds(1 + (n * 137) % 5000),
+                          [&fleet, &rack, n] { NodeStep(fleet, rack, n); });
+    }
+  }
+
+  const auto start = Clock::now();
+  fleet.RunUntil(Time::FromNanoseconds(config.horizon_ns));
+  RunResult result;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  result.events = fleet.events_processed();
+  result.frames = fleet.frames_routed();
+  result.windows = fleet.windows();
+  result.spills = fleet.ring_spills();
+  result.fleet_digest = fleet.fleet_digest();
+  for (uint32_t r = 0; r < config.racks; ++r) {
+    result.rack_digests.push_back(fleet.rack_digest(r));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_sharding.json";
+  uint32_t nodes = 4096;
+  int64_t horizon_ms = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--nodes=", 8) == 0 && argv[i][8] != '\0') {
+      nodes = static_cast<uint32_t>(std::strtoul(argv[i] + 8, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--horizon-ms=", 13) == 0 &&
+               argv[i][13] != '\0') {
+      horizon_ms = std::strtol(argv[i] + 13, nullptr, 10);
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  Config config;
+  // The shard sweep tops out at 8, so keep at least 8 racks; beyond that,
+  // 64 nodes per rack (the paper's rack size).
+  config.racks = nodes / 64 < 8 ? 8 : nodes / 64;
+  config.nodes_per_rack = nodes / config.racks;
+  config.horizon_ns = horizon_ms * 1'000'000;
+  const uint32_t total_nodes = config.racks * config.nodes_per_rack;
+
+  const uint32_t shard_counts[] = {1, 2, 4, 8};
+  std::vector<RunResult> results;
+  for (const uint32_t shards : shard_counts) {
+    // Workers scale with shards: the sweep measures the whole parallel
+    // runtime (threads included), not just the partitioning.
+    results.push_back(RunFleet(config, shards, shards));
+  }
+
+  // Digest cross-check against the shards=1/workers=1 oracle.
+  const RunResult& oracle = results[0];
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (results[i].fleet_digest != oracle.fleet_digest ||
+        results[i].rack_digests != oracle.rack_digests ||
+        results[i].events != oracle.events) {
+      std::fprintf(stderr,
+                   "shards=%u diverged from oracle (events %" PRIu64
+                   " vs %" PRIu64 ", fleet digest %016" PRIx64
+                   " vs %016" PRIx64 ")\n",
+                   shard_counts[i], results[i].events, oracle.events,
+                   results[i].fleet_digest, oracle.fleet_digest);
+      return 1;
+    }
+  }
+
+  std::string json = "{\n";
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "  \"nodes\": %u,\n"
+                "  \"racks\": %u,\n"
+                "  \"host_cores\": %u,\n"
+                "  \"sharding_horizon_ms\": %" PRId64 ",\n",
+                total_nodes, config.racks,
+                std::thread::hardware_concurrency(), horizon_ms);
+  json += buf;
+  const double oracle_eps =
+      static_cast<double>(oracle.events) / (oracle.wall_ms / 1e3);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    const double eps = static_cast<double>(r.events) / (r.wall_ms / 1e3);
+    const double ns_per_event =
+        r.wall_ms * 1e6 / static_cast<double>(r.events);
+    std::snprintf(buf, sizeof(buf),
+                  "  \"sharding_shards%u_events\": %" PRIu64 ",\n"
+                  "  \"sharding_shards%u_frames_routed\": %" PRIu64 ",\n"
+                  "  \"sharding_shards%u_windows\": %" PRIu64 ",\n"
+                  "  \"sharding_shards%u_ring_spills\": %" PRIu64 ",\n"
+                  "  \"sharding_shards%u_wall_ms\": %.3f,\n"
+                  "  \"sharding_shards%u_events_per_second\": %.0f,\n"
+                  "  \"sharding_shards%u_ns_per_event\": %.1f,\n"
+                  "  \"sharding_speedup_shards%u\": %.3f%s\n",
+                  shard_counts[i], r.events, shard_counts[i], r.frames,
+                  shard_counts[i], r.windows, shard_counts[i], r.spills,
+                  shard_counts[i], r.wall_ms, shard_counts[i], eps,
+                  shard_counts[i], ns_per_event, shard_counts[i],
+                  oracle_eps > 0 ? eps / oracle_eps : 0.0,
+                  i + 1 == results.size() ? "" : ",");
+    json += buf;
+  }
+  json += "}\n";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::printf("shards=%u  %9" PRIu64 " events  %8" PRIu64
+                " frames  %6" PRIu64 " windows  %8.1f ms  %.2fx\n",
+                shard_counts[i], r.events, r.frames, r.windows, r.wall_ms,
+                oracle.wall_ms > 0 ? oracle.wall_ms / r.wall_ms : 0.0);
+  }
+  std::printf("digest %016" PRIx64 " (all shard counts identical)\nwrote %s\n",
+              oracle.fleet_digest, out_path);
+  return 0;
+}

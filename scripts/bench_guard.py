@@ -5,11 +5,18 @@ Usage: bench_guard.py BASELINE FRESH [BASELINE FRESH ...]
 
 Each argument pair names a committed baseline JSON at the repo root and a
 freshly generated JSON from the same bench binary.  Every key containing
-"wall_ms" is compared, along with the throughput keys "ns_per_event"
-(lower is better) and "events_per_second" (higher is better); a fresh
-value more than 25% worse than the baseline fails the guard.  Cold-start
-keys (first_round_*, build_*) are skipped — they measure one-off setup,
-not the steady state the guard protects.
+"wall_ms" is compared, along with throughput keys ending in
+"ns_per_event" (lower is better) or "events_per_second" (higher is
+better); a fresh value more than 25% worse than the baseline fails the
+guard.  Cold-start keys (first_round_*, build_*) are skipped — they
+measure one-off setup, not the steady state the guard protects.
+
+Documents from the sharding sweep additionally carry speedup keys
+("sharding_speedup_shards4"): on hosts with at least 4 cores the guard
+requires >= 3x events/second at 4 shards vs the single-shard oracle.
+The bar is gated on the fresh run's "host_cores" — parallel speedup is
+not a meaningful demand on a 1- or 2-core machine, where the sweep still
+runs for its digest cross-check.
 
 Baselines are regenerated manually (on the machine that committed them),
 so the comparison is same-host: 25% of headroom absorbs normal jitter
@@ -21,19 +28,46 @@ import sys
 
 THRESHOLD = 1.25
 SKIP_PREFIXES = ("first_round", "build_")
-# Keys where a HIGHER fresh value is an improvement, not a regression:
-# the guard inverts the ratio so >1.25 always means "25% worse".
+# Key suffixes where a HIGHER fresh value is an improvement, not a
+# regression: the guard inverts the ratio so >1.25 always means
+# "25% worse".
 HIGHER_IS_BETTER = ("events_per_second",)
+# Minimum parallel speedup at 4 shards, enforced only when the fresh run's
+# host has at least MIN_CORES_FOR_SPEEDUP cores.
+SPEEDUP_KEY = "sharding_speedup_shards4"
+MIN_SPEEDUP = 3.0
+MIN_CORES_FOR_SPEEDUP = 4
 
 
 def wall_keys(doc):
     return {
         key: value
         for key, value in doc.items()
-        if ("wall_ms" in key or key in ("ns_per_event", "events_per_second"))
+        if ("wall_ms" in key
+            or key.endswith(("ns_per_event", "events_per_second")))
         and not key.startswith(SKIP_PREFIXES)
         and isinstance(value, (int, float))
     }
+
+
+def check_speedup(fresh_path, fresh, failures):
+    """Core-gated floor on the 4-shard parallel speedup."""
+    if SPEEDUP_KEY not in fresh:
+        return
+    cores = fresh.get("host_cores", 0)
+    speedup = fresh[SPEEDUP_KEY]
+    if cores < MIN_CORES_FOR_SPEEDUP:
+        print(f"  skip {fresh_path}:{SPEEDUP_KEY}: {speedup:.2f}x "
+              f"(host has {cores} cores, floor needs >= "
+              f"{MIN_CORES_FOR_SPEEDUP})")
+        return
+    status = "FAIL" if speedup < MIN_SPEEDUP else "ok"
+    print(f"  {status:4} {fresh_path}:{SPEEDUP_KEY}: {speedup:.2f}x "
+          f"(floor {MIN_SPEEDUP}x on {cores} cores)")
+    if speedup < MIN_SPEEDUP:
+        failures.append(
+            f"{fresh_path}:{SPEEDUP_KEY} {speedup:.2f}x below "
+            f"{MIN_SPEEDUP}x floor")
 
 
 def main(argv):
@@ -58,7 +92,7 @@ def main(argv):
         for key, base_value in sorted(base_keys.items()):
             if key not in fresh_keys or base_value <= 0 or fresh_keys[key] <= 0:
                 continue
-            if key in HIGHER_IS_BETTER:
+            if key.endswith(HIGHER_IS_BETTER):
                 ratio = base_value / fresh_keys[key]
             else:
                 ratio = fresh_keys[key] / base_value
@@ -67,6 +101,7 @@ def main(argv):
                   f"{base_value:.1f} -> {fresh_keys[key]:.1f} ({ratio:.2f}x)")
             if ratio > THRESHOLD:
                 failures.append(f"{baseline_path}:{key} regressed {ratio:.2f}x")
+        check_speedup(fresh_path, fresh, failures)
 
     if failures:
         print("bench regression guard FAILED:", file=sys.stderr)

@@ -3,20 +3,23 @@
 #
 #   scripts/check.sh          # plain build + full test suite
 #   scripts/check.sh --asan   # additionally build/test with ASan + UBSan
+#   scripts/check.sh --tsan   # additionally build/run the sharding suite under TSan
 #   scripts/check.sh --bench  # additionally smoke-run the JSON bench runners
 #
 # Flags combine (e.g. `scripts/check.sh --asan --bench`).  The sanitizer
-# build lives in build-asan/ so it never disturbs the regular build tree
-# (benchmarks must not run instrumented).
+# builds live in build-asan/ and build-tsan/ so they never disturb the
+# regular build tree (benchmarks must not run instrumented).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 want_asan=0
+want_tsan=0
 want_bench=0
 for arg in "$@"; do
   case "${arg}" in
     --asan) want_asan=1 ;;
+    --tsan) want_tsan=1 ;;
     --bench) want_bench=1 ;;
     *)
       echo "unknown flag: ${arg}" >&2
@@ -46,6 +49,9 @@ ctest --test-dir build --output-on-failure -L obs
 echo "== tier-1: batched attestation suite (ctest -L attestation) =="
 ctest --test-dir build --output-on-failure -L attestation
 
+echo "== tier-1: sharded-runtime suite (ctest -L sharding) =="
+ctest --test-dir build --output-on-failure -L sharding
+
 if [[ "${want_asan}" == 1 ]]; then
   echo "== sanitizers: ASan + UBSan =="
   run_suite build-asan -DBOLTED_SANITIZE=ON
@@ -69,6 +75,19 @@ if [[ "${want_asan}" == 1 ]]; then
   ctest --test-dir build-asan --output-on-failure -L attestation
 fi
 
+if [[ "${want_tsan}" == 1 ]]; then
+  echo "== sanitizers: sharded-runtime suite under TSan =="
+  # TSan is the sanitizer that matters for the sharded runtime: the SPSC
+  # rings, barrier phases, and worker pool are the only cross-thread code
+  # in the tree, and the sharding suite drives all of them (plus a
+  # multi-threaded fleet_sharding sweep for the window loop at scale).
+  cmake -B build-tsan -S . -DBOLTED_SANITIZE=thread
+  cmake --build build-tsan -j --target sharding_test fleet_sharding
+  ./build-tsan/tests/sharding_test
+  ./build-tsan/bench/fleet_sharding --nodes=512 --horizon-ms=1 \
+    /tmp/bolted_tsan_bench_sharding.json
+fi
+
 if [[ "${want_bench}" == 1 ]]; then
   echo "== bench smoke: ctest -L bench_smoke (uninstrumented build) =="
   ctest --test-dir build --output-on-failure -L bench_smoke
@@ -80,10 +99,12 @@ if [[ "${want_bench}" == 1 ]]; then
   ./build/bench/bench_sim_json build/bench/BENCH_sim.fresh.json
   ./build/bench/fleet_attestation build/bench/BENCH_attestation.fresh.json
   ./build/bench/fleet_provisioning build/bench/BENCH_provisioning.fresh.json
+  ./build/bench/fleet_sharding build/bench/BENCH_sharding.fresh.json
   python3 scripts/bench_guard.py \
     BENCH_sim.json build/bench/BENCH_sim.fresh.json \
     BENCH_attestation.json build/bench/BENCH_attestation.fresh.json \
-    BENCH_provisioning.json build/bench/BENCH_provisioning.fresh.json
+    BENCH_provisioning.json build/bench/BENCH_provisioning.fresh.json \
+    BENCH_sharding.json build/bench/BENCH_sharding.fresh.json
 fi
 
 echo "All checks passed."

@@ -94,8 +94,9 @@ class P256 {
    private:
     friend class P256;
     EcPoint point_;
-    // Group j (16 entries) holds the odd multiples 1,3,...,31 of 2^{64j}·Q.
-    std::array<AffineMont, 64> odd_{};
+    // Group j (32 entries) holds the odd multiples 1,3,...,63 of 2^{64j}·Q
+    // — width-7 NAF, 8 KB per key.
+    std::array<AffineMont, 128> odd_{};
   };
 
   // Returns nullopt when the point is not on the curve (or is infinity).
@@ -192,7 +193,7 @@ class P256 {
   Jacobian MulShamir(const U256& u1, const U256& u2,
                      const std::array<AffineMont, 16>& q_odd) const;
   Jacobian MulShamirPrepared(const U256& u1, const U256& u2,
-                             const std::array<AffineMont, 64>& q_tables) const;
+                             const std::array<AffineMont, 128>& q_tables) const;
   // Computes u1/u2 from the signature and checks x(sum) mod n == r via the
   // Jacobian-coordinate candidate comparison (no field inversion).
   template <typename Ladder>

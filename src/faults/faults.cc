@@ -60,6 +60,39 @@ FaultPlan FaultPlan::Generate(uint64_t seed, const FaultProfile& profile,
   return plan;
 }
 
+std::vector<FaultPlan> FaultPlan::PartitionByRack(
+    const std::vector<uint32_t>& rack_of_target, uint32_t racks) const {
+  std::vector<FaultPlan> parts(racks);
+  // Rack-local target index of global target i = its rank among the
+  // targets assigned to the same rack, in global (AddTarget) order — the
+  // order a per-rack harness naturally re-adds them in.
+  std::vector<size_t> local_index(rack_of_target.size(), 0);
+  std::vector<size_t> next_local(racks, 0);
+  for (size_t i = 0; i < rack_of_target.size(); ++i) {
+    local_index[i] = next_local[rack_of_target[i]]++;
+  }
+  for (uint32_t r = 0; r < racks; ++r) {
+    parts[r].seed = seed;
+    parts[r].profile = profile;
+    // Every rack sees the full fabric-wide partition schedule; the
+    // address-salt grouping reproduces the same global cut locally.
+    parts[r].partitions = partitions;
+  }
+  for (const LinkFlapEvent& flap : flaps) {
+    const uint32_t r = rack_of_target[flap.target];
+    LinkFlapEvent local = flap;
+    local.target = local_index[flap.target];
+    parts[r].flaps.push_back(local);
+  }
+  for (const CrashEvent& crash : crashes) {
+    const uint32_t r = rack_of_target[crash.target];
+    CrashEvent local = crash;
+    local.target = local_index[crash.target];
+    parts[r].crashes.push_back(local);
+  }
+  return parts;
+}
+
 FaultInjector::FaultInjector(sim::Simulation& sim, net::Network& network,
                              FaultPlan plan)
     : sim_(sim),

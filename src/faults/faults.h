@@ -86,6 +86,19 @@ struct FaultPlan {
 
   static FaultPlan Generate(uint64_t seed, const FaultProfile& profile,
                             size_t num_targets);
+
+  // Splits a fleet-wide plan into one plan per rack for the sharded
+  // runtime (src/sim/shard.h), where each rack arms its own injector
+  // against its own fabric partition.  rack_of_target[i] names the rack
+  // owning plan target i; flap and crash events are routed to the owning
+  // rack's plan with their target index rewritten to that rack's local
+  // AddTarget order (global order preserved within a rack).  Partition
+  // events describe fabric-wide splits, so every rack receives a copy —
+  // the salt-based grouping keys on addresses, which stay globally
+  // unique, so the per-rack injectors reconstruct the same global cut.
+  // Union of the returned plans' discrete events == this plan's events.
+  std::vector<FaultPlan> PartitionByRack(
+      const std::vector<uint32_t>& rack_of_target, uint32_t racks) const;
 };
 
 class FaultInjector {

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <memory>
-#include <thread>
 
 #include "src/crypto/ecies.h"
 #include "src/keylime/agent.h"
 #include "src/net/wire.h"
 #include "src/obs/obs.h"
+#include "src/sim/shard.h"
 #include "src/tpm/tpm.h"
 
 namespace bolted::keylime {
@@ -55,6 +55,8 @@ Verifier::Verifier(sim::Simulation& sim, net::Endpoint& endpoint,
     : sim_(sim), node_(sim, endpoint), registrar_(registrar), drbg_(seed) {
   node_.Start();
 }
+
+Verifier::~Verifier() = default;
 
 void Verifier::AddNode(const std::string& name, NodeConfig config) {
   NodeState state;
@@ -424,14 +426,19 @@ sim::Task Verifier::VerifyFleet(std::span<const std::string> names,
       run_shard(s);
     }
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t s = 0; s < workers; ++s) {
-      pool.emplace_back(run_shard, s);
+    // Shards run on the persistent sim::WorkerPool — the same pinned
+    // worker team the sharded simulation uses — striding shards across
+    // threads instead of spawning and joining a thread per shard every
+    // poll round.
+    if (worker_pool_ == nullptr || worker_pool_->threads() != workers) {
+      worker_pool_ = std::make_unique<sim::WorkerPool>(
+          static_cast<uint32_t>(workers), /*pin=*/true);
     }
-    for (std::thread& t : pool) {
-      t.join();
-    }
+    worker_pool_->RunOnAll([&](uint32_t t) {
+      for (size_t s = t; s < workers; s += worker_pool_->threads()) {
+        run_shard(s);
+      }
+    });
   }
 
   // Bookkeeping in deterministic shard order (obs must not be touched from

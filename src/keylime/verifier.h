@@ -34,6 +34,10 @@
 #include "src/tpm/event_log.h"
 #include "src/tpm/tpm.h"
 
+namespace bolted::sim {
+class WorkerPool;
+}  // namespace bolted::sim
+
 namespace bolted::keylime {
 
 struct Whitelist {
@@ -59,6 +63,8 @@ class Verifier {
  public:
   Verifier(sim::Simulation& sim, net::Endpoint& endpoint, net::Address registrar,
            uint64_t seed);
+  // Out of line: worker_pool_ is forward-declared here.
+  ~Verifier();
 
   net::Address address() const { return node_.address(); }
 
@@ -220,6 +226,11 @@ class Verifier {
                                  .max_attempts = 2};
   int max_transient_strikes_ = 3;
   FleetOptions fleet_options_;
+  // Persistent worker team for the fleet poll rounds (sim::WorkerPool,
+  // the sharded-simulation runtime's pool): built lazily on the first
+  // multi-worker round and kept across rounds, so steady-state polling
+  // pays no thread spawn/join.  Rebuilt only when `workers` changes.
+  std::unique_ptr<sim::WorkerPool> worker_pool_;
   // Keyed on SHA-256 of the log's wire bytes; std::map keeps entries
   // pointer-stable for the QuoteExchange references.  Bounded by the number
   // of distinct firmware images the fleet runs, not by fleet size.

@@ -18,6 +18,8 @@ struct NetMetricIds {
   uint32_t forwarded = obs::InternMetric("net.frames.forwarded");
   uint32_t frame_bytes = obs::InternMetric("net.frame_bytes");
   uint32_t fault_duplicated = obs::InternMetric("net.frames.fault_duplicated");
+  uint32_t injected = obs::InternMetric("net.frames.injected");
+  uint32_t injected_dropped = obs::InternMetric("net.frames.injected_dropped");
 };
 
 const NetMetricIds& Ids() {
@@ -240,6 +242,51 @@ void Network::DetachFromAllVlans(Address endpoint) {
   if (Endpoint* e = FindEndpoint(endpoint)) {
     e->vlans_.clear();
   }
+}
+
+bool Network::InjectFrame(Message message, VlanId tag) {
+  Endpoint* receiver = FindEndpoint(message.dst);
+  if (receiver == nullptr || tag == 0 || !receiver->InVlan(tag) ||
+      !LinkUp(message.dst)) {
+    ++total_drops_;
+    obs::CountById(sim_, Ids().injected_dropped);
+    return false;
+  }
+  // Boxed before the coroutine boundary for the same GCC 12 reason as
+  // Endpoint::Send (see the header note there).
+  sim_.Spawn(InjectBoxed(receiver, MessageBox(std::move(message)), tag));
+  return true;
+}
+
+sim::Task Network::InjectBoxed(Endpoint* receiver, MessageBox message,
+                               VlanId tag) {
+  const NetMetricIds& ids = Ids();
+  const double wire_bytes = static_cast<double>(message->EffectiveWireBytes());
+  DemandList demands;
+  demands.push_back(WeightedDemand{&receiver->rx_, wire_bytes});
+  co_await ConsumeAllWeighted(sim_, std::move(demands));
+  // Delivery-time re-check, mirroring the in-flight drop rule of the
+  // local send path: the port may have left the VLAN or lost its link
+  // while the bytes were clearing the NIC.
+  if (!receiver->InVlan(tag) || !LinkUp(receiver->address())) {
+    ++total_drops_;
+    obs::CountById(sim_, ids.dropped_in_flight);
+    co_return;
+  }
+  ++injected_frames_;
+  obs::CountById(sim_, ids.injected);
+#if BOLTED_OBS
+  if (obs::Registry* r = sim_.observer()) {
+    const auto bytes = message->EffectiveWireBytes();
+    r->AddById(ids.forwarded, 1);
+    r->RecordById(ids.frame_bytes, bytes);
+    r->AddById(receiver->rx_bytes_metric_, bytes);
+  }
+#endif
+  if (sniffer_) {
+    sniffer_(tag, *message);
+  }
+  receiver->inbox_.Send(std::move(*message));
 }
 
 bool Network::Reachable(Address a, Address b) const {

@@ -218,6 +218,17 @@ class Network {
   void SetSniffer(Sniffer sniffer) { sniffer_ = std::move(sniffer); }
   void SetFaultFilter(FaultFilter filter) { fault_filter_ = std::move(filter); }
 
+  // Uplink ingress: delivers a frame that originated on a remote fabric
+  // partition (the sharded runtime, src/sim/shard.h) into this network.
+  // The frame already paid its inter-rack latency as shard lookahead, so
+  // ingress pays only the receiver-side costs: rx NIC occupancy, the
+  // link-state check, and membership of the destination port in the
+  // frame's VLAN tag.  message.dst must be set; message.src is preserved
+  // (it names a port on the remote partition).  Returns false — dropped
+  // and counted — when the port is unknown, down, or not in `tag`.
+  bool InjectFrame(Message message, VlanId tag);
+  uint64_t injected_frames() const { return injected_frames_; }
+
   // Administrative link state (fault injection / maintenance).  A downed
   // port neither sends nor receives; frames in flight when a link drops
   // are lost at delivery time.  Links start up.
@@ -235,6 +246,8 @@ class Network {
 
  private:
   friend class Endpoint;
+
+  sim::Task InjectBoxed(Endpoint* receiver, MessageBox message, VlanId tag);
 
   sim::Simulation& sim_;
   sim::Duration latency_;
@@ -256,6 +269,7 @@ class Network {
   uint64_t total_drops_ = 0;
   uint64_t fault_drops_ = 0;
   uint64_t fault_duplicates_ = 0;
+  uint64_t injected_frames_ = 0;
 };
 
 }  // namespace bolted::net

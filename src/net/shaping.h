@@ -15,10 +15,10 @@
 #define SRC_NET_SHAPING_H_
 
 #include <cstdint>
-#include <deque>
 
 #include "src/net/ipsec.h"
 #include "src/net/network.h"
+#include "src/sim/ring_queue.h"
 
 namespace bolted::net {
 
@@ -68,7 +68,10 @@ class ShapedChannel {
   Address destination_;
   IpsecContext& ipsec_;
   ShapingPolicy policy_;
-  std::deque<crypto::Bytes> queue_;  // segmented, padded cells
+  // Segmented, padded cells.  A ring, not a deque: a busy shaper cycles
+  // through its high-water capacity allocation-free (the same reasoning
+  // as the Channel inboxes — see ring_queue.h).
+  sim::RingQueue<crypto::Bytes> queue_;
   uint64_t data_cells_ = 0;
   uint64_t chaff_cells_ = 0;
   uint64_t chaff_counter_ = 0;

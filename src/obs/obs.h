@@ -32,6 +32,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -122,6 +123,26 @@ class Histogram {
     }
     if (value > max_) {
       max_ = value;
+    }
+  }
+
+  // Folds another histogram's distribution into this one: buckets, count
+  // and sum add exactly; min/max combine.  Used to merge per-rack
+  // registries from a sharded run into one fleet-wide view.
+  void Merge(const Histogram& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
     }
   }
 
@@ -275,6 +296,13 @@ class Registry {
   std::string MetricsText() const;
   // The same metrics as one JSON object.
   std::string MetricsJson() const;
+  // Deterministic union of several registries — the per-rack registries
+  // of a sharded run: counters with the same name sum, histograms merge
+  // bucket-wise, and the output is byte-identical to what one Registry
+  // that had recorded everything would export (the shard-count-invariance
+  // the sharding tests assert).  Null entries are skipped.
+  static std::string MergedMetricsText(std::span<const Registry* const> parts);
+  static std::string MergedMetricsJson(std::span<const Registry* const> parts);
   // Writes ChromeTraceJson() to a file; false on I/O failure.
   bool WriteChromeTrace(const std::string& path) const;
 

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <map>
 
 namespace bolted::obs {
 namespace {
@@ -182,16 +183,23 @@ Registry::SortedHistograms() const {
   return out;
 }
 
-std::string Registry::MetricsText() const {
+namespace {
+
+// Shared line/object renderers: the single-Registry exporters and the
+// merged (multi-rack) exporters must be byte-identical in format, so both
+// go through these.
+std::string RenderMetricsText(
+    const std::vector<std::pair<std::string_view, uint64_t>>& counters,
+    const std::vector<std::pair<std::string_view, const Histogram*>>& hists) {
   std::string out;
-  for (const auto& [name, value] : SortedCounters()) {
+  for (const auto& [name, value] : counters) {
     out += "counter ";
     out += name;
     out += ' ';
     AppendU64(out, value);
     out += '\n';
   }
-  for (const auto& [name, hist_ptr] : SortedHistograms()) {
+  for (const auto& [name, hist_ptr] : hists) {
     const Histogram& hist = *hist_ptr;
     out += "hist ";
     out += name;
@@ -212,10 +220,12 @@ std::string Registry::MetricsText() const {
   return out;
 }
 
-std::string Registry::MetricsJson() const {
+std::string RenderMetricsJson(
+    const std::vector<std::pair<std::string_view, uint64_t>>& counters,
+    const std::vector<std::pair<std::string_view, const Histogram*>>& hists) {
   std::string out = "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, value] : SortedCounters()) {
+  for (const auto& [name, value] : counters) {
     if (!first) {
       out += ',';
     }
@@ -227,7 +237,7 @@ std::string Registry::MetricsJson() const {
   }
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& [name, hist_ptr] : SortedHistograms()) {
+  for (const auto& [name, hist_ptr] : hists) {
     const Histogram& hist = *hist_ptr;
     if (!first) {
       out += ',';
@@ -263,6 +273,71 @@ std::string Registry::MetricsJson() const {
   }
   out += "}}\n";
   return out;
+}
+
+// Name-keyed union of several registries.  std::map keys the merge by
+// metric name, so the result is independent of both the intern-id order
+// and the order of `parts` — exactly the invariance the sharded digest
+// tests need from the obs layer.
+struct MergedMetrics {
+  std::map<std::string_view, uint64_t> counters;
+  std::map<std::string_view, Histogram> hists;
+
+  std::vector<std::pair<std::string_view, uint64_t>> CounterVec() const {
+    return {counters.begin(), counters.end()};
+  }
+  std::vector<std::pair<std::string_view, const Histogram*>> HistVec() const {
+    std::vector<std::pair<std::string_view, const Histogram*>> out;
+    out.reserve(hists.size());
+    for (const auto& [name, hist] : hists) {
+      out.emplace_back(name, &hist);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string Registry::MetricsText() const {
+  return RenderMetricsText(SortedCounters(), SortedHistograms());
+}
+
+std::string Registry::MetricsJson() const {
+  return RenderMetricsJson(SortedCounters(), SortedHistograms());
+}
+
+std::string Registry::MergedMetricsText(
+    std::span<const Registry* const> parts) {
+  MergedMetrics merged;
+  for (const Registry* part : parts) {
+    if (part == nullptr) {
+      continue;
+    }
+    for (const auto& [name, value] : part->SortedCounters()) {
+      merged.counters[name] += value;
+    }
+    for (const auto& [name, hist] : part->SortedHistograms()) {
+      merged.hists[name].Merge(*hist);
+    }
+  }
+  return RenderMetricsText(merged.CounterVec(), merged.HistVec());
+}
+
+std::string Registry::MergedMetricsJson(
+    std::span<const Registry* const> parts) {
+  MergedMetrics merged;
+  for (const Registry* part : parts) {
+    if (part == nullptr) {
+      continue;
+    }
+    for (const auto& [name, value] : part->SortedCounters()) {
+      merged.counters[name] += value;
+    }
+    for (const auto& [name, hist] : part->SortedHistograms()) {
+      merged.hists[name].Merge(*hist);
+    }
+  }
+  return RenderMetricsJson(merged.CounterVec(), merged.HistVec());
 }
 
 bool Registry::WriteChromeTrace(const std::string& path) const {

@@ -1,0 +1,421 @@
+#include "src/sim/shard.h"
+
+#include <algorithm>
+#include <barrier>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace bolted::sim {
+namespace {
+
+constexpr int64_t kNoEvent = std::numeric_limits<int64_t>::max();
+
+// splitmix64: derives per-rack seeds from the fleet seed so rack Rng
+// streams are independent but reproducible.  (The same finalizer the
+// kernel's MixDigest uses, full-strength.)
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15u;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9u;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebu;
+  return x ^ (x >> 31);
+}
+
+uint64_t MixDigest(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15u + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9u;
+  h ^= h >> 27;
+  return h;
+}
+
+uint32_t CeilPow2(uint32_t v) {
+  if (v < 2) {
+    return 2;
+  }
+  uint32_t p = 2;
+  while (p < v && p < (1u << 30)) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Canonical inbound order: delivery instant, then source rack, then the
+// source's send counter.  Total (no two frames compare equal), so the
+// destination's seq assignment is independent of which shard or worker
+// carried each frame.
+bool CanonicalLess(const CrossShardFrame& a, const CrossShardFrame& b) {
+  if (a.deliver_ns != b.deliver_ns) {
+    return a.deliver_ns < b.deliver_ns;
+  }
+  if (a.src_rack != b.src_rack) {
+    return a.src_rack < b.src_rack;
+  }
+  return a.src_seq < b.src_seq;
+}
+
+[[noreturn]] void FatalShard(const char* msg) {
+  std::fprintf(stderr, "bolted::sim sharding: %s\n", msg);
+  std::abort();
+}
+
+}  // namespace
+
+// --- SpscRing ---------------------------------------------------------------
+
+SpscRing::SpscRing(uint32_t capacity) {
+  const uint32_t cap = CeilPow2(capacity);
+  slots_.resize(cap);
+  mask_ = cap - 1;
+}
+
+// --- WorkerPool -------------------------------------------------------------
+
+WorkerPool::WorkerPool(uint32_t threads, bool pin)
+    : threads_(threads == 0 ? 1 : threads), pin_(pin) {
+  if (pin_) {
+    PinTo(0);  // the caller is thread 0
+  }
+  workers_.reserve(threads_ - 1);
+  for (uint32_t t = 1; t < threads_; ++t) {
+    workers_.emplace_back(&WorkerPool::WorkerMain, this, t);
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void WorkerPool::PinTo(uint32_t index) {
+#ifdef __linux__
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < 2) {
+    return;  // pinning a single-core host only hurts
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(index % cores, &set);
+  // Best effort: a restricted cpuset (containers) may refuse, and the
+  // pool works fine unpinned.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)index;
+#endif
+}
+
+void WorkerPool::WorkerMain(uint32_t index) {
+  if (pin_) {
+    PinTo(index);
+  }
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(uint32_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void WorkerPool::RunOnAll(const std::function<void(uint32_t)>& job) {
+  if (threads_ == 1) {
+    job(0);  // the single-threaded oracle path: no synchronization at all
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    done_ = 0;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  job(0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return done_ == threads_ - 1; });
+    job_ = nullptr;
+  }
+}
+
+// --- Rack -------------------------------------------------------------------
+
+void Rack::Send(uint32_t dst_rack, Duration delay, uint32_t kind,
+                uint32_t bytes, uint64_t payload0, uint64_t payload1) {
+  if (dst_rack >= fleet_->num_racks()) {
+    FatalShard("Rack::Send to out-of-range rack");
+  }
+  if (delay < fleet_->lookahead()) {
+    // The whole conservative-sync argument rests on this bound: a frame
+    // below lookahead could land inside a window the destination already
+    // executed past.
+    FatalShard("Rack::Send delay below the fleet lookahead");
+  }
+  CrossShardFrame frame;
+  frame.deliver_ns = (sim_->now() + delay).nanoseconds();
+  frame.payload0 = payload0;
+  frame.payload1 = payload1;
+  frame.src_rack = index_;
+  frame.dst_rack = dst_rack;
+  frame.kind = kind;
+  frame.bytes = bytes;
+  frame.src_seq = send_seq_++;
+  fleet_->Submit(shard_, frame);
+}
+
+// --- ShardedFleet -----------------------------------------------------------
+
+void ShardedFleet::BarrierCompletion::operator()() noexcept {
+  fleet->ComputeWindow(fleet->limit_ns_);
+}
+
+ShardedFleet::ShardedFleet(const ShardOptions& options)
+    : lookahead_(options.lookahead) {
+  const uint32_t racks = options.racks == 0 ? 1 : options.racks;
+  num_shards_ = std::clamp<uint32_t>(options.shards, 1, racks);
+  const uint32_t workers = options.workers == 0 ? num_shards_ : options.workers;
+  num_workers_ = std::clamp<uint32_t>(workers, 1, num_shards_);
+  if (lookahead_.nanoseconds() < 1) {
+    FatalShard("lookahead must be at least 1 ns");
+  }
+
+  racks_.reserve(racks);
+  shards_.resize(num_shards_);
+  for (uint32_t r = 0; r < racks; ++r) {
+    auto rack = std::make_unique<Rack>();
+    rack->sim_ = std::make_unique<Simulation>(
+        options.scheduler, SplitMix64(options.seed ^ (0x7261636bu + r)));
+    rack->fleet_ = this;
+    rack->index_ = r;
+    // Contiguous stripes: rack r belongs to shard floor(r*S/R), so racks
+    // that are physical neighbours share a shard (and a worker's caches).
+    rack->shard_ = static_cast<uint32_t>(
+        (static_cast<uint64_t>(r) * num_shards_) / racks);
+    shards_[rack->shard_].racks.push_back(r);
+    racks_.push_back(std::move(rack));
+  }
+
+  rings_.reserve(static_cast<size_t>(num_shards_) * num_shards_);
+  overflow_.resize(static_cast<size_t>(num_shards_) * num_shards_);
+  for (uint32_t i = 0; i < num_shards_ * num_shards_; ++i) {
+    rings_.push_back(std::make_unique<SpscRing>(options.ring_capacity));
+  }
+
+  pool_ = std::make_unique<WorkerPool>(num_workers_, options.pin_workers);
+}
+
+ShardedFleet::~ShardedFleet() = default;
+
+void ShardedFleet::Submit(uint32_t src_shard, const CrossShardFrame& frame) {
+  const uint32_t dst_shard = racks_[frame.dst_rack]->shard_;
+  if (!ring(src_shard, dst_shard).TryPush(frame)) {
+    // Out of credits: simulations may never drop or block, so spill to
+    // the producer-owned backstop the router drains at the next barrier.
+    overflow(src_shard, dst_shard).push_back(frame);
+    ++shards_[src_shard].spills;
+  }
+}
+
+void ShardedFleet::DrainInbound(uint32_t d) {
+  ShardState& st = shards_[d];
+  CrossShardFrame frame;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    while (ring(s, d).TryPop(&frame)) {
+      st.staged.push_back(frame);
+    }
+  }
+}
+
+void ShardedFleet::RoutePhase(uint32_t d) {
+  ShardState& st = shards_[d];
+  // Complete the window's traffic: whatever the opportunistic run-phase
+  // drains missed is in the rings (barrier A made every push visible),
+  // and credit-exhausted frames sit in the producers' overflow vectors
+  // (same barrier; the producers are quiesced until barrier B).
+  DrainInbound(d);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    std::vector<CrossShardFrame>& spill = overflow(s, d);
+    st.staged.insert(st.staged.end(), spill.begin(), spill.end());
+    spill.clear();
+  }
+
+  if (!st.staged.empty()) {
+    st.route_buf.swap(st.staged);
+    std::sort(st.route_buf.begin(), st.route_buf.end(), CanonicalLess);
+    for (const CrossShardFrame& frame : st.route_buf) {
+      if (frame.deliver_ns < window_end_ns_) {
+        // Lookahead guarantees deliver >= window_end for every frame sent
+        // inside the window; a violation here means the sync is broken.
+        FatalShard("cross-shard frame below the window boundary");
+      }
+      Rack* rack = racks_[frame.dst_rack].get();
+      ShardedFleet* fleet = this;
+      CrossShardFrame f = frame;
+      rack->sim_->ScheduleAt(
+          Time::FromNanoseconds(frame.deliver_ns), [fleet, rack, f] {
+            // Fold the frame identity into the destination digest so the
+            // replay invariant covers payload routing, not just timing.
+            rack->sim_->RecordTraceEvent((f.src_seq * 0x100000001b3u) ^
+                                         (static_cast<uint64_t>(f.src_rack)
+                                          << 32) ^
+                                         f.kind);
+            if (fleet->handler_) {
+              fleet->handler_(*rack, f);
+            }
+          });
+    }
+    st.routed += st.route_buf.size();
+    st.route_buf.clear();
+  }
+
+  int64_t min_next = kNoEvent;
+  for (uint32_t r : st.racks) {
+    Time next;
+    if (racks_[r]->sim_->PeekNextEventTime(&next)) {
+      min_next = std::min(min_next, next.nanoseconds());
+    }
+  }
+  st.min_next = min_next;
+}
+
+void ShardedFleet::ComputeWindow(int64_t limit_ns) {
+  int64_t min_next = kNoEvent;
+  for (const ShardState& st : shards_) {
+    min_next = std::min(min_next, st.min_next);
+  }
+  if (min_next == kNoEvent || min_next > limit_ns) {
+    // Every rack idle (or idle up to the horizon) and — since the route
+    // phase fully drains every channel — no frame in flight: done.
+    done_ = true;
+    return;
+  }
+  // The conservative window: everything strictly before min_next + L is
+  // safe, because a cross-rack frame sent at t >= min_next with delay >=
+  // L delivers at or after the boundary.
+  const int64_t la = lookahead_.nanoseconds();
+  int64_t end = min_next > kNoEvent - la ? kNoEvent : min_next + la;
+  if (limit_ns < kNoEvent - 1) {
+    end = std::min(end, limit_ns + 1);  // RunUntil fires events at == limit
+  }
+  window_end_ns_ = end;
+  ++windows_;
+}
+
+void ShardedFleet::WorkerLoop(uint32_t worker, int64_t limit_ns) {
+  (void)limit_ns;
+  for (;;) {
+    // Window state (done_, window_end_ns_) was published by the previous
+    // barrier-B completion — or, for the first window, by RunWindows
+    // before the pool dispatch — so every worker reads a settled value.
+    if (done_) {
+      return;
+    }
+    const Time end = Time::FromNanoseconds(window_end_ns_);
+    for (uint32_t s = worker; s < num_shards_; s += num_workers_) {
+      ShardState& st = shards_[s];
+      for (uint32_t r : st.racks) {
+        st.events += racks_[r]->sim_->RunBefore(end);
+      }
+      // Opportunistic drain: return ring credits while other shards are
+      // still executing; the frames just wait in staging for the router.
+      DrainInbound(s);
+    }
+    run_barrier_->arrive_and_wait();
+    for (uint32_t s = worker; s < num_shards_; s += num_workers_) {
+      RoutePhase(s);
+    }
+    route_barrier_->arrive_and_wait();  // completion runs ComputeWindow
+  }
+}
+
+void ShardedFleet::RunWindows(int64_t limit_ns) {
+  // Seed the shard minima and the first window on the caller before any
+  // worker starts; RunOnAll's dispatch gives the happens-before edge.
+  for (ShardState& st : shards_) {
+    int64_t min_next = kNoEvent;
+    for (uint32_t r : st.racks) {
+      Time next;
+      if (racks_[r]->sim_->PeekNextEventTime(&next)) {
+        min_next = std::min(min_next, next.nanoseconds());
+      }
+    }
+    st.min_next = min_next;
+  }
+  done_ = false;
+  ComputeWindow(limit_ns);
+
+  limit_ns_ = limit_ns;
+  run_barrier_ = std::make_unique<std::barrier<>>(num_workers_);
+  route_barrier_ = std::make_unique<std::barrier<BarrierCompletion>>(
+      num_workers_, BarrierCompletion{this});
+  pool_->RunOnAll([this](uint32_t worker) { WorkerLoop(worker, limit_ns_); });
+  run_barrier_.reset();
+  route_barrier_.reset();
+
+  frames_routed_ = 0;
+  ring_spills_ = 0;
+  for (const ShardState& st : shards_) {
+    frames_routed_ += st.routed;
+    ring_spills_ += st.spills;
+  }
+}
+
+void ShardedFleet::Run() {
+  RunWindows(kNoEvent);
+  // Final task reap (and exception propagation) per rack, mirroring the
+  // tail of Simulation::Run; the horizon equals each clock, so nothing
+  // fires and no clock moves.
+  for (auto& rack : racks_) {
+    rack->sim_->RunUntil(rack->sim_->now());
+  }
+}
+
+void ShardedFleet::RunUntil(Time horizon) {
+  RunWindows(horizon.nanoseconds());
+  // Align every rack clock to the horizon (RunUntil semantics).  All
+  // events at or before it already fired, so this only advances clocks
+  // and reaps.
+  for (auto& rack : racks_) {
+    rack->sim_->RunUntil(horizon);
+  }
+}
+
+uint64_t ShardedFleet::events_processed() const {
+  uint64_t total = 0;
+  for (const auto& rack : racks_) {
+    total += rack->sim_->events_processed();
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::fleet_digest() const {
+  uint64_t digest = 0x666c656574u;  // "fleet"
+  for (const auto& rack : racks_) {
+    digest = MixDigest(digest, rack->sim_->trace_digest());
+  }
+  return digest;
+}
+
+}  // namespace bolted::sim

@@ -1,0 +1,332 @@
+// Rack-sharded parallel simulation with conservative time synchronization
+// (DESIGN.md §12).
+//
+// The fabric is partitioned into racks; each rack owns a full Simulation
+// (its own 8×64 timing wheel, seq counter, Rng stream, and trace digest),
+// so the unit of determinism is the rack, not the thread.  Racks are
+// grouped into shards — the transport topology — and shards are executed
+// by a pool of pinned worker threads.  Because every rack's event stream
+// is a pure function of (seed, scenario, routed cross-rack frames), the
+// per-rack trace digests are byte-identical for every shard count and
+// every worker count: the shards=1, workers=1 configuration is the
+// single-threaded oracle the chaos sweep replays against.
+//
+// Time synchronization is conservative (null-message/LBTS style, run as
+// synchronous windows): the inter-rack link latency is the lookahead L.
+// Each window, every rack may execute events strictly before
+//
+//   window_end = (min over all racks of next-event-time) + L,
+//
+// because any cross-rack frame generated inside the window is sent at
+// some t >= min_next with delay >= L, hence delivered at >= window_end —
+// it cannot affect the window being executed.  At the window barrier the
+// router drains every shard-pair channel, sorts each destination rack's
+// inbound frames into the canonical (deliver_ns, src_rack, src_seq)
+// order, and schedules them; destination-side seq assignment is therefore
+// identical no matter which shard or worker produced the frames.
+//
+// Cross-shard transport is a netmux-style mesh of single-producer /
+// single-consumer ring channels (one per shard pair) with credit-based
+// flow control in the firedancer fctl idiom: the producer spends cached
+// credits, refreshes them from the consumer's published head when they
+// run out, and — since a simulation must never drop or block — spills to
+// a producer-owned overflow vector that the router drains at the next
+// barrier (counted, so benches can size the rings to make spills rare).
+// Consumers also drain opportunistically during the run phase, returning
+// credits while producers are still executing.
+//
+// Thread discipline: a rack is only ever touched by the worker that owns
+// its shard (the mapping is fixed for a run), and the run/route phases
+// are separated by barriers, so rack Simulations need no locks.  The
+// frame handler is invoked on the owning worker and must confine itself
+// to the destination rack passed to it.
+
+#ifndef SRC_SIM_SHARD_H_
+#define SRC_SIM_SHARD_H_
+
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace bolted::sim {
+
+class ShardedFleet;
+
+// One cross-rack frame.  POD by design: frames travel through shared
+// rings between threads, so they carry plain words, not closures — the
+// destination rack's frame handler interprets kind/payload.  `bytes` is
+// the modeled wire size (accounting only; the latency is the send delay).
+struct CrossShardFrame {
+  int64_t deliver_ns = 0;  // absolute delivery instant (simulated ns)
+  uint64_t payload0 = 0;
+  uint64_t payload1 = 0;
+  uint32_t src_rack = 0;
+  uint32_t dst_rack = 0;
+  uint32_t kind = 0;   // application-defined discriminator
+  uint32_t bytes = 0;  // modeled wire bytes
+  // Per-source-rack send counter; the third key of the canonical inbound
+  // sort, so two frames from one rack can never tie.
+  uint64_t src_seq = 0;
+};
+
+// Lock-free single-producer / single-consumer ring of CrossShardFrames.
+// Indices are free-running uint64s; head_ (consumer) and tail_ (producer)
+// live on their own cache lines, and each side works against a cached
+// copy of the other's index — the fctl credit pattern: TryPush only loads
+// head_ when its cached credits run out.
+class SpscRing {
+ public:
+  explicit SpscRing(uint32_t capacity);
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  uint32_t capacity() const { return mask_ + 1; }
+
+  // Producer side.  False when the ring is full even after refreshing
+  // credits (the caller spills to its overflow vector).
+  bool TryPush(const CrossShardFrame& frame) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) {
+        return false;  // out of credits
+      }
+    }
+    slots_[tail & mask_] = frame;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side.  False when the ring is empty.
+  bool TryPop(CrossShardFrame* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) {
+        return false;
+      }
+    }
+    *out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::vector<CrossShardFrame> slots_;
+  uint32_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer cursor
+  alignas(64) uint64_t cached_tail_ = 0;       // consumer's view of tail_
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer cursor
+  alignas(64) uint64_t cached_head_ = 0;       // producer's credit base
+};
+
+// Persistent team of worker threads.  Thread 0 is the calling thread, so
+// WorkerPool(1) is a plain inline call with no thread machinery — the
+// single-threaded oracle path.  Reused across calls (the sharded fleet
+// dispatches one RunOnAll per Run, the fleet verifier one per poll
+// round), so worker threads keep their core pinning and warm caches.
+class WorkerPool {
+ public:
+  // Spawns threads-1 workers; with pin=true each thread (including the
+  // caller, as thread 0) is pinned to core t % hardware_concurrency —
+  // best effort, skipped on single-core hosts and non-Linux platforms.
+  explicit WorkerPool(uint32_t threads, bool pin = false);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  uint32_t threads() const { return threads_; }
+
+  // Invokes job(t) for every t in [0, threads) concurrently — t = 0 runs
+  // on the calling thread — and returns when all invocations finished.
+  // Not reentrant; one RunOnAll at a time.
+  void RunOnAll(const std::function<void(uint32_t)>& job);
+
+ private:
+  void WorkerMain(uint32_t index);
+  static void PinTo(uint32_t index);
+
+  uint32_t threads_;
+  bool pin_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(uint32_t)>* job_ = nullptr;
+  uint64_t epoch_ = 0;
+  uint32_t done_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+struct ShardOptions {
+  uint32_t racks = 1;
+  // Rack partitions (the ring-channel topology).  Rack r belongs to the
+  // shard owning the contiguous stripe containing r.  Clamped to racks.
+  uint32_t shards = 1;
+  // Worker threads executing shards (shard s runs on worker s % workers).
+  // 0 means one worker per shard.  Clamped to shards.
+  uint32_t workers = 0;
+  // Conservative lookahead: the minimum cross-rack delivery delay.  Every
+  // Rack::Send delay must be >= lookahead (checked fatally).
+  Duration lookahead = Duration::Microseconds(50);
+  uint64_t seed = 0x626f6c746564u;
+  // Per shard-pair ring capacity in frames (rounded up to a power of
+  // two).  Overflow spills — counted, never dropped.
+  uint32_t ring_capacity = 4096;
+  bool pin_workers = false;
+  SchedulerKind scheduler = SchedulerKind::kDefault;
+};
+
+// One rack: a full Simulation plus its cross-rack egress.  Application
+// code receives Rack& (from rack() or the frame handler) and drives the
+// rack's sim exactly like a standalone one.
+class Rack {
+ public:
+  Simulation& sim() { return *sim_; }
+  const Simulation& sim() const { return *sim_; }
+  uint32_t index() const { return index_; }
+  uint32_t shard() const { return shard_; }
+
+  // Sends a cross-rack frame delivered `delay` from now.  delay must be
+  // >= the fleet lookahead — that bound is exactly what lets this rack's
+  // window run ahead of the destination's clock — so a shorter delay is
+  // a conservative-sync violation and aborts.  kind/bytes/payload are
+  // application-owned; src/seq/deliver_ns are stamped here.
+  void Send(uint32_t dst_rack, Duration delay, uint32_t kind, uint32_t bytes,
+            uint64_t payload0 = 0, uint64_t payload1 = 0);
+
+  uint64_t frames_sent() const { return send_seq_; }
+
+ private:
+  friend class ShardedFleet;
+  std::unique_ptr<Simulation> sim_;
+  ShardedFleet* fleet_ = nullptr;
+  uint32_t index_ = 0;
+  uint32_t shard_ = 0;
+  uint64_t send_seq_ = 0;
+};
+
+class ShardedFleet {
+ public:
+  // Invoked on the owning worker when a frame's delivery instant fires in
+  // the destination rack's event stream.  Must be safe to call
+  // concurrently for *different* racks (capture immutable config; mutate
+  // only through the Rack argument and per-rack state).
+  using FrameHandler = std::function<void(Rack&, const CrossShardFrame&)>;
+
+  explicit ShardedFleet(const ShardOptions& options);
+  ~ShardedFleet();
+  ShardedFleet(const ShardedFleet&) = delete;
+  ShardedFleet& operator=(const ShardedFleet&) = delete;
+
+  uint32_t num_racks() const { return static_cast<uint32_t>(racks_.size()); }
+  uint32_t num_shards() const { return num_shards_; }
+  uint32_t num_workers() const { return num_workers_; }
+  Duration lookahead() const { return lookahead_; }
+  Rack& rack(uint32_t index) { return *racks_[index]; }
+  const Rack& rack(uint32_t index) const { return *racks_[index]; }
+
+  void set_frame_handler(FrameHandler handler) { handler_ = std::move(handler); }
+
+  // Runs until every rack's queue drains and no frame is in flight.
+  void Run();
+  // Runs every event with when <= horizon, then advances each rack's
+  // clock to the horizon (mirroring Simulation::RunUntil).
+  void RunUntil(Time horizon);
+
+  // --- Aggregate statistics (valid between runs) ---------------------------
+  uint64_t events_processed() const;
+  uint64_t frames_routed() const { return frames_routed_; }
+  // Ring pushes that found no credit and took the overflow path.
+  uint64_t ring_spills() const { return ring_spills_; }
+  // Conservative windows executed (two barriers each).
+  uint64_t windows() const { return windows_; }
+
+  // Per-rack trace digest — THE determinism invariant: byte-identical for
+  // every (shards, workers) configuration of the same seeded scenario.
+  uint64_t rack_digest(uint32_t rack) const {
+    return racks_[rack]->sim().trace_digest();
+  }
+  // Order-sensitive fold of every rack digest (rack 0 first).
+  uint64_t fleet_digest() const;
+
+ private:
+  friend class Rack;
+
+  struct ShardState {
+    std::vector<uint32_t> racks;  // rack indices owned by this shard
+    // Inbound frames staged by opportunistic drains during the run phase;
+    // merged with the barrier drain and sorted canonically by the router.
+    std::vector<CrossShardFrame> staged;
+    std::vector<CrossShardFrame> route_buf;
+    // Earliest pending event over this shard's racks (ns; INT64_MAX when
+    // idle), recomputed in the route phase.
+    int64_t min_next = 0;
+    uint64_t events = 0;
+    uint64_t routed = 0;
+    uint64_t spills = 0;
+  };
+
+  SpscRing& ring(uint32_t src_shard, uint32_t dst_shard) {
+    return *rings_[src_shard * num_shards_ + dst_shard];
+  }
+  std::vector<CrossShardFrame>& overflow(uint32_t src, uint32_t dst) {
+    return overflow_[src * num_shards_ + dst];
+  }
+
+  void Submit(uint32_t src_shard, const CrossShardFrame& frame);
+  // Drains rings destined to shard d into its staging buffer (run phase:
+  // returns credits early; route phase: completes the window's traffic).
+  void DrainInbound(uint32_t d);
+  // Sorts shard d's inbound frames canonically and schedules them into
+  // their destination racks, then recomputes the shard's min_next.
+  void RoutePhase(uint32_t d);
+  void RunWindows(int64_t limit_ns);
+  void WorkerLoop(uint32_t worker, int64_t limit_ns);
+  // Barrier-B completion: reduce shard min_next values into the next
+  // window (or set done_).  Runs on exactly one thread, with all route
+  // phases happened-before it and it happened-before every unblock.
+  void ComputeWindow(int64_t limit_ns);
+
+  struct BarrierCompletion {
+    ShardedFleet* fleet;
+    void operator()() noexcept;
+  };
+
+  Duration lookahead_;
+  uint32_t num_shards_ = 1;
+  uint32_t num_workers_ = 1;
+  FrameHandler handler_;
+  std::vector<std::unique_ptr<Rack>> racks_;
+  std::vector<ShardState> shards_;
+  std::vector<std::unique_ptr<SpscRing>> rings_;      // [src * S + dst]
+  std::vector<std::vector<CrossShardFrame>> overflow_;  // [src * S + dst]
+  std::unique_ptr<WorkerPool> pool_;
+  // Barrier A (run -> route) and barrier B (route -> next window); B's
+  // completion computes the next window.  Rebuilt per run call.
+  std::unique_ptr<std::barrier<>> run_barrier_;
+  std::unique_ptr<std::barrier<BarrierCompletion>> route_barrier_;
+  int64_t limit_ns_ = 0;
+
+  // Window state: written only by the barrier completion (one thread,
+  // between phases), read by all workers after the barrier — the barrier
+  // itself provides the happens-before edges.
+  int64_t window_end_ns_ = 0;
+  bool done_ = false;
+  uint64_t windows_ = 0;
+  uint64_t frames_routed_ = 0;
+  uint64_t ring_spills_ = 0;
+};
+
+}  // namespace bolted::sim
+
+#endif  // SRC_SIM_SHARD_H_

@@ -96,6 +96,23 @@ void Simulation::RunUntil(Time horizon) {
   ReapTasks();
 }
 
+uint64_t Simulation::RunBefore(Time end) {
+  uint64_t fired = 0;
+  for (;;) {
+    Time next;
+    if (!scheduler_->PeekNextTime(&next) || next >= end) {
+      break;
+    }
+    Step();
+    ++fired;
+  }
+  return fired;
+}
+
+bool Simulation::PeekNextEventTime(Time* next) {
+  return scheduler_->PeekNextTime(next);
+}
+
 void Simulation::Spawn(Task task) {
   live_tasks_.push_back(std::move(task));
   live_tasks_.back().Start();

@@ -59,8 +59,17 @@ class Simulation {
   // Runs until the event queue drains or the given horizon passes.
   void Run();
   void RunUntil(Time horizon);
+  // Fires every event with `when` strictly before `end` — the conservative
+  // window boundary in sharded runs (src/sim/shard.h) — and returns the
+  // number fired.  Unlike RunUntil, the clock stays at the last fired
+  // event: the window end is an execution bound, not an observed instant.
+  uint64_t RunBefore(Time end);
   // Fires the next event, if any; returns false when the queue is empty.
   bool Step();
+
+  // Earliest pending event time; false when the queue is empty.  May
+  // advance scheduler bookkeeping but never changes the fire order.
+  bool PeekNextEventTime(Time* next);
 
   uint64_t events_processed() const { return events_processed_; }
   // Live (scheduled, not yet fired or cancelled) events; bounds all

@@ -1,0 +1,571 @@
+// Sharded-simulation suite (`ctest -L sharding`).
+//
+// The load-bearing property is digest invariance: a seeded scenario run
+// on the rack-sharded runtime must produce byte-identical per-rack trace
+// digests for EVERY (shards, workers) configuration, with the
+// shards=1/workers=1 single-threaded path as the oracle.  The suite
+// exercises that invariant across seeds, ring-overflow pressure,
+// lookahead settings, partial horizons, and a full per-rack-Network
+// integration scenario, plus the supporting pieces: the SPSC ring, the
+// worker pool, fault-plan partitioning, merged metric export, and the
+// Network uplink-ingress path.
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/faults/faults.h"
+#include "src/net/network.h"
+#include "src/obs/obs.h"
+#include "src/sim/shard.h"
+#include "src/sim/simulation.h"
+
+namespace bolted::sim {
+namespace {
+
+// Everything a determinism comparison cares about.  Spills are excluded
+// on purpose: they depend on ring capacity, not on the event stream.
+struct FleetResult {
+  uint64_t events = 0;
+  uint64_t routed = 0;
+  uint64_t windows = 0;
+  uint64_t spills = 0;
+  uint64_t fleet_digest = 0;
+  std::vector<uint64_t> rack_digests;
+};
+
+constexpr uint32_t kChainKind = 7;
+
+// Chained-send scenario: every rack starts one token; a rack receiving a
+// token does some local work (skewed per rack so shard event counts
+// differ) and forwards it to the next rack with a payload-derived delay,
+// until the hop budget runs out.  Exercises all shard pairs, uneven
+// per-window load, and data-dependent delivery times.
+FleetResult RunChainScenario(uint32_t racks, uint32_t shards, uint32_t workers,
+                             uint64_t seed, uint32_t ring_capacity = 4096,
+                             Duration lookahead = Duration::Microseconds(50),
+                             int64_t horizon_ns = -1) {
+  ShardOptions options;
+  options.racks = racks;
+  options.shards = shards;
+  options.workers = workers;
+  options.seed = seed;
+  options.ring_capacity = ring_capacity;
+  options.lookahead = lookahead;
+  ShardedFleet fleet(options);
+
+  fleet.set_frame_handler([&fleet](Rack& rack, const CrossShardFrame& frame) {
+    // Local work: a couple of extra events whose count depends on the
+    // rack index, so shards carry visibly different loads.
+    const uint32_t burst = 1 + rack.index() % 3;
+    for (uint32_t i = 0; i < burst; ++i) {
+      rack.sim().Schedule(Duration::Microseconds(3 + i), [] {});
+    }
+    if (frame.payload0 == 0) {
+      return;  // hop budget exhausted
+    }
+    // Payload- and rng-derived jitter: delivery times depend on the data
+    // AND on the rack's seeded Rng stream, so distinct fleet seeds yield
+    // distinct digests while same-seed runs stay reproducible.
+    const Duration delay =
+        fleet.lookahead() + Duration::Microseconds(frame.payload1 % 7 +
+                                                   rack.sim().rng().NextBelow(5));
+    rack.Send((rack.index() + 1) % fleet.num_racks(), delay, frame.kind,
+              frame.bytes, frame.payload0 - 1, frame.payload1 * 31 + 7);
+  });
+
+  for (uint32_t r = 0; r < racks; ++r) {
+    Rack& rack = fleet.rack(r);
+    fleet.rack(r).sim().Schedule(
+        Duration::Microseconds(10 + r), [&fleet, &rack] {
+          rack.Send((rack.index() + 1) % fleet.num_racks(), fleet.lookahead(),
+                    kChainKind, 64, /*hops=*/6, /*salt=*/rack.index());
+        });
+  }
+
+  if (horizon_ns < 0) {
+    fleet.Run();
+  } else {
+    fleet.RunUntil(Time::FromNanoseconds(horizon_ns));
+  }
+
+  FleetResult result;
+  result.events = fleet.events_processed();
+  result.routed = fleet.frames_routed();
+  result.windows = fleet.windows();
+  result.spills = fleet.ring_spills();
+  result.fleet_digest = fleet.fleet_digest();
+  for (uint32_t r = 0; r < racks; ++r) {
+    result.rack_digests.push_back(fleet.rack_digest(r));
+  }
+  return result;
+}
+
+void ExpectSameStream(const FleetResult& oracle, const FleetResult& got,
+                      const char* what) {
+  EXPECT_EQ(oracle.events, got.events) << what;
+  EXPECT_EQ(oracle.routed, got.routed) << what;
+  EXPECT_EQ(oracle.fleet_digest, got.fleet_digest) << what;
+  ASSERT_EQ(oracle.rack_digests.size(), got.rack_digests.size()) << what;
+  for (size_t r = 0; r < oracle.rack_digests.size(); ++r) {
+    EXPECT_EQ(oracle.rack_digests[r], got.rack_digests[r])
+        << what << " rack " << r;
+  }
+}
+
+TEST(ShardingDeterminism, DigestInvariantAcrossShardAndWorkerCounts) {
+  const uint64_t seeds[] = {1, 42, 0xdeadbeefu};
+  const uint32_t racks = 8;
+  for (const uint64_t seed : seeds) {
+    const FleetResult oracle = RunChainScenario(racks, 1, 1, seed);
+    EXPECT_GT(oracle.events, 0u);
+    EXPECT_GT(oracle.routed, 0u);
+    for (const auto& [shards, workers] :
+         {std::pair<uint32_t, uint32_t>{2, 1}, {2, 2}, {4, 1}, {4, 2},
+          {4, 4}, {8, 2}, {8, 8}}) {
+      const FleetResult got =
+          RunChainScenario(racks, shards, workers, seed);
+      ExpectSameStream(oracle, got, "shards/workers sweep");
+    }
+  }
+}
+
+TEST(ShardingDeterminism, DistinctSeedsProduceDistinctDigests) {
+  const FleetResult a = RunChainScenario(4, 2, 2, 1);
+  const FleetResult b = RunChainScenario(4, 2, 2, 2);
+  EXPECT_NE(a.fleet_digest, b.fleet_digest);
+}
+
+TEST(ShardingDeterminism, RingOverflowPreservesDigests) {
+  // Burst scenario: each rack fires 32 frames at its neighbour in one
+  // window.  A 1-slot ring cannot hold that, so the credit path runs dry
+  // and frames take the overflow backstop — which must be invisible to
+  // the event stream.
+  auto run = [](uint32_t shards, uint32_t workers, uint32_t ring_capacity) {
+    ShardOptions options;
+    options.racks = 8;
+    options.shards = shards;
+    options.workers = workers;
+    options.seed = 99;
+    options.ring_capacity = ring_capacity;
+    ShardedFleet fleet(options);
+    fleet.set_frame_handler([](Rack& rack, const CrossShardFrame&) {
+      rack.sim().Schedule(Duration::Microseconds(1), [] {});
+    });
+    for (uint32_t r = 0; r < 8; ++r) {
+      Rack& rack = fleet.rack(r);
+      rack.sim().Schedule(Duration::Microseconds(1), [&fleet, &rack] {
+        for (uint32_t i = 0; i < 32; ++i) {
+          rack.Send((rack.index() + 1) % fleet.num_racks(),
+                    fleet.lookahead() + Duration::Microseconds(i % 5), 1, 16);
+        }
+      });
+    }
+    fleet.Run();
+    FleetResult result;
+    result.events = fleet.events_processed();
+    result.routed = fleet.frames_routed();
+    result.windows = fleet.windows();
+    result.spills = fleet.ring_spills();
+    result.fleet_digest = fleet.fleet_digest();
+    for (uint32_t r = 0; r < 8; ++r) {
+      result.rack_digests.push_back(fleet.rack_digest(r));
+    }
+    return result;
+  };
+
+  const FleetResult oracle = run(1, 1, 4096);
+  EXPECT_EQ(oracle.routed, 8u * 32u);
+  const FleetResult tiny = run(4, 4, /*ring_capacity=*/1);
+  EXPECT_GT(tiny.spills, 0u);
+  ExpectSameStream(oracle, tiny, "tiny rings");
+
+  const FleetResult roomy = run(4, 4, 4096);
+  EXPECT_EQ(roomy.spills, 0u);
+  ExpectSameStream(oracle, roomy, "roomy rings");
+}
+
+TEST(ShardingDeterminism, LookaheadAffectsWindowsNotDigests) {
+  // The chain scenario keys its send delays off fleet.lookahead(), so for
+  // this test the frame handler must not — use a fixed-delay scenario:
+  // both runs send with delay 100us, legal under both lookaheads.
+  auto run = [](Duration lookahead) {
+    ShardOptions options;
+    options.racks = 4;
+    options.shards = 4;
+    options.workers = 2;
+    options.seed = 7;
+    options.lookahead = lookahead;
+    ShardedFleet fleet(options);
+    // Delays are fixed (>= the largest lookahead under test) but spread,
+    // so deliveries land 25us apart: a 20us lookahead gives each its own
+    // window while a 100us lookahead batches several per window.
+    fleet.set_frame_handler([&fleet](Rack& rack, const CrossShardFrame& f) {
+      if (f.payload0 == 0) {
+        return;
+      }
+      rack.Send((rack.index() + 1) % fleet.num_racks(),
+                Duration::Microseconds(100 + (f.payload0 % 4) * 25), f.kind,
+                f.bytes, f.payload0 - 1);
+    });
+    for (uint32_t r = 0; r < 4; ++r) {
+      Rack& rack = fleet.rack(r);
+      rack.sim().Schedule(Duration::Microseconds(5 + r * 30), [&fleet, &rack] {
+        rack.Send((rack.index() + 1) % fleet.num_racks(),
+                  Duration::Microseconds(100), 1, 32, /*hops=*/5);
+      });
+    }
+    fleet.Run();
+    return std::pair<uint64_t, uint64_t>(fleet.fleet_digest(),
+                                         fleet.windows());
+  };
+  const auto [digest_short, windows_short] = run(Duration::Microseconds(20));
+  const auto [digest_long, windows_long] = run(Duration::Microseconds(100));
+  EXPECT_EQ(digest_short, digest_long);
+  // A 5x larger lookahead admits more events per window, so the run takes
+  // fewer windows.
+  EXPECT_LT(windows_long, windows_short);
+}
+
+TEST(ShardingDeterminism, RunUntilHorizonMatchesOracle) {
+  const int64_t horizon = 200'000;  // mid-chain: frames still in flight
+  const FleetResult oracle =
+      RunChainScenario(8, 1, 1, 5, 4096, Duration::Microseconds(50), horizon);
+  const FleetResult sharded =
+      RunChainScenario(8, 4, 2, 5, 4096, Duration::Microseconds(50), horizon);
+  ExpectSameStream(oracle, sharded, "partial horizon");
+
+  const FleetResult full = RunChainScenario(8, 1, 1, 5);
+  EXPECT_LT(oracle.events, full.events);
+}
+
+TEST(Sharding, SendBelowLookaheadDies) {
+  ShardOptions options;
+  options.racks = 2;
+  options.shards = 2;
+  options.lookahead = Duration::Microseconds(50);
+  ShardedFleet fleet(options);
+  Rack& rack = fleet.rack(0);
+  rack.sim().Schedule(Duration::Zero(), [&rack] {
+    rack.Send(1, Duration::Microseconds(10), 1, 8);
+  });
+  EXPECT_DEATH(fleet.Run(), "lookahead");
+}
+
+TEST(SpscRing, CapacityRoundsUpAndRefusesWhenFull) {
+  SpscRing ring(3);
+  EXPECT_EQ(ring.capacity(), 4u);
+  CrossShardFrame frame;
+  for (uint64_t i = 0; i < 4; ++i) {
+    frame.src_seq = i;
+    EXPECT_TRUE(ring.TryPush(frame));
+  }
+  frame.src_seq = 99;
+  EXPECT_FALSE(ring.TryPush(frame));  // out of credits, even after refresh
+
+  CrossShardFrame out;
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out.src_seq, i);  // FIFO
+  }
+  EXPECT_FALSE(ring.TryPop(&out));
+
+  // Credits return after the consumer advances.
+  EXPECT_TRUE(ring.TryPush(frame));
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out.src_seq, 99u);
+}
+
+TEST(WorkerPoolTest, RunOnAllCoversEveryIndexAndIsReusable) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  std::vector<std::atomic<uint32_t>> hits(4);
+  for (int round = 0; round < 3; ++round) {
+    pool.RunOnAll([&hits](uint32_t t) { hits[t].fetch_add(1); });
+  }
+  for (uint32_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(hits[t].load(), 3u) << "worker " << t;
+  }
+}
+
+TEST(WorkerPoolTest, SingleThreadPoolRunsInline) {
+  WorkerPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.RunOnAll([&seen, caller](uint32_t t) {
+    EXPECT_EQ(t, 0u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(FaultPlanPartition, RoutesAndReindexesTargets) {
+  faults::FaultPlan plan;
+  plan.seed = 11;
+  // Global targets 0..5 striped over three racks: rack of target i.
+  const std::vector<uint32_t> rack_of = {0, 1, 0, 1, 2, 2};
+  plan.flaps = {{.target = 0, .at = Duration::Seconds(1)},
+                {.target = 3, .at = Duration::Seconds(2)},
+                {.target = 2, .at = Duration::Seconds(3)}};
+  plan.crashes = {{.target = 4, .at = Duration::Seconds(4)},
+                  {.target = 1, .at = Duration::Seconds(5)}};
+  plan.partitions = {{.at = Duration::Seconds(6), .salt = 77},
+                     {.at = Duration::Seconds(7), .salt = 78}};
+
+  const std::vector<faults::FaultPlan> parts = plan.PartitionByRack(rack_of, 3);
+  ASSERT_EQ(parts.size(), 3u);
+
+  // Rack 0 owns global targets {0, 2} -> local {0, 1}.
+  ASSERT_EQ(parts[0].flaps.size(), 2u);
+  EXPECT_EQ(parts[0].flaps[0].target, 0u);  // global 0
+  EXPECT_EQ(parts[0].flaps[0].at, Duration::Seconds(1));
+  EXPECT_EQ(parts[0].flaps[1].target, 1u);  // global 2
+  EXPECT_TRUE(parts[0].crashes.empty());
+
+  // Rack 1 owns {1, 3} -> local {0, 1}.
+  ASSERT_EQ(parts[1].flaps.size(), 1u);
+  EXPECT_EQ(parts[1].flaps[0].target, 1u);  // global 3
+  ASSERT_EQ(parts[1].crashes.size(), 1u);
+  EXPECT_EQ(parts[1].crashes[0].target, 0u);  // global 1
+
+  // Rack 2 owns {4, 5} -> local {0, 1}.
+  EXPECT_TRUE(parts[2].flaps.empty());
+  ASSERT_EQ(parts[2].crashes.size(), 1u);
+  EXPECT_EQ(parts[2].crashes[0].target, 0u);  // global 4
+
+  // Fabric-wide partitions are replicated to every rack, seeds/profile
+  // carried through.
+  for (const faults::FaultPlan& part : parts) {
+    EXPECT_EQ(part.seed, plan.seed);
+    ASSERT_EQ(part.partitions.size(), 2u);
+    EXPECT_EQ(part.partitions[0].salt, 77u);
+    EXPECT_EQ(part.partitions[1].salt, 78u);
+  }
+}
+
+TEST(FaultPlanPartition, GeneratedPlanEventCountsArePreserved) {
+  faults::FaultProfile profile;
+  profile.link_flaps = 9;
+  profile.crashes = 5;
+  profile.partitions = 3;
+  const faults::FaultPlan plan = faults::FaultPlan::Generate(123, profile, 12);
+  std::vector<uint32_t> rack_of(12);
+  for (size_t i = 0; i < rack_of.size(); ++i) {
+    rack_of[i] = static_cast<uint32_t>(i / 3);  // 4 racks of 3 targets
+  }
+  const std::vector<faults::FaultPlan> parts = plan.PartitionByRack(rack_of, 4);
+  size_t flaps = 0;
+  size_t crashes = 0;
+  for (const faults::FaultPlan& part : parts) {
+    flaps += part.flaps.size();
+    crashes += part.crashes.size();
+    EXPECT_EQ(part.partitions.size(), plan.partitions.size());
+    for (const faults::LinkFlapEvent& flap : part.flaps) {
+      EXPECT_LT(flap.target, 3u);  // reindexed into the rack-local range
+    }
+  }
+  EXPECT_EQ(flaps, plan.flaps.size());
+  EXPECT_EQ(crashes, plan.crashes.size());
+}
+
+#if BOLTED_OBS
+TEST(ObsMerge, MergedSingleRegistryMatchesOwnExport) {
+  Simulation sim;
+  obs::Registry registry(sim);
+  registry.Add("alpha", 3);
+  registry.Add("beta", 40);
+  registry.Record("lat", 10);
+  registry.Record("lat", 5000);
+  const obs::Registry* parts[] = {&registry};
+  EXPECT_EQ(obs::Registry::MergedMetricsText(parts), registry.MetricsText());
+  EXPECT_EQ(obs::Registry::MergedMetricsJson(parts), registry.MetricsJson());
+}
+
+TEST(ObsMerge, MergedUnionEqualsCombinedRegistryAndIsOrderInvariant) {
+  // Two per-rack registries vs one registry that recorded everything:
+  // the merged export of the pair must be byte-identical to the combined
+  // registry's own export, in either merge order.
+  Simulation sim_a;
+  Simulation sim_b;
+  Simulation sim_c;
+  obs::Registry a(sim_a);
+  obs::Registry b(sim_b);
+  obs::Registry combined(sim_c);
+
+  a.Add("shared.counter", 10);
+  b.Add("shared.counter", 7);
+  combined.Add("shared.counter", 17);
+  a.Add("only.a", 2);
+  combined.Add("only.a", 2);
+  b.Add("only.b", 5);
+  combined.Add("only.b", 5);
+  for (const uint64_t v : {1u, 17u, 900u}) {
+    a.Record("lat", v);
+    combined.Record("lat", v);
+  }
+  for (const uint64_t v : {3u, 250'000u}) {
+    b.Record("lat", v);
+    combined.Record("lat", v);
+  }
+
+  const obs::Registry* ab[] = {&a, &b};
+  const obs::Registry* ba[] = {&b, &a};
+  EXPECT_EQ(obs::Registry::MergedMetricsText(ab), combined.MetricsText());
+  EXPECT_EQ(obs::Registry::MergedMetricsJson(ab), combined.MetricsJson());
+  EXPECT_EQ(obs::Registry::MergedMetricsText(ba),
+            obs::Registry::MergedMetricsText(ab));
+  EXPECT_EQ(obs::Registry::MergedMetricsJson(ba),
+            obs::Registry::MergedMetricsJson(ab));
+}
+#endif  // BOLTED_OBS
+
+TEST(NetworkInject, DeliversToVlanMemberAndCounts) {
+  Simulation sim;
+  net::Network network(sim, Duration::Microseconds(10), 1e9);
+  net::Endpoint& dst = network.CreateEndpoint("dst");
+  network.AttachToVlan(dst.address(), 5);
+
+  net::Message message;
+  message.dst = dst.address();
+  message.src = 9999;  // a port on the remote partition
+  message.kind = "shard.ingress";
+  message.payload = crypto::Bytes(256, 0xab);
+  EXPECT_TRUE(network.InjectFrame(std::move(message), 5));
+  sim.Run();
+
+  EXPECT_EQ(network.injected_frames(), 1u);
+  ASSERT_EQ(dst.inbox().size(), 1u);
+  EXPECT_EQ(network.total_drops(), 0u);
+}
+
+TEST(NetworkInject, DropsOnWrongVlanUnknownPortOrDownLink) {
+  Simulation sim;
+  net::Network network(sim, Duration::Microseconds(10), 1e9);
+  net::Endpoint& dst = network.CreateEndpoint("dst");
+  network.AttachToVlan(dst.address(), 5);
+
+  net::Message wrong_vlan;
+  wrong_vlan.dst = dst.address();
+  EXPECT_FALSE(network.InjectFrame(std::move(wrong_vlan), 6));
+
+  net::Message unknown;
+  unknown.dst = 424242;
+  EXPECT_FALSE(network.InjectFrame(std::move(unknown), 5));
+
+  network.SetLinkUp(dst.address(), false);
+  net::Message down;
+  down.dst = dst.address();
+  EXPECT_FALSE(network.InjectFrame(std::move(down), 5));
+
+  sim.Run();
+  EXPECT_EQ(network.injected_frames(), 0u);
+  EXPECT_EQ(network.total_drops(), 3u);
+  EXPECT_TRUE(dst.inbox().empty());
+}
+
+TEST(NetworkInject, InFlightVlanChangeDropsAtDelivery) {
+  Simulation sim;
+  net::Network network(sim, Duration::Microseconds(10), 1e9);
+  net::Endpoint& dst = network.CreateEndpoint("dst");
+  network.AttachToVlan(dst.address(), 5);
+
+  net::Message message;
+  message.dst = dst.address();
+  message.payload = crypto::Bytes(64, 1);
+  EXPECT_TRUE(network.InjectFrame(std::move(message), 5));
+  // HIL moves the port before the bytes clear the NIC.
+  network.DetachFromVlan(dst.address(), 5);
+  sim.Run();
+
+  EXPECT_EQ(network.injected_frames(), 0u);
+  EXPECT_EQ(network.total_drops(), 1u);
+  EXPECT_TRUE(dst.inbox().empty());
+}
+
+// Full integration: each rack hosts its own Network (on the rack's
+// Simulation); cross-rack traffic leaves as CrossShardFrames and enters
+// the destination rack through Network::InjectFrame.  The per-rack
+// digests — which now cover NIC occupancy, the inject coroutine, and
+// inbox deliveries — must stay invariant across shard/worker counts.
+TEST(ShardedNetwork, PerRackNetworksStayDigestInvariant) {
+  static constexpr uint32_t kRacks = 4;
+  static constexpr net::VlanId kVlan = 7;
+  static constexpr uint32_t kNetKind = 21;
+
+  struct RackNet {
+    std::unique_ptr<net::Network> network;
+    net::Address port = 0;
+  };
+
+  auto run = [&](uint32_t shards, uint32_t workers) {
+    ShardOptions options;
+    options.racks = kRacks;
+    options.shards = shards;
+    options.workers = workers;
+    options.seed = 1234;
+    options.lookahead = Duration::Microseconds(50);
+    ShardedFleet fleet(options);
+
+    std::vector<RackNet> nets(kRacks);
+    for (uint32_t r = 0; r < kRacks; ++r) {
+      Rack& rack = fleet.rack(r);
+      nets[r].network = std::make_unique<net::Network>(
+          rack.sim(), Duration::Microseconds(10), 1e9);
+      net::Endpoint& port =
+          nets[r].network->CreateEndpoint("uplink-" + std::to_string(r));
+      nets[r].network->AttachToVlan(port.address(), kVlan);
+      nets[r].port = port.address();
+    }
+
+    fleet.set_frame_handler(
+        [&fleet, &nets](Rack& rack, const CrossShardFrame& frame) {
+          net::Message message;
+          message.dst = nets[rack.index()].port;
+          message.src = 9000 + frame.src_rack;
+          message.kind = "shard.ingress";
+          message.wire_bytes = frame.bytes;
+          nets[rack.index()].network->InjectFrame(std::move(message), kVlan);
+          if (frame.payload0 > 0) {
+            rack.Send((rack.index() + 1) % fleet.num_racks(),
+                      fleet.lookahead() + Duration::Microseconds(frame.bytes % 5),
+                      frame.kind, frame.bytes + 1, frame.payload0 - 1);
+          }
+        });
+
+    for (uint32_t r = 0; r < kRacks; ++r) {
+      Rack& rack = fleet.rack(r);
+      rack.sim().Schedule(Duration::Microseconds(2 + r), [&fleet, &rack] {
+        rack.Send((rack.index() + 1) % fleet.num_racks(), fleet.lookahead(),
+                  kNetKind, 100, /*hops=*/4);
+      });
+    }
+    fleet.Run();
+
+    uint64_t injected = 0;
+    for (const RackNet& rack_net : nets) {
+      injected += rack_net.network->injected_frames();
+    }
+    std::vector<uint64_t> digests;
+    for (uint32_t r = 0; r < kRacks; ++r) {
+      digests.push_back(fleet.rack_digest(r));
+    }
+    return std::pair<uint64_t, std::vector<uint64_t>>(injected, digests);
+  };
+
+  const auto [oracle_injected, oracle_digests] = run(1, 1);
+  // 4 tokens x (1 initial delivery + 4 hops... ) — just pin the invariant
+  // that traffic flowed and every delivery was injected.
+  EXPECT_GT(oracle_injected, 0u);
+  for (const auto& [shards, workers] :
+       {std::pair<uint32_t, uint32_t>{2, 2}, {4, 2}, {4, 4}}) {
+    const auto [injected, digests] = run(shards, workers);
+    EXPECT_EQ(injected, oracle_injected) << shards << "s/" << workers << "w";
+    EXPECT_EQ(digests, oracle_digests) << shards << "s/" << workers << "w";
+  }
+}
+
+}  // namespace
+}  // namespace bolted::sim
