@@ -5,6 +5,7 @@
 #   scripts/check.sh --asan   # additionally build/test with ASan + UBSan
 #   scripts/check.sh --tsan   # additionally build/run the sharding suite under TSan
 #   scripts/check.sh --bench  # additionally smoke-run the JSON bench runners
+#   scripts/check.sh --scenario  # additionally run the full 16-seed scenario soak
 #
 # Flags combine (e.g. `scripts/check.sh --asan --bench`).  The sanitizer
 # builds live in build-asan/ and build-tsan/ so they never disturb the
@@ -16,11 +17,13 @@ cd "$(dirname "$0")/.."
 want_asan=0
 want_tsan=0
 want_bench=0
+want_scenario=0
 for arg in "$@"; do
   case "${arg}" in
     --asan) want_asan=1 ;;
     --tsan) want_tsan=1 ;;
     --bench) want_bench=1 ;;
+    --scenario) want_scenario=1 ;;
     *)
       echo "unknown flag: ${arg}" >&2
       exit 2
@@ -52,6 +55,12 @@ ctest --test-dir build --output-on-failure -L attestation
 echo "== tier-1: sharded-runtime suite (ctest -L sharding) =="
 ctest --test-dir build --output-on-failure -L sharding
 
+# The -L argument is a regex, so "scenario" selects both the scenario_test
+# suite and the 16-seed scenario_soak sweep (incl. the 1024-node sharded
+# acceptance run).
+echo "== tier-1: scenario suite + soak (ctest -L scenario) =="
+ctest --test-dir build --output-on-failure -L scenario
+
 if [[ "${want_asan}" == 1 ]]; then
   echo "== sanitizers: ASan + UBSan =="
   run_suite build-asan -DBOLTED_SANITIZE=ON
@@ -73,6 +82,11 @@ if [[ "${want_asan}" == 1 ]]; then
   # instrumented too.
   echo "== sanitizers: batched attestation suite under ASan =="
   ctest --test-dir build-asan --output-on-failure -L attestation
+  # The scenario runner drives every subsystem at once (coroutines, fault
+  # injector, Keylime pipeline, sniffer) over long horizons, so it is a
+  # good ASan workload; 4 seeds keep the instrumented run tractable.
+  echo "== sanitizers: scenario soak under ASan (4 seeds) =="
+  ./build-asan/tests/scenario_soak_test --seeds=4
 fi
 
 if [[ "${want_tsan}" == 1 ]]; then
@@ -82,10 +96,15 @@ if [[ "${want_tsan}" == 1 ]]; then
   # in the tree, and the sharding suite drives all of them (plus a
   # multi-threaded fleet_sharding sweep for the window loop at scale).
   cmake -B build-tsan -S . -DBOLTED_SANITIZE=thread
-  cmake --build build-tsan -j --target sharding_test fleet_sharding
+  cmake --build build-tsan -j --target sharding_test fleet_sharding \
+    scenario_soak_test
   ./build-tsan/tests/sharding_test
   ./build-tsan/bench/fleet_sharding --nodes=512 --horizon-ms=1 \
     /tmp/bolted_tsan_bench_sharding.json
+  # The sharded scenario model layers lifecycle state on the same rings and
+  # barriers; --sharded-only skips the single-threaded oracle sweep and
+  # runs just the threaded 1024-node acceptance scenario.
+  ./build-tsan/tests/scenario_soak_test --sharded-only
 fi
 
 if [[ "${want_bench}" == 1 ]]; then
@@ -100,11 +119,21 @@ if [[ "${want_bench}" == 1 ]]; then
   ./build/bench/fleet_attestation build/bench/BENCH_attestation.fresh.json
   ./build/bench/fleet_provisioning build/bench/BENCH_provisioning.fresh.json
   ./build/bench/fleet_sharding build/bench/BENCH_sharding.fresh.json
+  ./build/bench/fleet_scenario build/bench/BENCH_scenario.fresh.json
   python3 scripts/bench_guard.py \
     BENCH_sim.json build/bench/BENCH_sim.fresh.json \
     BENCH_attestation.json build/bench/BENCH_attestation.fresh.json \
     BENCH_provisioning.json build/bench/BENCH_provisioning.fresh.json \
-    BENCH_sharding.json build/bench/BENCH_sharding.fresh.json
+    BENCH_sharding.json build/bench/BENCH_sharding.fresh.json \
+    BENCH_scenario.json build/bench/BENCH_scenario.fresh.json
+fi
+
+if [[ "${want_scenario}" == 1 ]]; then
+  # The plain tier-1 pass above already ran the scenario label through
+  # ctest; this flag re-runs the soak binary directly with verbose seed
+  # output, which is the handy form when bisecting a failing seed.
+  echo "== scenario: 16-seed soak + 1024-node sharded acceptance =="
+  ./build/tests/scenario_soak_test
 fi
 
 echo "All checks passed."

@@ -132,6 +132,12 @@ keylime::Whitelist Enclave::BuildWhitelist() const {
   return whitelist;
 }
 
+void Enclave::AllowBootDigest(const crypto::Digest& digest) {
+  // Same shared-whitelist mechanics as AllowRuntimeFile: the verifier sees
+  // the new boot digest immediately, ahead of the first upgraded quote.
+  whitelist_->AllowBoot(digest);
+}
+
 void Enclave::AllowRuntimeFile(const std::string& path, const crypto::Digest& content) {
   // The verifier holds a shared view of this whitelist, so the update is
   // visible to continuous attestation immediately (the tenant "pushing a
@@ -242,7 +248,11 @@ sim::Task Enclave::RejectNode(const std::string& node, NodeRuntime& rt,
   // The agent's RPC handlers (and any in-flight handler coroutine stuck on
   // a TPM delay) hold raw pointers to it, so it is parked rather than
   // destroyed; the next provisioning of this machine replaces the handlers.
+  // Its IMA log dies with rt.ima below, so detach it first — a quote
+  // already in flight then reports an empty list instead of reading freed
+  // memory.
   if (rt.agent != nullptr) {
+    rt.agent->AttachIma(nullptr);
     retired_agents_.push_back(std::move(rt.agent));
   }
   rt.ima.reset();
@@ -472,7 +482,10 @@ sim::Task Enclave::ProvisionNode(const std::string& node, ProvisionOutcome* outc
   NodeRuntime& rt = nodes_[node];
   if (rt.agent != nullptr) {
     // Left over from a prior life of this node (e.g. a violation without a
-    // release): park it, handlers may still reference it.
+    // release): park it, handlers may still reference it.  The runtime —
+    // including the IMA log the agent points at — is replaced below, so
+    // detach the log before parking.
+    rt.agent->AttachIma(nullptr);
     retired_agents_.push_back(std::move(rt.agent));
   }
   rt = NodeRuntime{};
@@ -603,6 +616,10 @@ sim::Task Enclave::ReleaseNode(const std::string& node, bool keep_snapshot) {
   }
   splits_.erase(node);
   if (rt.agent != nullptr) {
+    // The parked agent outlives this runtime (in-flight RPC handlers hold
+    // raw pointers to it), but the IMA log it points at dies with the
+    // nodes_.erase below — detach so a late quote serves an empty list.
+    rt.agent->AttachIma(nullptr);
     retired_agents_.push_back(std::move(rt.agent));
   }
   if (rt.image != 0) {

@@ -92,6 +92,10 @@ class Enclave {
 
   // Extends the tenant's runtime whitelist (application rollout).
   void AllowRuntimeFile(const std::string& path, const crypto::Digest& content);
+  // Extends the tenant's boot whitelist (firmware rollout): the tenant
+  // rebuilds the next LinuxBoot from source, predicts its digest, and
+  // pushes it before the staged reflash so upgraded canaries attest clean.
+  void AllowBootDigest(const crypto::Digest& digest);
 
   // --- Runtime events (used by tests, examples, and benches) -------------
 

@@ -1,0 +1,390 @@
+#include "src/scenario/scenario.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+namespace bolted::scenario {
+namespace {
+
+// Splits a line into whitespace-separated tokens; '#' starts a comment.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '#') {
+      break;
+    }
+    const size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' && line[i] != '\r' &&
+           line[i] != '#') {
+      ++i;
+    }
+    tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool ParseU64(std::string_view token, uint64_t* out) {
+  if (token.empty()) {
+    return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool ParseInt(std::string_view token, int* out) {
+  uint64_t value = 0;
+  if (!ParseU64(token, &value) || value > 1u << 30) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseFraction(std::string_view token, double* out) {
+  if (token.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string owned(token);
+  *out = std::strtod(owned.c_str(), &end);
+  return end == owned.c_str() + owned.size() && *out >= 0.0 && *out <= 1.0;
+}
+
+// "<integer><ns|us|ms|s|m>", e.g. "90s", "250ms", "10m".
+bool ParseDuration(std::string_view token, sim::Duration* out) {
+  size_t digits = 0;
+  while (digits < token.size() && token[digits] >= '0' && token[digits] <= '9') {
+    ++digits;
+  }
+  if (digits == 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  if (!ParseU64(token.substr(0, digits), &value) || value > 1ull << 40) {
+    return false;
+  }
+  const std::string_view unit = token.substr(digits);
+  const auto n = static_cast<int64_t>(value);
+  if (unit == "ns") {
+    *out = sim::Duration::Nanoseconds(n);
+  } else if (unit == "us") {
+    *out = sim::Duration::Microseconds(n);
+  } else if (unit == "ms") {
+    *out = sim::Duration::Milliseconds(n);
+  } else if (unit == "s") {
+    *out = sim::Duration::Seconds(n);
+  } else if (unit == "m") {
+    *out = sim::Duration::Minutes(n);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseTier(std::string_view token, Tier* out) {
+  if (token == "alice") {
+    *out = Tier::kAlice;
+  } else if (token == "bob") {
+    *out = Tier::kBob;
+  } else if (token == "charlie") {
+    *out = Tier::kCharlie;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// "key=value" option splitter.
+bool SplitOption(std::string_view token, std::string_view* key,
+                 std::string_view* value) {
+  const size_t eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0 || eq + 1 >= token.size()) {
+    return false;
+  }
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+std::string LineError(int line, const std::string& message) {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+std::string Quoted(std::string_view token) {
+  return "'" + std::string(token) + "'";
+}
+
+std::string SecondsString(sim::Duration d) {
+  // Phase starts in specs are whole seconds; keep the message exact.
+  return std::to_string(d.nanoseconds() / 1'000'000'000) + "s";
+}
+
+}  // namespace
+
+std::string_view PhaseName(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kChurn:
+      return "churn";
+    case PhaseKind::kRebootStorm:
+      return "reboot_storm";
+    case PhaseKind::kRollingUpgrade:
+      return "rolling_upgrade";
+    case PhaseKind::kQuarantineSweep:
+      return "quarantine_sweep";
+    case PhaseKind::kAirlockResize:
+      return "airlock_resize";
+  }
+  return "?";
+}
+
+int ScenarioSpec::total_tenant_nodes() const {
+  int total = 0;
+  for (const TenantSpec& tenant : tenants) {
+    total += tenant.nodes;
+  }
+  return total;
+}
+
+std::string ScenarioSpec::Validate() const {
+  if (tenants.empty()) {
+    return "scenario has no tenants";
+  }
+  for (const TenantSpec& tenant : tenants) {
+    if (tenant.nodes <= 0) {
+      return "tenant " + Quoted(tenant.name) + " has no nodes";
+    }
+  }
+  if (machines < total_tenant_nodes()) {
+    return "machines (" + std::to_string(machines) +
+           ") fewer than total tenant nodes (" +
+           std::to_string(total_tenant_nodes()) + ")";
+  }
+  if (airlock_slots <= 0) {
+    return "airlock_slots must be positive";
+  }
+  for (const PhaseSpec& phase : phases) {
+    if (phase.start >= duration) {
+      return "phase '" + std::string(PhaseName(phase.kind)) + "' at " +
+             SecondsString(phase.start) + " starts after the scenario ends (" +
+             SecondsString(duration) + ")";
+    }
+    if (phase.kind == PhaseKind::kAirlockResize && phase.airlock_slots <= 0) {
+      return "airlock_resize phase needs slots=N";
+    }
+    if (phase.kind == PhaseKind::kRollingUpgrade && phase.canaries <= 0) {
+      return "rolling_upgrade phase needs at least one canary";
+    }
+  }
+  for (const faults::CrashEvent& crash : crashes) {
+    if (crash.target >= static_cast<size_t>(machines)) {
+      return "crash target " + std::to_string(crash.target) +
+             " out of range (machines: " + std::to_string(machines) + ")";
+    }
+  }
+  for (const faults::LinkFlapEvent& flap : flaps) {
+    if (flap.target >= static_cast<size_t>(machines)) {
+      return "flap target " + std::to_string(flap.target) +
+             " out of range (machines: " + std::to_string(machines) + ")";
+    }
+  }
+  return "";
+}
+
+bool ScenarioSpec::Parse(std::string_view text, ScenarioSpec* spec,
+                         std::string* error) {
+  *spec = ScenarioSpec{};
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  int line = 0;
+  const auto fail = [&](const std::string& message) {
+    *error = LineError(line, message);
+    return false;
+  };
+
+  while (std::getline(stream, raw)) {
+    ++line;
+    const std::vector<std::string_view> tokens = Tokenize(raw);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string_view directive = tokens[0];
+    const size_t args = tokens.size() - 1;
+
+    if (directive == "scenario") {
+      if (args != 1) {
+        return fail("scenario expects exactly one name");
+      }
+      spec->name = std::string(tokens[1]);
+    } else if (directive == "seed") {
+      if (args != 1 || !ParseU64(tokens[1], &spec->seed)) {
+        return fail("seed must be a non-negative integer");
+      }
+    } else if (directive == "duration") {
+      if (args != 1 || !ParseDuration(tokens[1], &spec->duration)) {
+        return fail("duration " + Quoted(args >= 1 ? tokens[1] : "") +
+                    " must be an integer followed by ns, us, ms, s, or m");
+      }
+    } else if (directive == "machines") {
+      if (args != 1 || !ParseInt(tokens[1], &spec->machines)) {
+        return fail("machines must be a positive integer");
+      }
+    } else if (directive == "airlock_slots") {
+      if (args != 1 || !ParseInt(tokens[1], &spec->airlock_slots)) {
+        return fail("airlock_slots must be a positive integer");
+      }
+    } else if (directive == "calibration") {
+      if (args != 1 || (tokens[1] != "fleet" && tokens[1] != "paper")) {
+        return fail("calibration must be fleet or paper");
+      }
+      spec->fleet_calibration = tokens[1] == "fleet";
+    } else if (directive == "tenant") {
+      if (args != 3) {
+        return fail("tenant expects: tenant <name> <tier> <nodes>");
+      }
+      TenantSpec tenant;
+      tenant.name = std::string(tokens[1]);
+      if (!ParseTier(tokens[2], &tenant.tier)) {
+        return fail("tier " + Quoted(tokens[2]) +
+                    " must be alice, bob, or charlie");
+      }
+      if (!ParseInt(tokens[3], &tenant.nodes) || tenant.nodes <= 0) {
+        return fail("tenant node count must be a positive integer");
+      }
+      spec->tenants.push_back(std::move(tenant));
+    } else if (directive == "arrival") {
+      if (args >= 1 && tokens[1] == "fixed") {
+        if (args != 2 || !ParseDuration(tokens[2], &spec->arrival.fixed_spacing)) {
+          return fail("arrival fixed expects a spacing duration");
+        }
+        spec->arrival.kind = ArrivalKind::kFixed;
+      } else if (args >= 1 && tokens[1] == "poisson") {
+        // "arrival poisson 6/min"
+        std::string_view rate = args >= 2 ? tokens[2] : "";
+        if (rate.size() > 4 && rate.substr(rate.size() - 4) == "/min") {
+          rate = rate.substr(0, rate.size() - 4);
+        } else {
+          rate = "";
+        }
+        uint64_t per_minute = 0;
+        if (args != 2 || !ParseU64(rate, &per_minute) || per_minute == 0) {
+          return fail("arrival poisson expects a rate like 6/min");
+        }
+        spec->arrival.kind = ArrivalKind::kPoisson;
+        spec->arrival.rate_per_minute = static_cast<double>(per_minute);
+      } else if (args >= 1 && tokens[1] == "burst") {
+        if (args != 3 || !ParseInt(tokens[2], &spec->arrival.burst_size) ||
+            spec->arrival.burst_size <= 0 ||
+            !ParseDuration(tokens[3], &spec->arrival.burst_interval)) {
+          return fail("arrival burst expects: arrival burst <size> <interval>");
+        }
+        spec->arrival.kind = ArrivalKind::kBurst;
+      } else {
+        return fail("arrival kind " + Quoted(args >= 1 ? tokens[1] : "") +
+                    " must be fixed, poisson, or burst");
+      }
+    } else if (directive == "faults") {
+      if (args != 1 ||
+          (tokens[1] != "on" && tokens[1] != "off" && tokens[1] != "plan")) {
+        return fail("faults must be on, off, or plan");
+      }
+      spec->faults = tokens[1] == "on"     ? FaultMode::kOn
+                     : tokens[1] == "plan" ? FaultMode::kPlan
+                                           : FaultMode::kOff;
+    } else if (directive == "crash") {
+      faults::CrashEvent crash;
+      int target = 0;
+      if (args != 2 || !ParseInt(tokens[1], &target) ||
+          !ParseDuration(tokens[2], &crash.at)) {
+        return fail("crash expects: crash <target> <at>");
+      }
+      crash.target = static_cast<size_t>(target);
+      spec->crashes.push_back(crash);
+    } else if (directive == "flap") {
+      faults::LinkFlapEvent flap;
+      int target = 0;
+      if (args != 3 || !ParseInt(tokens[1], &target) ||
+          !ParseDuration(tokens[2], &flap.at) ||
+          !ParseDuration(tokens[3], &flap.duration)) {
+        return fail("flap expects: flap <target> <at> <duration>");
+      }
+      flap.target = static_cast<size_t>(target);
+      spec->flaps.push_back(flap);
+    } else if (directive == "phase") {
+      if (args < 2) {
+        return fail("phase expects: phase <kind> <start> [duration] [options]");
+      }
+      PhaseSpec phase;
+      size_t next = 2;  // first token after the kind
+      if (tokens[1] == "churn") {
+        phase.kind = PhaseKind::kChurn;
+      } else if (tokens[1] == "reboot_storm") {
+        phase.kind = PhaseKind::kRebootStorm;
+      } else if (tokens[1] == "rolling_upgrade") {
+        phase.kind = PhaseKind::kRollingUpgrade;
+      } else if (tokens[1] == "quarantine_sweep") {
+        phase.kind = PhaseKind::kQuarantineSweep;
+      } else if (tokens[1] == "airlock_resize") {
+        phase.kind = PhaseKind::kAirlockResize;
+      } else {
+        return fail("unknown phase " + Quoted(tokens[1]));
+      }
+      if (!ParseDuration(tokens[next], &phase.start)) {
+        return fail("phase start " + Quoted(tokens[next]) + " is not a duration");
+      }
+      ++next;
+      // Optional duration (windowed phases), then key=value options.
+      if (next < tokens.size() && tokens[next].find('=') == std::string_view::npos) {
+        if (!ParseDuration(tokens[next], &phase.duration)) {
+          return fail("phase duration " + Quoted(tokens[next]) +
+                      " is not a duration");
+        }
+        ++next;
+      }
+      for (; next < tokens.size(); ++next) {
+        std::string_view key;
+        std::string_view value;
+        if (!SplitOption(tokens[next], &key, &value)) {
+          return fail("phase option " + Quoted(tokens[next]) +
+                      " is not key=value");
+        }
+        bool ok = true;
+        if (key == "hold") {
+          ok = ParseDuration(value, &phase.hold);
+        } else if (key == "release") {
+          ok = ParseFraction(value, &phase.release_fraction);
+        } else if (key == "fraction") {
+          ok = ParseFraction(value, &phase.storm_fraction);
+        } else if (key == "canaries") {
+          ok = ParseInt(value, &phase.canaries);
+        } else if (key == "bad") {
+          phase.bad_image = value == "1";
+          ok = value == "0" || value == "1";
+        } else if (key == "compromise") {
+          ok = ParseFraction(value, &phase.compromise_fraction);
+        } else if (key == "slots") {
+          ok = ParseInt(value, &phase.airlock_slots);
+        } else {
+          return fail("unknown phase option " + Quoted(key));
+        }
+        if (!ok) {
+          return fail("phase option " + Quoted(tokens[next]) +
+                      " has a malformed value");
+        }
+      }
+      spec->phases.push_back(phase);
+    } else {
+      return fail("unknown directive " + Quoted(directive));
+    }
+  }
+
+  *error = spec->Validate();
+  return error->empty();
+}
+
+}  // namespace bolted::scenario

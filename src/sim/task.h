@@ -284,6 +284,12 @@ class Semaphore {
   Awaiter Acquire() { return Awaiter{*this}; }
 
   void Release() {
+    if (count_ < 0) {
+      // A shrink is outstanding: this permit retires the debt instead of
+      // waking a waiter — the pool really is smaller now.
+      ++count_;
+      return;
+    }
     if (!waiters_.empty()) {
       std::coroutine_handle<> h = waiters_.front();
       waiters_.pop_front();
@@ -292,6 +298,17 @@ class Semaphore {
       return;
     }
     ++count_;
+  }
+
+  // Elastic resizing (e.g. the provider adding/removing airlock capacity
+  // under load).  Growing by n releases up to n waiters immediately;
+  // shrinking is lazy: count_ goes negative and in-flight holders' future
+  // Release() calls retire the debt, so no holder is ever revoked.
+  void AddPermits(int64_t n) {
+    for (; n > 0; --n) {
+      Release();
+    }
+    count_ += n;  // n <= 0 here; negative count_ is outstanding debt
   }
 
   int64_t count() const { return count_; }

@@ -19,6 +19,13 @@
 //                    the registry's counters reconcile with the injector's
 //                    and verifiers' own books (BOLTED_OBS builds only).
 //
+// One interleaving this suite cannot reach: a machine crash landing inside
+// a firmware-upgrade window (the plan's single crash fires during steady
+// attestation, never mid-reflash).  That case is covered by the scenario
+// engine — scenario_test's CrashDuringUpgradeWindowAbortsCleanly plants a
+// crash inside a rolling upgrade via FaultMode::kPlan and asserts clean
+// abort, rollback to the old firmware, and re-provisioning.
+//
 // Run a single failing seed with:  chaos_test --seed=N
 
 #include <gtest/gtest.h>
