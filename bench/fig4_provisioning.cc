@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "src/obs/obs.h"
+#include "src/provision/chunk_cache.h"
 #include "src/provision/foreman.h"
 
 namespace bolted {
@@ -80,21 +81,51 @@ double RunScenario(const Scenario& s, bool print_phases,
   return outcome.trace.total().ToSecondsF();
 }
 
-double RunForeman() {
+// With `chunked`, the OS install bytes arrive as digest-verified chunks
+// through the rack chunk cache instead of a straight stream from the
+// provisioning server — the Foreman flow's half of the content-addressed
+// distribution path (DESIGN.md §14).
+double RunForeman(bool chunked) {
   core::CloudConfig config;
   config.num_machines = 1;
   config.linuxboot_in_flash = false;  // Foreman uses the vendor firmware
+  config.chunked_distribution = chunked;
   core::Cloud cloud(config);
+
+  machine::Machine& machine = *cloud.FindMachine("node-0");
+  provision::ForemanOptions options;
+  std::unique_ptr<provision::ChunkFetcher> fetcher;
+  storage::ChunkManifest manifest;
+  if (chunked) {
+    cloud.BridgeServiceOntoVlan(machine.endpoint().address(),
+                                cloud.provisioning_vlan());
+    manifest = storage::ChunkManifest::ForImage(
+        "foreman-install", options.install_bytes, cloud.cal().chunk_bytes);
+    provision::RackChunkCache* cache =
+        cloud.rack_chunk_cache_for(machine.endpoint().address());
+    fetcher = std::make_unique<provision::ChunkFetcher>(
+        cloud.sim(), machine.rpc(), cache->address(), &machine.crypto_cpu());
+    fetcher->Start();
+    options.chunked_fetch = [&](uint64_t bytes) -> sim::Task {
+      bool ok = false;
+      co_await fetcher->FetchPrefix(manifest, bytes, &ok);
+      if (!ok) {
+        std::fprintf(stderr, "chunked install fetch failed\n");
+        std::abort();
+      }
+    };
+  }
 
   provision::PhaseTrace trace(cloud.sim());
   trace.Start(cloud.sim(), "provision:foreman");
-  provision::ForemanOptions options;
   auto flow = [&]() -> sim::Task {
-    co_await provision::ForemanProvision(*cloud.FindMachine("node-0"), options, &trace);
+    co_await provision::ForemanProvision(machine, options, &trace);
   };
   cloud.sim().Spawn(flow());
   cloud.sim().Run();
-  std::printf("Foreman phase breakdown:\n%s", trace.ToString().c_str());
+  if (!chunked) {
+    std::printf("Foreman phase breakdown:\n%s", trace.ToString().c_str());
+  }
   return trace.total().ToSecondsF();
 }
 
@@ -118,7 +149,8 @@ int main(int argc, char** argv) {
   }
 
   PrintHeader("Figure 4: provisioning time of one server");
-  const double foreman = bolted::RunForeman();
+  const double foreman = bolted::RunForeman(/*chunked=*/false);
+  const double foreman_chunked = bolted::RunForeman(/*chunked=*/true);
 
   const bolted::Scenario scenarios[] = {
       {"UEFI / no attestation", false, false, false},
@@ -138,6 +170,7 @@ int main(int argc, char** argv) {
 
   PrintHeader("Figure 4: totals");
   PrintRow("Foreman (stateful baseline)", foreman, "s");
+  PrintRow("Foreman (chunked rack cache)", foreman_chunked, "s");
   index = 0;
   for (const auto& scenario : scenarios) {
     PrintRow(scenario.label, totals[index++], "s");

@@ -10,6 +10,13 @@
 // for the whole fleet plus the host-side events_per_second / ns_per_event
 // the regression guard tracks.
 //
+// The fleet is provisioned twice: once with the classic image pull (every
+// node streams its boot working set from the central object store over
+// iSCSI) and once with content-addressed chunked distribution (per-rack
+// chunk caches, the store only serves cold misses).  The second run emits
+// the chunk_cache_hit_rate and origin-bytes rows, and the bench enforces
+// the >= 5x origin-byte reduction the chunked path exists to deliver.
+//
 // The calibration is scaled for fleet runs: LinuxBoot in flash (no iPXE
 // chain-load), a 32 MiB boot image, and 64 concurrent airlock slots so
 // the run exercises parallelism instead of the prototype's single-airlock
@@ -36,34 +43,38 @@ double MillisSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
-}  // namespace
+struct FleetResult {
+  double build_ms = 0;
+  double wall_ms = 0;
+  double sim_seconds = 0;
+  uint64_t events = 0;
+  double origin_bytes = 0;     // OSD bytes served while the fleet booted
+  double cache_hit_rate = 0;   // chunked runs only
+};
 
-int main(int argc, char** argv) {
+double OsdBytesServed(bolted::core::Cloud& cloud) {
+  double total = 0;
+  for (int h = 0; h < cloud.ceph().config().num_osd_hosts; ++h) {
+    total += cloud.ceph().osd_resource(h).total_served();
+  }
+  return total;
+}
+
+FleetResult RunFleet(int nodes, bool chunked) {
   using namespace bolted;
-  const char* out_path = "BENCH_provisioning.json";
-  int nodes = 4096;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--nodes=", 8) == 0 && argv[i][8] != '\0') {
-      nodes = std::atoi(argv[i] + 8);
-    } else {
-      out_path = argv[i];
-    }
-  }
-  if (nodes <= 0) {
-    std::fprintf(stderr, "--nodes must be positive\n");
-    return 2;
-  }
 
   core::CloudConfig config;
   config.num_machines = nodes;
   config.linuxboot_in_flash = true;
   config.racks = nodes >= 256 ? 8 : 1;
+  config.chunked_distribution = chunked;
   config.cal.boot_read_bytes = 32ull << 20;
   config.cal.max_concurrent_airlocks = 64;
 
   const auto build_start = Clock::now();
   core::Cloud cloud(config);
-  const double build_ms = MillisSince(build_start);
+  FleetResult result;
+  result.build_ms = MillisSince(build_start);
 
   // Alice's profile: no attestation, no encryption — the flow is pure
   // control plane + boot I/O, so the event rate measures the scheduler
@@ -87,24 +98,65 @@ int main(int argc, char** argv) {
     cloud.sim().Spawn(provision(i));
   }
 
+  const double osd_before = OsdBytesServed(cloud);
   const auto start = Clock::now();
   cloud.sim().Run();
-  const double wall_ms = MillisSince(start);
+  result.wall_ms = MillisSince(start);
+  result.origin_bytes = OsdBytesServed(cloud) - osd_before;
 
   for (int i = 0; i < nodes; ++i) {
     if (!outcomes[static_cast<size_t>(i)].success) {
       std::fprintf(stderr, "provisioning failed for %s: %s\n",
                    cloud.node_name(static_cast<size_t>(i)).c_str(),
                    outcomes[static_cast<size_t>(i)].failure.c_str());
-      return 1;
+      std::exit(1);
     }
   }
 
-  const uint64_t events = cloud.sim().events_processed();
-  const double sim_seconds = cloud.sim().now().ToSecondsF();
+  result.events = cloud.sim().events_processed();
+  result.sim_seconds = cloud.sim().now().ToSecondsF();
+
+  if (chunked) {
+    uint64_t served = 0;
+    uint64_t local = 0;
+    for (size_t c = 0; c < cloud.num_rack_chunk_caches(); ++c) {
+      const auto& stats = cloud.rack_chunk_cache(c).stats();
+      served += stats.hits + stats.coalesced + stats.origin_fetches +
+                stats.peer_redirects;
+      local += stats.hits + stats.coalesced + stats.peer_redirects;
+    }
+    result.cache_hit_rate =
+        served == 0 ? 0 : static_cast<double>(local) / static_cast<double>(served);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_provisioning.json";
+  int nodes = 4096;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--nodes=", 8) == 0 && argv[i][8] != '\0') {
+      nodes = std::atoi(argv[i] + 8);
+    } else {
+      out_path = argv[i];
+    }
+  }
+  if (nodes <= 0) {
+    std::fprintf(stderr, "--nodes must be positive\n");
+    return 2;
+  }
+
+  const FleetResult classic = RunFleet(nodes, /*chunked=*/false);
+  const FleetResult chunked = RunFleet(nodes, /*chunked=*/true);
+
   const double events_per_second =
-      static_cast<double>(events) / (wall_ms / 1e3);
-  const double ns_per_event = wall_ms * 1e6 / static_cast<double>(events);
+      static_cast<double>(classic.events) / (classic.wall_ms / 1e3);
+  const double ns_per_event =
+      classic.wall_ms * 1e6 / static_cast<double>(classic.events);
+  const double origin_reduction =
+      chunked.origin_bytes > 0 ? classic.origin_bytes / chunked.origin_bytes : 0;
 
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -114,22 +166,45 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"fleet_nodes\": %d,\n"
-               "  \"airlock_slots\": %d,\n"
+               "  \"airlock_slots\": 64,\n"
                "  \"build_wall_ms\": %.3f,\n"
                "  \"wall_ms\": %.3f,\n"
                "  \"sim_seconds\": %.3f,\n"
                "  \"events\": %" PRIu64 ",\n"
                "  \"events_per_second\": %.0f,\n"
-               "  \"ns_per_event\": %.1f\n"
+               "  \"ns_per_event\": %.1f,\n"
+               "  \"chunked_wall_ms\": %.3f,\n"
+               "  \"chunked_sim_seconds\": %.3f,\n"
+               "  \"chunk_cache_hit_rate\": %.4f,\n"
+               "  \"unchunked_origin_bytes\": %.0f,\n"
+               "  \"chunked_origin_bytes\": %.0f,\n"
+               "  \"origin_reduction\": %.1f\n"
                "}\n",
-               nodes, config.cal.max_concurrent_airlocks, build_ms, wall_ms,
-               sim_seconds, events, events_per_second, ns_per_event);
+               nodes, classic.build_ms, classic.wall_ms, classic.sim_seconds,
+               classic.events, events_per_second, ns_per_event, chunked.wall_ms,
+               chunked.sim_seconds, chunked.cache_hit_rate, classic.origin_bytes,
+               chunked.origin_bytes, origin_reduction);
   std::fclose(f);
 
   std::printf("provisioned %d nodes in %.1f simulated s (%.1f ms wall)\n",
-              nodes, sim_seconds, wall_ms);
-  std::printf("%" PRIu64 " events, %.0f events/s, %.1f ns/event\n", events,
-              events_per_second, ns_per_event);
+              nodes, classic.sim_seconds, classic.wall_ms);
+  std::printf("%" PRIu64 " events, %.0f events/s, %.1f ns/event\n",
+              classic.events, events_per_second, ns_per_event);
+  std::printf("chunked: %.1f simulated s, hit rate %.3f, origin %.0f MiB vs "
+              "%.0f MiB (%.1fx reduction)\n",
+              chunked.sim_seconds, chunked.cache_hit_rate,
+              chunked.origin_bytes / (1 << 20), classic.origin_bytes / (1 << 20),
+              origin_reduction);
   std::printf("wrote %s\n", out_path);
+
+  // The chunked path exists to stop every node pulling its full image from
+  // the central store; hold the line here rather than in a separate guard.
+  if (nodes >= 64 && origin_reduction < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: chunked distribution reduced origin bytes only %.1fx "
+                 "(floor 5.0x)\n",
+                 origin_reduction);
+    return 1;
+  }
   return 0;
 }

@@ -61,6 +61,11 @@ ctest --test-dir build --output-on-failure -L sharding
 echo "== tier-1: scenario suite + soak (ctest -L scenario) =="
 ctest --test-dir build --output-on-failure -L scenario
 
+# Merkle tamper/rollback matrix, seeded fuzz-vs-oracle battery, the
+# crypt+merkle crash-point sweep, and the chunk-distribution protocol tests.
+echo "== tier-1: storage-integrity suite (ctest -L storage-integrity) =="
+ctest --test-dir build --output-on-failure -L storage-integrity
+
 if [[ "${want_asan}" == 1 ]]; then
   echo "== sanitizers: ASan + UBSan =="
   run_suite build-asan -DBOLTED_SANITIZE=ON
@@ -87,6 +92,11 @@ if [[ "${want_asan}" == 1 ]]; then
   # good ASan workload; 4 seeds keep the instrumented run tractable.
   echo "== sanitizers: scenario soak under ASan (4 seeds) =="
   ./build-asan/tests/scenario_soak_test --seeds=4
+  # The Merkle device and chunk caches juggle raw sector buffers, an LRU
+  # of hash nodes, and parked RPC fetchers; the tamper matrix and fuzz
+  # battery must fail closed under instrumentation too.
+  echo "== sanitizers: storage-integrity suite under ASan =="
+  ctest --test-dir build-asan --output-on-failure -L storage-integrity
 fi
 
 if [[ "${want_tsan}" == 1 ]]; then

@@ -13,6 +13,10 @@ BmiService::BmiService(sim::Simulation& sim, net::Endpoint& endpoint,
                         [this](const net::Message& req, net::Message* resp) {
                           return HandleFetch(req, resp);
                         });
+  node_.RegisterHandler(std::string(net::kRpcChunkManifest),
+                        [this](const net::Message& req, net::Message* resp) {
+                          return HandleManifest(req, resp);
+                        });
   node_.Start();
 }
 
@@ -91,6 +95,31 @@ sim::Task BmiService::HandleFetch(const net::Message& request,
   response->wire_bytes = artifact->bytes;  // the artifact body itself
 }
 
+void BmiService::RegisterChunkManifest(storage::ChunkManifest manifest) {
+  std::string name = manifest.image_name;
+  manifests_[std::move(name)] = std::move(manifest);
+}
+
+const storage::ChunkManifest* BmiService::FindChunkManifest(
+    const std::string& image) const {
+  const auto it = manifests_.find(image);
+  return it == manifests_.end() ? nullptr : &it->second;
+}
+
+sim::Task BmiService::HandleManifest(const net::Message& request,
+                                     net::Message* response) {
+  net::WireReader reader(request.payload);
+  const std::string image = reader.Str();
+  const storage::ChunkManifest* manifest =
+      reader.AtEnd() ? FindChunkManifest(image) : nullptr;
+  if (manifest == nullptr) {
+    response->kind = "prov.error";
+    co_return;
+  }
+  response->payload = manifest->Encode();
+  co_return;
+}
+
 sim::Task FetchArtifact(net::RpcNode& rpc, net::Address service,
                         const std::string& name, crypto::Digest* digest,
                         uint64_t* bytes, bool* ok) {
@@ -108,6 +137,28 @@ sim::Task FetchArtifact(net::RpcNode& rpc, net::Address service,
   *bytes = reader.U64();
   *digest = reader.Digest();
   *ok = reader.AtEnd();
+}
+
+sim::Task FetchChunkManifest(net::RpcNode& rpc, net::Address service,
+                             const std::string& image,
+                             storage::ChunkManifest* manifest, bool* ok) {
+  *ok = false;
+  net::Message request;
+  request.kind = std::string(net::kRpcChunkManifest);
+  request.payload = net::WireWriter().Str(image).Take();
+  net::Message response;
+  bool rpc_ok = false;
+  co_await rpc.Call(service, std::move(request), &response, &rpc_ok);
+  if (!rpc_ok || response.kind == "prov.error") {
+    co_return;
+  }
+  auto decoded = storage::ChunkManifest::Decode(
+      crypto::ByteView(response.payload.data(), response.payload.size()));
+  if (!decoded) {
+    co_return;
+  }
+  *manifest = std::move(*decoded);
+  *ok = true;
 }
 
 }  // namespace bolted::bmi

@@ -19,7 +19,9 @@
 #include <optional>
 #include <string>
 
+#include "src/net/chunk_wire.h"
 #include "src/net/rpc.h"
+#include "src/storage/chunks.h"
 #include "src/storage/image.h"
 #include "src/storage/iscsi.h"
 
@@ -63,14 +65,23 @@ class BmiService {
   // optimisation).  Zero disables the extra delay.
   void SetHttpRate(double bytes_per_second) { http_rate_ = bytes_per_second; }
 
+  // --- Chunk manifests (DESIGN.md §14) ------------------------------------
+
+  // Registers the chunk manifest for an image name; booting nodes fetch it
+  // over `chunk.manifest` and then pull chunks through their rack cache.
+  void RegisterChunkManifest(storage::ChunkManifest manifest);
+  const storage::ChunkManifest* FindChunkManifest(const std::string& image) const;
+
  private:
   sim::Task HandleFetch(const net::Message& request, net::Message* response);
+  sim::Task HandleManifest(const net::Message& request, net::Message* response);
 
   sim::Simulation& sim_;
   net::RpcNode node_;
   storage::ImageStore& images_;
   storage::IscsiTarget iscsi_target_;
   std::map<std::string, Artifact> artifacts_;
+  std::map<std::string, storage::ChunkManifest> manifests_;
   std::map<std::string, storage::ImageId> node_images_;
   double http_rate_ = 0;
   uint64_t snapshot_counter_ = 0;
@@ -82,6 +93,12 @@ class BmiService {
 sim::Task FetchArtifact(net::RpcNode& rpc, net::Address service,
                         const std::string& name, crypto::Digest* digest,
                         uint64_t* bytes, bool* ok);
+
+// Client side: fetches the chunk manifest for an image name.  Sets
+// *ok=false on unreachability or unknown image.
+sim::Task FetchChunkManifest(net::RpcNode& rpc, net::Address service,
+                             const std::string& image,
+                             storage::ChunkManifest* manifest, bool* ok);
 
 }  // namespace bolted::bmi
 

@@ -11,6 +11,7 @@
 #include "src/net/ipsec.h"
 #include "src/sim/time.h"
 #include "src/storage/crypt_device.h"
+#include "src/storage/merkle_device.h"
 #include "src/storage/object_store.h"
 #include "src/tpm/tpm.h"
 
@@ -32,6 +33,7 @@ struct Calibration {
   // --- Storage (Ceph: 3 OSD hosts, 27 spindles; LUKS ceilings, Fig 3a) ---
   storage::ObjectStoreConfig ceph;
   storage::CryptCostModel luks;
+  storage::MerkleCostModel merkle;
   double ram_disk_read_bytes_per_second = 5.2e9;
   double ram_disk_write_bytes_per_second = 3.6e9;
   uint64_t iscsi_read_ahead_bytes = storage::kTunedReadAhead;
@@ -49,6 +51,11 @@ struct Calibration {
   // The prototype serves artifacts over plain single-stream HTTP (the
   // paper calls this out as an optimisation opportunity).
   double artifact_http_bytes_per_second = 20e6;
+  // Content-addressed distribution (DESIGN.md §14): chunk granularity and
+  // the per-rack cache budget.  8 GB comfortably holds a fleet's boot
+  // working set (~500 MB) many images over.
+  uint64_t chunk_bytes = 4ull << 20;
+  uint64_t rack_chunk_cache_bytes = 8ull << 30;
   sim::Duration linuxboot_init_time = sim::Duration::Seconds(15);
   sim::Duration agent_start_time = sim::Duration::Seconds(3);
   sim::Duration kexec_time = sim::Duration::Seconds(2);

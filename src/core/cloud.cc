@@ -86,6 +86,23 @@ Cloud::Cloud(const CloudConfig& config)
                                              config.cal.keylime_agent_bytes,
                                              agent_digest_});
 
+  // Per-rack chunk caches (DESIGN.md §14): one service endpoint per
+  // switch, each attached to the provisioning VLAN so booting nodes can
+  // reach it.  Cache 0 sits on the core switch beside the other services;
+  // rack caches hang off their ToR switch, so a rack-local hit never
+  // crosses the uplink.
+  if (config.chunked_distribution) {
+    for (int s = 0; s < fabric_.num_switches(); ++s) {
+      net::Endpoint& cache_ep =
+          s == 0 ? fabric_.CreateEndpoint("svc-chunk-0")
+                 : fabric_.CreateEndpointOnSwitch(
+                       "svc-chunk-" + std::to_string(s), s);
+      fabric_.AttachToVlan(cache_ep.address(), provisioning_vlan_);
+      rack_chunk_caches_.push_back(std::make_unique<provision::RackChunkCache>(
+          sim_, cache_ep, ceph_, config.cal.rack_chunk_cache_bytes));
+    }
+  }
+
   net::Endpoint& registrar_ep = fabric_.CreateEndpoint("svc-registrar");
   fabric_.AttachToVlan(registrar_ep.address(), attestation_vlan_);
   registrar_ = std::make_unique<keylime::Registrar>(sim_, registrar_ep,
@@ -122,6 +139,15 @@ void Cloud::UnbridgeServiceFromVlan(net::Address service, net::VlanId vlan) {
 
 net::Endpoint& Cloud::CreateServiceEndpoint(const std::string& name) {
   return fabric_.CreateEndpoint(name);
+}
+
+provision::RackChunkCache* Cloud::rack_chunk_cache_for(net::Address node) {
+  if (rack_chunk_caches_.empty()) {
+    return nullptr;
+  }
+  const size_t sw = static_cast<size_t>(fabric_.SwitchOf(node));
+  return sw < rack_chunk_caches_.size() ? rack_chunk_caches_[sw].get()
+                                        : rack_chunk_caches_[0].get();
 }
 
 }  // namespace bolted::core

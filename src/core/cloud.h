@@ -22,6 +22,7 @@
 #include "src/keylime/verifier.h"
 #include "src/machine/machine.h"
 #include "src/net/network.h"
+#include "src/provision/chunk_cache.h"
 #include "src/sim/simulation.h"
 #include "src/storage/image.h"
 #include "src/storage/object_store.h"
@@ -39,6 +40,10 @@ struct CloudConfig {
   // bench/ablation_racks.  racks == 1 keeps the paper's single switch.
   int racks = 1;
   double rack_uplink_bytes_per_second = 5e9;  // 40 Gbit uplink
+  // Content-addressed rack-local image distribution (DESIGN.md §14): one
+  // chunk-cache service per switch; nodes boot from chunks instead of
+  // streaming the image working set over iSCSI from the central store.
+  bool chunked_distribution = false;
   Calibration cal;
   uint64_t seed = 0x626f6c746564u;
   // Event-queue implementation for the owned Simulation; kDefault honours
@@ -68,6 +73,14 @@ class Cloud {
   net::SharedResource& bmi_esp_cpu() { return *bmi_esp_cpu_; }
   keylime::Registrar& provider_registrar() { return *registrar_; }
   keylime::Verifier& provider_verifier() { return *verifier_; }
+
+  // Chunk-cache service of the rack (switch) a node hangs off; null when
+  // chunked_distribution is off.
+  provision::RackChunkCache* rack_chunk_cache_for(net::Address node);
+  size_t num_rack_chunk_caches() const { return rack_chunk_caches_.size(); }
+  provision::RackChunkCache& rack_chunk_cache(size_t i) {
+    return *rack_chunk_caches_[i];
+  }
 
   size_t num_machines() const { return machines_.size(); }
   machine::Machine& machine(size_t i) { return *machines_[i]; }
@@ -122,6 +135,8 @@ class Cloud {
   std::unique_ptr<bmi::BmiService> bmi_;
   std::unique_ptr<keylime::Registrar> registrar_;
   std::unique_ptr<keylime::Verifier> verifier_;
+  // Indexed by switch id (0 = core).
+  std::vector<std::unique_ptr<provision::RackChunkCache>> rack_chunk_caches_;
 
   net::VlanId provisioning_vlan_ = 0;
   net::VlanId attestation_vlan_ = 0;

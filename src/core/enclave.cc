@@ -104,6 +104,12 @@ Enclave::Enclave(Cloud& cloud, std::string project, TrustProfile profile,
   cloud_.bmi().PublishArtifact(
       project_ + "-kernel-zip",
       bmi::Artifact{cal.kernel_bytes + cal.initrd_bytes, payload_.kernel_digest});
+  if (cloud_.config().chunked_distribution) {
+    // Content-addressed distribution: publish the golden image's chunk
+    // manifest so booting nodes pull chunks through their rack cache.
+    cloud_.bmi().RegisterChunkManifest(storage::ChunkManifest::ForImage(
+        project_ + "-golden", cal.image_virtual_bytes, cal.chunk_bytes));
+  }
 
   whitelist_ = std::make_shared<keylime::Whitelist>(BuildWhitelist());
 
@@ -163,6 +169,9 @@ storage::BlockDevice* Enclave::node_root_device(const std::string& node) {
   const auto it = nodes_.find(node);
   if (it == nodes_.end() || it->second.state != NodeState::kAllocated) {
     return nullptr;
+  }
+  if (it->second.merkle != nullptr) {
+    return it->second.merkle.get();
   }
   if (it->second.crypt != nullptr) {
     return it->second.crypt.get();
@@ -255,7 +264,11 @@ sim::Task Enclave::RejectNode(const std::string& node, NodeRuntime& rt,
     rt.agent->AttachIma(nullptr);
     retired_agents_.push_back(std::move(rt.agent));
   }
+  if (rt.fetcher != nullptr) {
+    retired_fetchers_.push_back(std::move(rt.fetcher));
+  }
   rt.ima.reset();
+  rt.merkle.reset();
   rt.crypt.reset();
   rt.initiator.reset();
   if (rt.image != 0) {
@@ -457,7 +470,48 @@ sim::Task Enclave::SetupStorageAndBoot(const std::string& node, NodeRuntime& rt)
   storage::BlockDevice* root = rt.crypt != nullptr
                                    ? static_cast<storage::BlockDevice*>(rt.crypt.get())
                                    : rt.initiator.get();
+  if (profile_.integrity_disk) {
+    // Merkle integrity layer over the (possibly encrypted) root.  The
+    // device is accounting-only here: hash verification rides the crypto
+    // throughput in parallel with the backing reads, without ever
+    // materialising a 20 GB tree.
+    rt.merkle = std::make_unique<storage::MerkleBlockDevice>(
+        sim, root, cal.image_virtual_bytes / storage::kSectorSize,
+        /*cache_sectors=*/64, cal.merkle, node + ".merkle");
+    root = rt.merkle.get();
+  }
   co_await sim::Delay(sim, cal.kernel_init_time);
+
+  provision::RackChunkCache* rack_cache =
+      cloud_.rack_chunk_cache_for(rt.machine->address());
+  if (rack_cache != nullptr) {
+    // Content-addressed boot: pull the boot working set as verified chunks
+    // through the rack cache (rack-local after the first node warms it)
+    // instead of streaming it from the central store over iSCSI.
+    storage::ChunkManifest manifest;
+    bool manifest_ok = false;
+    co_await bmi::FetchChunkManifest(rt.machine->rpc(), cloud_.bmi().address(),
+                                     project_ + "-golden", &manifest, &manifest_ok);
+    if (manifest_ok) {
+      rt.fetcher = std::make_unique<provision::ChunkFetcher>(
+          sim, rt.machine->rpc(), rack_cache->address(),
+          &rt.machine->crypto_cpu());
+      rt.fetcher->Start();
+      bool fetch_ok = false;
+      co_await rt.fetcher->FetchPrefix(manifest, cal.boot_read_bytes, &fetch_ok);
+      if (fetch_ok) {
+        if (rt.crypt != nullptr) {
+          // Chunks are stored under the tenant's disk key; decrypting them
+          // locally pays the same XTS ceiling as the iSCSI path would.
+          co_await rt.crypt->decrypt_resource().Consume(
+              static_cast<double>(cal.boot_read_bytes));
+        }
+        co_return;
+      }
+      // An unreachable rack cache degrades to the classic iSCSI path.
+    }
+  }
+
   const auto sequential = static_cast<uint64_t>(
       static_cast<double>(cal.boot_read_bytes) * cal.boot_sequential_fraction);
   co_await root->AccountRead(sequential);
@@ -487,6 +541,9 @@ sim::Task Enclave::ProvisionNode(const std::string& node, ProvisionOutcome* outc
     // detach the log before parking.
     rt.agent->AttachIma(nullptr);
     retired_agents_.push_back(std::move(rt.agent));
+  }
+  if (rt.fetcher != nullptr) {
+    retired_fetchers_.push_back(std::move(rt.fetcher));
   }
   rt = NodeRuntime{};
   rt.machine = machine;
@@ -621,6 +678,9 @@ sim::Task Enclave::ReleaseNode(const std::string& node, bool keep_snapshot) {
     // nodes_.erase below — detach so a late quote serves an empty list.
     rt.agent->AttachIma(nullptr);
     retired_agents_.push_back(std::move(rt.agent));
+  }
+  if (rt.fetcher != nullptr) {
+    retired_fetchers_.push_back(std::move(rt.fetcher));
   }
   if (rt.image != 0) {
     cloud_.bmi().ReleaseNodeImage(node, keep_snapshot);

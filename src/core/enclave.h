@@ -31,6 +31,7 @@
 #include "src/provision/phase_trace.h"
 #include "src/storage/crypt_device.h"
 #include "src/storage/iscsi.h"
+#include "src/storage/merkle_device.h"
 
 namespace bolted::core {
 
@@ -39,6 +40,7 @@ struct TrustProfile {
   // Charlie runs his own registrar/verifier instead of the provider's.
   bool tenant_deployed_services = false;
   bool encrypt_disk = false;     // LUKS on the network-mounted root
+  bool integrity_disk = false;   // Merkle tree over the root (DESIGN.md §14)
   bool encrypt_network = false;  // IPsec mesh + encrypted iSCSI path
   bool continuous_attestation = false;
 
@@ -50,6 +52,7 @@ struct TrustProfile {
     return TrustProfile{.use_attestation = true,
                         .tenant_deployed_services = true,
                         .encrypt_disk = true,
+                        .integrity_disk = true,
                         .encrypt_network = true,
                         .continuous_attestation = true};
   }
@@ -121,6 +124,12 @@ class Enclave {
     std::unique_ptr<ima::Ima> ima;
     std::unique_ptr<storage::IscsiInitiator> initiator;
     std::unique_ptr<storage::CryptDevice> crypt;
+    // Integrity layer over the (possibly encrypted) root; accounting-only
+    // during boot — the tree is never materialised for a 20 GB image.
+    std::unique_ptr<storage::MerkleBlockDevice> merkle;
+    // Chunked-distribution client; like the agent, RPC handlers hold raw
+    // pointers to it, so it is parked (not destroyed) on release/reject.
+    std::unique_ptr<provision::ChunkFetcher> fetcher;
     storage::ImageId image = 0;
     net::VlanId airlock_vlan = 0;
     std::string airlock_name;
@@ -169,6 +178,9 @@ class Enclave {
   // (and possibly in-flight handler coroutines) reference them, so they
   // outlive their NodeRuntime and die with the enclave.
   std::vector<std::unique_ptr<keylime::Agent>> retired_agents_;
+  // Same parking rule for chunk fetchers: the machine-side `chunk.get`
+  // handler references them until the next provision replaces it.
+  std::vector<std::unique_ptr<provision::ChunkFetcher>> retired_fetchers_;
   std::vector<std::string> members_;
   ViolationHandler violation_handler_;
   uint64_t violations_handled_ = 0;

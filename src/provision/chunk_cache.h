@@ -1,0 +1,145 @@
+// Rack-local content-addressed chunk distribution (DESIGN.md §14).
+//
+// The paper's provisioning path pulls every byte of every node's image
+// from the central object store — the Fig. 5 scaling wall.  This layer
+// makes image distribution content-addressed and rack-local:
+//
+//   * RackChunkCache — one RPC service per top-of-rack switch.  It holds
+//     an LRU byte-budgeted cache of chunks, answers `chunk.fetch` either
+//     inline (cache hit, or a single-flight origin read on a cold miss)
+//     or with a redirect to a rack peer that already holds the chunk,
+//     maintains the holder index (`chunk.have`), and quarantines
+//     (digest, peer) entries a requester reports as serving bad content.
+//     Concurrent fetchers of the same cold chunk coalesce onto one
+//     origin read.
+//
+//   * ChunkFetcher — the node side.  Fetches chunks through the rack
+//     cache, verifies the digest of whatever was served (recomputing
+//     SHA-256 over received content, modeled by the digest echo), falls
+//     back to the cache with an exclusion on a bad peer serve, serves
+//     its own held chunks to rack peers over `chunk.get`, and registers
+//     verified chunks with the cache.
+//
+// Every transfer rides the existing net fabric (wire_bytes on the RPC
+// responses), so rack locality, uplink contention, and NIC sharing come
+// out of the same fluid models as the rest of the data plane.
+
+#ifndef SRC_PROVISION_CHUNK_CACHE_H_
+#define SRC_PROVISION_CHUNK_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/chunk_wire.h"
+#include "src/net/rpc.h"
+#include "src/storage/chunks.h"
+#include "src/storage/object_store.h"
+
+namespace bolted::provision {
+
+class RackChunkCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;            // served inline from the cache
+    uint64_t coalesced = 0;       // joined an in-flight origin read
+    uint64_t origin_fetches = 0;  // cold misses that read the origin
+    uint64_t origin_bytes = 0;    // bytes those reads pulled
+    uint64_t peer_redirects = 0;  // answered with a rack peer
+    uint64_t quarantined = 0;     // (digest, peer) entries poisoned
+  };
+
+  RackChunkCache(sim::Simulation& sim, net::Endpoint& endpoint,
+                 storage::ObjectStore& origin, uint64_t capacity_bytes);
+
+  net::Address address() const { return node_.address(); }
+  const Stats& stats() const { return stats_; }
+  bool Quarantined(const crypto::Digest& digest, net::Address peer) const {
+    return quarantine_.contains({digest, peer});
+  }
+  bool Holds(const crypto::Digest& digest) const { return cache_.contains(digest); }
+
+ private:
+  struct CacheLine {
+    uint64_t bytes = 0;
+    uint64_t lru = 0;
+  };
+
+  sim::Task HandleFetch(const net::Message& request, net::Message* response);
+  sim::Task HandleHave(const net::Message& request, net::Message* response);
+
+  void Insert(const crypto::Digest& digest, uint64_t bytes);
+  net::Address PickHolder(const crypto::Digest& digest, net::Address requester,
+                          net::Address exclude) const;
+
+  sim::Simulation& sim_;
+  net::RpcNode node_;
+  storage::ObjectStore& origin_;
+  uint64_t capacity_bytes_;
+  uint64_t cached_bytes_ = 0;
+  uint64_t lru_tick_ = 0;
+
+  std::map<crypto::Digest, CacheLine> cache_;
+  std::map<crypto::Digest, std::vector<net::Address>> holders_;
+  std::set<std::pair<crypto::Digest, net::Address>> quarantine_;
+  // Single-flight: followers of an in-flight origin read wait here.
+  std::map<crypto::Digest, std::shared_ptr<sim::Event>> inflight_;
+  Stats stats_;
+};
+
+class ChunkFetcher {
+ public:
+  struct Stats {
+    uint64_t fetched = 0;
+    uint64_t fetched_bytes = 0;
+    uint64_t peer_fetches = 0;
+    uint64_t mismatches = 0;  // bad peer serves detected and recovered
+  };
+
+  // `verify_cpu` (optional) charges the digest-verification throughput —
+  // typically the machine's crypto core.  Start() registers the peer-serve
+  // handler on `rpc`; the fetcher must outlive any in-flight handler
+  // (park it like a keylime::Agent, do not destroy it mid-flight).
+  ChunkFetcher(sim::Simulation& sim, net::RpcNode& rpc, net::Address rack_cache,
+               net::SharedResource* verify_cpu);
+
+  void Start();
+
+  // Fetches and digest-verifies one chunk; *ok=false only when the rack
+  // cache itself was unreachable or served a digest that does not verify.
+  sim::Task FetchChunk(crypto::Digest digest, uint64_t bytes, bool* ok);
+
+  // Fetches the first `bytes` of a manifest's image (the boot working
+  // set), chunk by chunk.
+  sim::Task FetchPrefix(const storage::ChunkManifest& manifest, uint64_t bytes,
+                        bool* ok);
+
+  const Stats& stats() const { return stats_; }
+  // Test hook: serve corrupted content to peers (the echoed digest is the
+  // hash of what was actually sent, so it will not verify).
+  void set_corrupt_serves(bool corrupt) { corrupt_serves_ = corrupt; }
+  bool Holds(const crypto::Digest& digest) const { return held_.contains(digest); }
+
+ private:
+  sim::Task HandleGet(const net::Message& request, net::Message* response);
+  sim::Task CallFetch(crypto::Digest digest, uint64_t bytes, net::Address exclude,
+                      net::ChunkFetchResponse* out, bool* ok);
+  sim::Task VerifyServed(const crypto::Digest& expected,
+                         const crypto::Digest& served, uint64_t bytes, bool* ok);
+  sim::Task RegisterHave(crypto::Digest digest);
+
+  sim::Simulation& sim_;
+  net::RpcNode& rpc_;
+  net::Address rack_cache_;
+  net::SharedResource* verify_cpu_;
+  std::set<crypto::Digest> held_;
+  bool corrupt_serves_ = false;
+  Stats stats_;
+};
+
+}  // namespace bolted::provision
+
+#endif  // SRC_PROVISION_CHUNK_CACHE_H_

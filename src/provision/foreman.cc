@@ -53,8 +53,12 @@ sim::Task ForemanProvision(machine::Machine& machine, const ForemanOptions& opti
           // disk; network fetch and disk write overlap, the slower side
           // dominates.
           sim::TaskGroup group(sim);
-          group.Spawn(machine.endpoint().rx().Consume(
-              static_cast<double>(options.install_bytes)));
+          if (options.chunked_fetch) {
+            group.Spawn(options.chunked_fetch(options.install_bytes));
+          } else {
+            group.Spawn(machine.endpoint().rx().Consume(
+                static_cast<double>(options.install_bytes)));
+          }
           group.Spawn(machine.local_disk().AccountWrite(options.install_bytes));
           co_await group.WaitAll();
           break;

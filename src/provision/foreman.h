@@ -31,6 +31,12 @@ struct ForemanOptions {
   int max_phase_attempts = 1;
   sim::Duration retry_backoff = sim::Duration::Seconds(5);
   std::function<bool(std::string_view phase, int attempt)> phase_fault;
+
+  // When set, the install phase's network side pulls content-addressed
+  // chunks through the rack cache (DESIGN.md §14) instead of streaming
+  // `install_bytes` from the provisioning server; the disk write still
+  // overlaps.  The hook receives the byte count to fetch.
+  std::function<sim::Task(uint64_t bytes)> chunked_fetch;
 };
 
 // Runs the full Foreman flow on `machine`; phases land in *trace.  When a

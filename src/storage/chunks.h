@@ -1,0 +1,52 @@
+// Content-addressed image chunks (DESIGN.md §14).
+//
+// An image is split into fixed-size chunks, each named by the SHA-256
+// digest of its content.  The simulation never materialises the chunk
+// bytes, so the digest is derived deterministically from the image's
+// stable identity (name, chunk index, chunk size) — two clones of one
+// golden image share every chunk digest, replays are byte-identical
+// across runs, and a digest uniquely keys the chunk in the object store
+// and every cache above it.
+
+#ifndef SRC_STORAGE_CHUNKS_H_
+#define SRC_STORAGE_CHUNKS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/storage/object_store.h"
+
+namespace bolted::storage {
+
+// The digest chunk `index` of `image_name` would hash to.  Stands in for
+// hashing the actual 4 MB of content (which the timing model does not
+// carry); deterministic so chaos/scenario replay invariance holds.
+crypto::Digest ChunkContentDigest(std::string_view image_name, uint64_t index,
+                                  uint64_t chunk_bytes);
+
+// Where a chunk lives in the object store: content addressing folds the
+// digest into the object id, so identical chunks dedup to one object.
+ObjectId ChunkObjectId(const crypto::Digest& digest);
+
+struct ChunkManifest {
+  std::string image_name;
+  uint64_t chunk_bytes = 4ull << 20;
+  uint64_t image_bytes = 0;
+  std::vector<crypto::Digest> chunks;
+
+  static ChunkManifest ForImage(const std::string& image_name, uint64_t image_bytes,
+                                uint64_t chunk_bytes);
+
+  // Bytes of chunk `index` (the tail chunk may be short).
+  uint64_t ChunkBytes(uint64_t index) const;
+
+  crypto::Bytes Encode() const;
+  static std::optional<ChunkManifest> Decode(crypto::ByteView data);
+};
+
+}  // namespace bolted::storage
+
+#endif  // SRC_STORAGE_CHUNKS_H_

@@ -45,6 +45,11 @@ class CryptDevice : public BlockDevice {
   sim::Task AccountWrite(uint64_t bytes) override;
   sim::Task AccountRandomRead(uint64_t bytes, uint64_t chunk_bytes) override;
 
+  // The XTS data-path ceilings, exposed so stacked layers (chunk fetch,
+  // integrity verification) can charge the same crypto cores.
+  net::SharedResource& decrypt_resource() { return decrypt_resource_; }
+  net::SharedResource& encrypt_resource() { return encrypt_resource_; }
+
  private:
   sim::Simulation& sim_;
   BlockDevice* backing_;

@@ -1,0 +1,278 @@
+// Content-addressed rack-local chunk distribution (DESIGN.md §14):
+// origin/hit/redirect paths, single-flight coalescing of concurrent cold
+// misses, digest-mismatch quarantine with origin fallback, and
+// reconciliation of the cache's stats against the obs counters.
+
+#include <gtest/gtest.h>
+
+#include "src/net/chunk_wire.h"
+#include "src/obs/obs.h"
+#include "src/provision/chunk_cache.h"
+#include "src/storage/chunks.h"
+
+namespace bolted::provision {
+namespace {
+
+using sim::Duration;
+using sim::Simulation;
+using sim::Task;
+
+constexpr uint64_t kChunkBytes = 4ull << 20;
+
+storage::ObjectStoreConfig StoreConfig() {
+  storage::ObjectStoreConfig config;
+  config.per_op_overhead_bytes = 0;  // exact origin-byte accounting
+  return config;
+}
+
+struct ChunkFixture : public ::testing::Test {
+  Simulation sim;
+  net::Network fabric{sim, Duration::Microseconds(30), 1.25e9};
+  storage::ObjectStore origin{sim, StoreConfig()};
+
+  net::Endpoint& cache_ep{fabric.CreateEndpoint("svc-chunk")};
+  net::Endpoint& node_a_ep{fabric.CreateEndpoint("node-a")};
+  net::Endpoint& node_b_ep{fabric.CreateEndpoint("node-b")};
+  net::Endpoint& node_c_ep{fabric.CreateEndpoint("node-c")};
+  net::RpcNode node_a{sim, node_a_ep};
+  net::RpcNode node_b{sim, node_b_ep};
+  net::RpcNode node_c{sim, node_c_ep};
+
+  std::unique_ptr<RackChunkCache> cache;
+  std::unique_ptr<ChunkFetcher> fetcher_a;
+  std::unique_ptr<ChunkFetcher> fetcher_b;
+  std::unique_ptr<ChunkFetcher> fetcher_c;
+
+  storage::ChunkManifest manifest{
+      storage::ChunkManifest::ForImage("golden", 10 * kChunkBytes, kChunkBytes)};
+
+  void Build(uint64_t cache_capacity_bytes) {
+    for (net::Endpoint* ep : {&cache_ep, &node_a_ep, &node_b_ep, &node_c_ep}) {
+      fabric.AttachToVlan(ep->address(), 1);
+    }
+    cache = std::make_unique<RackChunkCache>(sim, cache_ep, origin,
+                                             cache_capacity_bytes);
+    fetcher_a = std::make_unique<ChunkFetcher>(sim, node_a, cache->address(),
+                                               nullptr);
+    fetcher_b = std::make_unique<ChunkFetcher>(sim, node_b, cache->address(),
+                                               nullptr);
+    fetcher_c = std::make_unique<ChunkFetcher>(sim, node_c, cache->address(),
+                                               nullptr);
+    fetcher_a->Start();
+    fetcher_b->Start();
+    fetcher_c->Start();
+    node_a.Start();
+    node_b.Start();
+    node_c.Start();
+  }
+
+  double OriginBytesServed() {
+    double total = 0;
+    for (int h = 0; h < origin.config().num_osd_hosts; ++h) {
+      total += origin.osd_resource(h).total_served();
+    }
+    return total;
+  }
+
+  // Spawns one coroutine and drains the simulation.  The closure must
+  // outlive sim.Run() — the coroutine reads its captures on every resume —
+  // so bind it to the parameter instead of spawning a temporary.
+  template <typename Fn>
+  void RunTask(Fn&& fn) {
+    sim.Spawn(fn());
+    sim.Run();
+  }
+};
+
+TEST_F(ChunkFixture, ColdMissReadsOriginThenSecondFetcherHitsTheCache) {
+  Build(/*cache_capacity_bytes=*/64 * kChunkBytes);
+  const crypto::Digest chunk = manifest.chunks[0];
+
+  bool ok_a = false;
+  RunTask([&]() -> Task {
+    co_await fetcher_a->FetchChunk(chunk, kChunkBytes, &ok_a);
+  });
+  ASSERT_TRUE(ok_a);
+  EXPECT_EQ(cache->stats().origin_fetches, 1u);
+  EXPECT_EQ(cache->stats().origin_bytes, kChunkBytes);
+  EXPECT_TRUE(cache->Holds(chunk));
+  EXPECT_TRUE(fetcher_a->Holds(chunk));
+  // One chunk's worth of OSD reads, fanned over the spindles.
+  EXPECT_NEAR(OriginBytesServed(), static_cast<double>(kChunkBytes), 1.0);
+
+  bool ok_b = false;
+  RunTask([&]() -> Task {
+    co_await fetcher_b->FetchChunk(chunk, kChunkBytes, &ok_b);
+  });
+  ASSERT_TRUE(ok_b);
+  EXPECT_EQ(cache->stats().hits, 1u);
+  EXPECT_EQ(cache->stats().origin_fetches, 1u);  // no second origin read
+  EXPECT_NEAR(OriginBytesServed(), static_cast<double>(kChunkBytes), 1.0);
+}
+
+TEST_F(ChunkFixture, ConcurrentColdFetchersCoalesceToOneOriginRead) {
+  Build(/*cache_capacity_bytes=*/64 * kChunkBytes);
+  const crypto::Digest chunk = manifest.chunks[1];
+
+  bool ok_a = false;
+  bool ok_b = false;
+  bool ok_c = false;
+  auto fa = [&]() -> Task {
+    co_await fetcher_a->FetchChunk(chunk, kChunkBytes, &ok_a);
+  };
+  auto fb = [&]() -> Task {
+    co_await fetcher_b->FetchChunk(chunk, kChunkBytes, &ok_b);
+  };
+  auto fc = [&]() -> Task {
+    co_await fetcher_c->FetchChunk(chunk, kChunkBytes, &ok_c);
+  };
+  sim.Spawn(fa());
+  sim.Spawn(fb());
+  sim.Spawn(fc());
+  sim.Run();
+  ASSERT_TRUE(ok_a);
+  ASSERT_TRUE(ok_b);
+  ASSERT_TRUE(ok_c);
+  // One origin read; the two followers waited on the in-flight one.
+  EXPECT_EQ(cache->stats().origin_fetches, 1u);
+  EXPECT_EQ(cache->stats().coalesced, 2u);
+  EXPECT_EQ(cache->stats().origin_bytes, kChunkBytes);
+  EXPECT_NEAR(OriginBytesServed(), static_cast<double>(kChunkBytes), 1.0);
+}
+
+TEST_F(ChunkFixture, EvictedChunkIsServedByAPeerRedirect) {
+  // Capacity of one chunk: fetching a second evicts the first from the
+  // cache, leaving the holder index as the only rack-local copy.
+  Build(/*cache_capacity_bytes=*/kChunkBytes);
+  const crypto::Digest first = manifest.chunks[0];
+  const crypto::Digest second = manifest.chunks[1];
+
+  RunTask([&]() -> Task {
+    bool ok = false;
+    co_await fetcher_a->FetchChunk(first, kChunkBytes, &ok);
+    co_await fetcher_a->FetchChunk(second, kChunkBytes, &ok);
+  });
+  EXPECT_FALSE(cache->Holds(first));
+  EXPECT_TRUE(cache->Holds(second));
+
+  bool ok_b = false;
+  RunTask([&]() -> Task {
+    co_await fetcher_b->FetchChunk(first, kChunkBytes, &ok_b);
+  });
+  ASSERT_TRUE(ok_b);
+  EXPECT_EQ(cache->stats().peer_redirects, 1u);
+  EXPECT_EQ(fetcher_b->stats().peer_fetches, 1u);
+  EXPECT_EQ(fetcher_b->stats().mismatches, 0u);
+  // The peer exchange never touched the origin again.
+  EXPECT_EQ(cache->stats().origin_fetches, 2u);
+}
+
+TEST_F(ChunkFixture, CorruptPeerServeIsQuarantinedAndFallsBackToOrigin) {
+  Build(/*cache_capacity_bytes=*/kChunkBytes);
+  const crypto::Digest first = manifest.chunks[0];
+  const crypto::Digest second = manifest.chunks[1];
+
+  RunTask([&]() -> Task {
+    bool ok = false;
+    co_await fetcher_a->FetchChunk(first, kChunkBytes, &ok);
+    co_await fetcher_a->FetchChunk(second, kChunkBytes, &ok);
+  });
+  // Node A now advertises `first` but will serve corrupted content.
+  fetcher_a->set_corrupt_serves(true);
+
+  bool ok_b = false;
+  RunTask([&]() -> Task {
+    co_await fetcher_b->FetchChunk(first, kChunkBytes, &ok_b);
+  });
+  // The fetch still succeeds — through the verified origin fallback.
+  ASSERT_TRUE(ok_b);
+  EXPECT_EQ(fetcher_b->stats().mismatches, 1u);
+  EXPECT_EQ(cache->stats().quarantined, 1u);
+  EXPECT_TRUE(cache->Quarantined(first, node_a.address()));
+  EXPECT_EQ(cache->stats().origin_fetches, 3u);  // first, second, first again
+
+  // A third fetcher is never redirected to the quarantined peer: the chunk
+  // is now cached again (hit), and even after eviction the poisoned holder
+  // entry stays skipped.
+  bool ok_c = false;
+  RunTask([&]() -> Task {
+    co_await fetcher_c->FetchChunk(first, kChunkBytes, &ok_c);
+  });
+  ASSERT_TRUE(ok_c);
+  EXPECT_EQ(fetcher_c->stats().mismatches, 0u);
+}
+
+TEST_F(ChunkFixture, StatsReconcileWithObsCounters) {
+  obs::Registry registry(sim);
+  Build(/*cache_capacity_bytes=*/64 * kChunkBytes);
+
+  // A mixed workload: three fetchers walk overlapping manifest prefixes.
+  auto fa = [&]() -> Task {
+    bool ok = false;
+    co_await fetcher_a->FetchPrefix(manifest, 6 * kChunkBytes, &ok);
+  };
+  auto fb = [&]() -> Task {
+    bool ok = false;
+    co_await fetcher_b->FetchPrefix(manifest, 4 * kChunkBytes, &ok);
+  };
+  auto fc = [&]() -> Task {
+    bool ok = false;
+    co_await fetcher_c->FetchPrefix(manifest, 8 * kChunkBytes, &ok);
+  };
+  sim.Spawn(fa());
+  sim.Spawn(fb());
+  sim.Spawn(fc());
+  sim.Run();
+
+  const RackChunkCache::Stats& stats = cache->stats();
+  // Every fetch request was answered exactly one way.
+  const uint64_t requests = fetcher_a->stats().fetched +
+                            fetcher_b->stats().fetched +
+                            fetcher_c->stats().fetched;
+  EXPECT_EQ(stats.hits + stats.coalesced + stats.origin_fetches +
+                stats.peer_redirects,
+            requests);
+  // 8 distinct chunks were needed; the origin served each exactly once.
+  EXPECT_EQ(stats.origin_fetches, 8u);
+  EXPECT_EQ(stats.origin_bytes, 8 * kChunkBytes);
+  EXPECT_NEAR(OriginBytesServed(), static_cast<double>(8 * kChunkBytes), 1.0);
+
+  // The obs counters mirror the cache's own stats one for one.
+  EXPECT_EQ(registry.counter("chunks.rack_hit"), stats.hits);
+  EXPECT_EQ(registry.counter("chunks.coalesced"), stats.coalesced);
+  EXPECT_EQ(registry.counter("chunks.origin_fetch"), stats.origin_fetches);
+  EXPECT_EQ(registry.counter("chunks.origin_bytes"), stats.origin_bytes);
+  EXPECT_EQ(registry.counter("chunks.peer_redirect"), stats.peer_redirects);
+  EXPECT_EQ(registry.counter("chunks.quarantine"), stats.quarantined);
+}
+
+TEST_F(ChunkFixture, ManifestRoundtripsThroughTheWire) {
+  const crypto::Bytes encoded = manifest.Encode();
+  const auto decoded = storage::ChunkManifest::Decode(
+      crypto::ByteView(encoded.data(), encoded.size()));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->image_name, manifest.image_name);
+  EXPECT_EQ(decoded->chunk_bytes, manifest.chunk_bytes);
+  EXPECT_EQ(decoded->image_bytes, manifest.image_bytes);
+  EXPECT_EQ(decoded->chunks, manifest.chunks);
+
+  // Truncated payloads decode to nullopt, never to a shorter manifest.
+  crypto::Bytes truncated(encoded.begin(), encoded.end() - 16);
+  EXPECT_FALSE(storage::ChunkManifest::Decode(
+                   crypto::ByteView(truncated.data(), truncated.size()))
+                   .has_value());
+
+  // Chunk identity is deterministic and clone-shared: same image name and
+  // index yield the same digest; the tail chunk may be short.
+  const storage::ChunkManifest again =
+      storage::ChunkManifest::ForImage("golden", 10 * kChunkBytes, kChunkBytes);
+  EXPECT_EQ(again.chunks, manifest.chunks);
+  const storage::ChunkManifest tailed =
+      storage::ChunkManifest::ForImage("tailed", 3 * kChunkBytes + 512, kChunkBytes);
+  ASSERT_EQ(tailed.chunks.size(), 4u);
+  EXPECT_EQ(tailed.ChunkBytes(2), kChunkBytes);
+  EXPECT_EQ(tailed.ChunkBytes(3), 512u);
+}
+
+}  // namespace
+}  // namespace bolted::provision

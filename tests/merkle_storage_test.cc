@@ -1,0 +1,444 @@
+// Integrity-protected block storage (DESIGN.md §14): tamper and rollback
+// negative matrix, write-back cache behaviour, and a seeded fuzz battery
+// against an in-memory oracle.
+//
+// The tamper matrix exercises every distinct failure class the device
+// defines — data-sector bit-flip, interior hash-node bit-flip, stored-root
+// tamper, and snapshot rollback — and checks each fails closed with its
+// own IntegrityFault value, not a generic error.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/crypto/drbg.h"
+#include "src/storage/block_device.h"
+#include "src/storage/crypt_device.h"
+#include "src/storage/merkle_device.h"
+
+namespace bolted::storage {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+constexpr uint64_t kDataSectors = 300;  // two tree levels (3 leaves + root)
+
+// Runs one coroutine to completion on the simulation.
+template <typename Fn>
+void RunSim(Simulation& sim, Fn&& fn) {
+  sim.Spawn(fn());
+  sim.Run();
+}
+
+crypto::Bytes PatternSector(uint8_t seed) {
+  crypto::Bytes data(kSectorSize);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(seed + i * 7);
+  }
+  return data;
+}
+
+// Flips one bit of a raw backing sector, bypassing the integrity layer —
+// the provider-side tamper primitive.
+Task FlipBit(BlockDevice& raw, uint64_t sector, size_t byte) {
+  crypto::Bytes content;
+  co_await raw.ReadSectors(sector, 1, &content);
+  content[byte] ^= 0x01;
+  co_await raw.WriteSectors(sector, content);
+}
+
+TEST(MerkleGeometryTest, LayoutCoversDataTreeRootAndJournal) {
+  const MerkleGeometry g = MerkleGeometry::For(kDataSectors);
+  EXPECT_EQ(g.data_sectors, kDataSectors);
+  ASSERT_EQ(g.levels(), 2);
+  EXPECT_EQ(g.level_nodes[0], 3u);  // ceil(300 / 128)
+  EXPECT_EQ(g.level_nodes[1], 1u);
+  EXPECT_EQ(g.level_offsets[0], kDataSectors);
+  EXPECT_EQ(g.root_sector, kDataSectors + 4);
+  // The journal holds the worst-case dirty set in one transaction.
+  EXPECT_GE(g.journal_slots, g.data_sectors + g.hash_sectors() + 1);
+  EXPECT_EQ(g.total_sectors, g.journal_header_sector + 1 +
+                                 g.journal_index_sectors + g.journal_slots);
+}
+
+TEST(MerkleDeviceTest, FormatOpenRoundtripAndReopen) {
+  Simulation sim;
+  RamDisk raw(sim, MerkleGeometry::For(kDataSectors).total_sectors, 5e9, 3.5e9,
+              "ram");
+  crypto::Digest root{};
+  RunSim(sim, [&]() -> Task {
+    co_await MerkleBlockDevice::Format(sim, raw, kDataSectors, &root);
+  });
+
+  MerkleBlockDevice dev(sim, &raw, kDataSectors, /*cache_sectors=*/8,
+                        MerkleCostModel{}, "m");
+  bool ok = false;
+  RunSim(sim, [&]() -> Task { co_await dev.Open(root, &ok); });
+  ASSERT_TRUE(ok);
+
+  // Fresh device reads zeros (Format wrote them through the backing).
+  crypto::Bytes out;
+  RunSim(sim, [&]() -> Task { co_await dev.ReadSectors(5, 2, &out); });
+  EXPECT_EQ(out, crypto::Bytes(2 * kSectorSize, 0));
+
+  const crypto::Bytes data = PatternSector(42);
+  RunSim(sim, [&]() -> Task {
+    co_await dev.WriteSectors(17, data);
+    co_await dev.Flush();
+  });
+  EXPECT_NE(dev.root(), root);  // the root advanced
+  const crypto::Digest root2 = dev.root();
+
+  // A second device opened with the advanced root sees the write.
+  MerkleBlockDevice dev2(sim, &raw, kDataSectors, /*cache_sectors=*/8,
+                         MerkleCostModel{}, "m2");
+  ok = false;
+  RunSim(sim, [&]() -> Task { co_await dev2.Open(root2, &ok); });
+  ASSERT_TRUE(ok);
+  RunSim(sim, [&]() -> Task { co_await dev2.ReadSectors(17, 1, &out); });
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(dev2.fault(), IntegrityFault::kNone);
+}
+
+// Shared fixture state for the tamper matrix: a formatted device with one
+// flushed write, plus the root the tenant holds.
+struct TamperRig {
+  Simulation sim;
+  MerkleGeometry geometry = MerkleGeometry::For(kDataSectors);
+  RamDisk raw{sim, geometry.total_sectors, 5e9, 3.5e9, "ram"};
+  crypto::Digest root{};
+
+  TamperRig() {
+    RunSim(sim, [&]() -> Task {
+      co_await MerkleBlockDevice::Format(sim, raw, kDataSectors, &root);
+      MerkleBlockDevice dev(sim, &raw, kDataSectors, 8, MerkleCostModel{}, "t");
+      bool ok = false;
+      co_await dev.Open(root, &ok);
+      crypto::Bytes data = PatternSector(7);
+      co_await dev.WriteSectors(33, data);
+      co_await dev.Flush();
+      root = dev.root();
+    });
+  }
+};
+
+TEST(MerkleTamperTest, DataSectorBitFlipFailsClosedAsDataMismatch) {
+  TamperRig rig;
+  RunSim(rig.sim, [&]() -> Task { co_await FlipBit(rig.raw, 33, 100); });
+
+  MerkleBlockDevice dev(rig.sim, &rig.raw, kDataSectors, 8, MerkleCostModel{},
+                        "m");
+  bool ok = false;
+  RunSim(rig.sim, [&]() -> Task { co_await dev.Open(rig.root, &ok); });
+  ASSERT_TRUE(ok);  // the tamper is in a data sector, not the root
+
+  crypto::Bytes out;
+  RunSim(rig.sim, [&]() -> Task { co_await dev.ReadSectors(33, 1, &out); });
+  EXPECT_EQ(dev.fault(), IntegrityFault::kDataMismatch);
+  // Fail closed: zero output, and the fault is sticky for unrelated reads
+  // and refuses writes.
+  EXPECT_EQ(out, crypto::Bytes(kSectorSize, 0));
+  RunSim(rig.sim, [&]() -> Task { co_await dev.ReadSectors(0, 1, &out); });
+  EXPECT_EQ(out, crypto::Bytes(kSectorSize, 0));
+  EXPECT_EQ(dev.fault(), IntegrityFault::kDataMismatch);
+  RunSim(rig.sim, [&]() -> Task {
+    crypto::Bytes data = PatternSector(9);
+    co_await dev.WriteSectors(0, data);
+    co_await dev.Flush();
+  });
+  EXPECT_EQ(dev.fault(), IntegrityFault::kDataMismatch);
+}
+
+TEST(MerkleTamperTest, HashNodeBitFlipFailsClosedAsHashNodeMismatch) {
+  TamperRig rig;
+  // Flip a bit inside the leaf-level hash node covering sector 33.
+  const uint64_t node_sector = rig.geometry.NodeSector(0, 0);
+  RunSim(rig.sim, [&]() -> Task { co_await FlipBit(rig.raw, node_sector, 8); });
+
+  MerkleBlockDevice dev(rig.sim, &rig.raw, kDataSectors, 8, MerkleCostModel{},
+                        "m");
+  bool ok = false;
+  RunSim(rig.sim, [&]() -> Task { co_await dev.Open(rig.root, &ok); });
+  ASSERT_TRUE(ok);
+
+  crypto::Bytes out;
+  RunSim(rig.sim, [&]() -> Task { co_await dev.ReadSectors(33, 1, &out); });
+  EXPECT_EQ(dev.fault(), IntegrityFault::kHashNodeMismatch);
+  EXPECT_EQ(out, crypto::Bytes(kSectorSize, 0));
+}
+
+TEST(MerkleTamperTest, StoredRootBitFlipFailsOpenAsRootTampered) {
+  TamperRig rig;
+  RunSim(rig.sim,
+      [&]() -> Task { co_await FlipBit(rig.raw, rig.geometry.root_sector, 3); });
+
+  MerkleBlockDevice dev(rig.sim, &rig.raw, kDataSectors, 8, MerkleCostModel{},
+                        "m");
+  bool ok = true;
+  RunSim(rig.sim, [&]() -> Task { co_await dev.Open(rig.root, &ok); });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(dev.fault(), IntegrityFault::kRootTampered);
+  crypto::Bytes out;
+  RunSim(rig.sim, [&]() -> Task { co_await dev.ReadSectors(0, 1, &out); });
+  EXPECT_EQ(out, crypto::Bytes(kSectorSize, 0));
+}
+
+TEST(MerkleTamperTest, SnapshotRestoreFailsOpenAsRollback) {
+  TamperRig rig;
+  // Provider snapshots the whole (internally consistent) backing device...
+  std::vector<crypto::Bytes> snapshot(rig.geometry.total_sectors);
+  RunSim(rig.sim, [&]() -> Task {
+    for (uint64_t s = 0; s < rig.geometry.total_sectors; ++s) {
+      co_await rig.raw.ReadSectors(s, 1, &snapshot[s]);
+    }
+  });
+
+  // ...the tenant advances the state...
+  crypto::Digest new_root{};
+  RunSim(rig.sim, [&]() -> Task {
+    MerkleBlockDevice dev(rig.sim, &rig.raw, kDataSectors, 8, MerkleCostModel{},
+                          "m");
+    bool ok = false;
+    co_await dev.Open(rig.root, &ok);
+    crypto::Bytes data = PatternSector(99);
+    co_await dev.WriteSectors(50, data);
+    co_await dev.Flush();
+    new_root = dev.root();
+  });
+  ASSERT_NE(new_root, rig.root);
+
+  // ...and the provider restores the old snapshot wholesale.
+  RunSim(rig.sim, [&]() -> Task {
+    for (uint64_t s = 0; s < rig.geometry.total_sectors; ++s) {
+      co_await rig.raw.WriteSectors(s, snapshot[s]);
+    }
+  });
+
+  MerkleBlockDevice dev(rig.sim, &rig.raw, kDataSectors, 8, MerkleCostModel{},
+                        "m");
+  bool ok = true;
+  RunSim(rig.sim, [&]() -> Task { co_await dev.Open(new_root, &ok); });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(dev.fault(), IntegrityFault::kRollback);
+}
+
+TEST(MerkleTamperTest, EveryFailureClassHasADistinctNameAndValue) {
+  const IntegrityFault faults[] = {
+      IntegrityFault::kDataMismatch, IntegrityFault::kHashNodeMismatch,
+      IntegrityFault::kRootTampered, IntegrityFault::kRollback};
+  for (size_t i = 0; i < std::size(faults); ++i) {
+    EXPECT_NE(IntegrityFaultName(faults[i]), IntegrityFaultName(IntegrityFault::kNone));
+    for (size_t j = i + 1; j < std::size(faults); ++j) {
+      EXPECT_NE(faults[i], faults[j]);
+      EXPECT_NE(IntegrityFaultName(faults[i]), IntegrityFaultName(faults[j]));
+    }
+  }
+}
+
+TEST(MerkleCryptStackTest, TamperUnderCryptIsStillDetected) {
+  // Merkle over dm-crypt: a bit-flip on the raw ciphertext decrypts to
+  // garbage, whose digest cannot match the leaf — the integrity layer
+  // converts silent corruption into a hard fault.
+  Simulation sim;
+  const MerkleGeometry g = MerkleGeometry::For(kDataSectors);
+  RamDisk raw(sim, g.total_sectors, 5e9, 3.5e9, "ram");
+  crypto::Drbg drbg(1234);
+  const crypto::Bytes key = drbg.Generate(64);
+  CryptDevice crypt(sim, &raw, key, CryptCostModel{}, "c");
+
+  crypto::Digest root{};
+  RunSim(sim, [&]() -> Task {
+    co_await MerkleBlockDevice::Format(sim, crypt, kDataSectors, &root);
+    MerkleBlockDevice dev(sim, &crypt, kDataSectors, 8, MerkleCostModel{}, "m");
+    bool ok = false;
+    co_await dev.Open(root, &ok);
+    crypto::Bytes data = PatternSector(5);
+    co_await dev.WriteSectors(12, data);
+    co_await dev.Flush();
+    root = dev.root();
+  });
+
+  RunSim(sim, [&]() -> Task { co_await FlipBit(raw, 12, 0); });
+
+  MerkleBlockDevice dev(sim, &crypt, kDataSectors, 8, MerkleCostModel{}, "m2");
+  bool ok = false;
+  RunSim(sim, [&]() -> Task { co_await dev.Open(root, &ok); });
+  ASSERT_TRUE(ok);
+  crypto::Bytes out;
+  RunSim(sim, [&]() -> Task { co_await dev.ReadSectors(12, 1, &out); });
+  EXPECT_EQ(dev.fault(), IntegrityFault::kDataMismatch);
+  EXPECT_EQ(out, crypto::Bytes(kSectorSize, 0));
+}
+
+// --- Seeded fuzz battery vs an in-memory oracle --------------------------
+//
+// Random interleavings of write / read-and-verify / flush / reopen.  The
+// oracle tracks `current` (what reads must return: write-back cache
+// included) and `committed` (what survives a reopen: the last flush).
+
+class MerkleFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MerkleFuzz, RandomOpsMatchOracle) {
+  const uint64_t seed = GetParam();
+  Simulation sim;
+  const MerkleGeometry g = MerkleGeometry::For(kDataSectors);
+  RamDisk raw(sim, g.total_sectors, 5e9, 3.5e9, "ram");
+  crypto::Drbg drbg(seed);
+
+  crypto::Digest committed_root{};
+  RunSim(sim, [&]() -> Task {
+    co_await MerkleBlockDevice::Format(sim, raw, kDataSectors, &committed_root);
+  });
+
+  const size_t cache_sizes[] = {1, 8, 64};
+  const size_t cache = cache_sizes[seed % 3];
+  auto dev = std::make_unique<MerkleBlockDevice>(sim, &raw, kDataSectors, cache,
+                                                 MerkleCostModel{}, "fuzz");
+  bool ok = false;
+  RunSim(sim, [&]() -> Task { co_await dev->Open(committed_root, &ok); });
+  ASSERT_TRUE(ok);
+
+  const crypto::Bytes zero_sector(kSectorSize, 0);
+  std::map<uint64_t, crypto::Bytes> current;    // reads must match this
+  std::map<uint64_t, crypto::Bytes> committed;  // survives a reopen
+
+  auto rand_u64 = [&]() {
+    const crypto::Bytes b = drbg.Generate(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | b[static_cast<size_t>(i)];
+    }
+    return v;
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const uint64_t op = rand_u64() % 100;
+    if (op < 45) {  // write
+      const uint64_t sector = rand_u64() % kDataSectors;
+      crypto::Bytes data = drbg.Generate(kSectorSize);
+      current[sector] = data;
+      RunSim(sim, [&]() -> Task { co_await dev->WriteSectors(sector, data); });
+    } else if (op < 80) {  // read and verify against the oracle
+      const uint64_t sector = rand_u64() % kDataSectors;
+      crypto::Bytes out;
+      RunSim(sim, [&]() -> Task { co_await dev->ReadSectors(sector, 1, &out); });
+      ASSERT_EQ(dev->fault(), IntegrityFault::kNone) << "seed " << seed;
+      const auto it = current.find(sector);
+      const crypto::Bytes& expected = it == current.end() ? zero_sector : it->second;
+      ASSERT_EQ(out, expected) << "seed " << seed << " sector " << sector;
+    } else if (op < 92) {  // flush: pending writes become durable
+      RunSim(sim, [&]() -> Task { co_await dev->Flush(); });
+      ASSERT_EQ(dev->fault(), IntegrityFault::kNone) << "seed " << seed;
+      committed = current;
+      committed_root = dev->root();
+    } else {  // reopen without flush: pending write-back state is lost
+      dev = std::make_unique<MerkleBlockDevice>(sim, &raw, kDataSectors, cache,
+                                                MerkleCostModel{}, "fuzz");
+      ok = false;
+      RunSim(sim, [&]() -> Task { co_await dev->Open(committed_root, &ok); });
+      ASSERT_TRUE(ok) << "seed " << seed << " step " << step;
+      current = committed;
+    }
+  }
+
+  // Full final sweep: every sector matches the oracle.
+  RunSim(sim, [&]() -> Task { co_await dev->Flush(); });
+  for (uint64_t sector = 0; sector < kDataSectors; sector += 13) {
+    crypto::Bytes out;
+    RunSim(sim, [&]() -> Task { co_await dev->ReadSectors(sector, 1, &out); });
+    const auto it = current.find(sector);
+    const crypto::Bytes& expected = it == current.end() ? zero_sector : it->second;
+    ASSERT_EQ(out, expected) << "seed " << seed << " sector " << sector;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MerkleFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 1337));
+
+// The root is a pure function of committed content: identical across cache
+// sizes and across flush granularities.
+TEST(MerkleDeterminismTest, RootIdenticalAcrossCacheSizesAndFlushOrders) {
+  std::vector<crypto::Digest> roots;
+  const size_t cache_sizes[] = {1, 8, 64};
+  for (const size_t cache : cache_sizes) {
+    for (const bool flush_between : {false, true}) {
+      Simulation sim;
+      const MerkleGeometry g = MerkleGeometry::For(kDataSectors);
+      RamDisk raw(sim, g.total_sectors, 5e9, 3.5e9, "ram");
+      crypto::Digest root{};
+      RunSim(sim, [&]() -> Task {
+        co_await MerkleBlockDevice::Format(sim, raw, kDataSectors, &root);
+      });
+      MerkleBlockDevice dev(sim, &raw, kDataSectors, cache, MerkleCostModel{},
+                            "d");
+      bool ok = false;
+      RunSim(sim, [&]() -> Task { co_await dev.Open(root, &ok); });
+      ASSERT_TRUE(ok);
+      // Two write batches, optionally flushed separately.
+      RunSim(sim, [&]() -> Task {
+        for (uint64_t s = 0; s < 40; ++s) {
+          crypto::Bytes data = PatternSector(static_cast<uint8_t>(s));
+          co_await dev.WriteSectors(s * 7 % kDataSectors, data);
+        }
+        if (flush_between) {
+          co_await dev.Flush();
+        }
+        for (uint64_t s = 0; s < 40; ++s) {
+          crypto::Bytes data = PatternSector(static_cast<uint8_t>(200 - s));
+          co_await dev.WriteSectors(s * 11 % kDataSectors, data);
+        }
+        co_await dev.Flush();
+      });
+      ASSERT_EQ(dev.fault(), IntegrityFault::kNone);
+      roots.push_back(dev.root());
+    }
+  }
+  for (size_t i = 1; i < roots.size(); ++i) {
+    EXPECT_EQ(roots[i], roots[0]) << "variant " << i;
+  }
+}
+
+TEST(MerkleCacheTest, DirtySectorsArePinnedAndCleanOnesEvict) {
+  Simulation sim;
+  const MerkleGeometry g = MerkleGeometry::For(kDataSectors);
+  RamDisk raw(sim, g.total_sectors, 5e9, 3.5e9, "ram");
+  crypto::Digest root{};
+  RunSim(sim, [&]() -> Task {
+    co_await MerkleBlockDevice::Format(sim, raw, kDataSectors, &root);
+  });
+  MerkleBlockDevice dev(sim, &raw, kDataSectors, /*cache_sectors=*/4,
+                        MerkleCostModel{}, "m");
+  bool ok = false;
+  RunSim(sim, [&]() -> Task { co_await dev.Open(root, &ok); });
+  ASSERT_TRUE(ok);
+
+  // 20 dirty sectors exceed the 4-entry budget but none may be dropped.
+  RunSim(sim, [&]() -> Task {
+    for (uint64_t s = 0; s < 20; ++s) {
+      crypto::Bytes data = PatternSector(static_cast<uint8_t>(s));
+      co_await dev.WriteSectors(s, data);
+    }
+  });
+  for (uint64_t s = 0; s < 20; ++s) {
+    crypto::Bytes out;
+    RunSim(sim, [&]() -> Task { co_await dev.ReadSectors(s, 1, &out); });
+    EXPECT_EQ(out, PatternSector(static_cast<uint8_t>(s))) << s;
+  }
+  EXPECT_EQ(dev.cache_evictions(), 0u);
+
+  // After the flush the cache shrinks back under budget via clean evictions.
+  RunSim(sim, [&]() -> Task { co_await dev.Flush(); });
+  EXPECT_GT(dev.cache_evictions(), 0u);
+  // A cold read of the least-recently-used sector now misses and
+  // re-verifies against the tree.
+  const uint64_t misses_before = dev.cache_misses();
+  crypto::Bytes out;
+  RunSim(sim, [&]() -> Task { co_await dev.ReadSectors(0, 1, &out); });
+  EXPECT_EQ(out, PatternSector(0));
+  EXPECT_GT(dev.cache_misses(), misses_before);
+}
+
+}  // namespace
+}  // namespace bolted::storage

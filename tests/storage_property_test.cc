@@ -1,13 +1,18 @@
 // Storage invariants under parameter sweeps: copy-on-write sharing
-// accounting, object-store byte conservation, and crypt-layer
-// transparency across device stacks.
+// accounting, object-store byte conservation, crypt-layer transparency
+// across device stacks, and crash atomicity of the crypt+merkle stack
+// under a torn-write sweep.
 
 #include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
 
 #include "src/crypto/drbg.h"
 #include "src/storage/block_device.h"
 #include "src/storage/crypt_device.h"
 #include "src/storage/image.h"
+#include "src/storage/merkle_device.h"
 #include "src/storage/object_store.h"
 
 namespace bolted::storage {
@@ -138,6 +143,216 @@ TEST_P(CryptStackSweep, CryptLayerIsContentTransparent) {
 
 INSTANTIATE_TEST_SUITE_P(SectorCounts, CryptStackSweep,
                          ::testing::Values(1, 2, 7, 16));
+
+// --- Crash-point sweep over the crypt+merkle stack -----------------------
+//
+// A TornDevice applies the first `budget` sector writes it sees and
+// silently drops the rest — the provider's storage node losing power with
+// some sectors persisted and some not (sector writes are atomic; batches
+// are not).  For every crash point inside a flush, reopening the stack
+// must yield EITHER the wholly-old state (pre-flush root verifies, old
+// content) OR the wholly-new state (post-flush root verifies, new
+// content), never a mix.  The merkle redo journal is what earns that.
+
+class TornDevice : public BlockDevice {
+ public:
+  explicit TornDevice(BlockDevice* backing) : backing_(backing) {}
+
+  void Arm(uint64_t budget) {
+    budget_ = budget;
+    writes_done_ = 0;
+  }
+  uint64_t writes_done() const { return writes_done_; }
+
+  uint64_t num_sectors() const override { return backing_->num_sectors(); }
+  sim::Task ReadSectors(uint64_t first_sector, uint64_t count,
+                        crypto::Bytes* out) override {
+    co_await backing_->ReadSectors(first_sector, count, out);
+  }
+  sim::Task WriteSectors(uint64_t first_sector, const crypto::Bytes& data) override {
+    const uint64_t count = data.size() / kSectorSize;
+    for (uint64_t i = 0; i < count; ++i) {
+      const bool apply = writes_done_ < budget_;
+      ++writes_done_;
+      if (!apply) {
+        continue;  // crashed: this sector never reached the platter
+      }
+      crypto::Bytes sector(
+          data.begin() + static_cast<ptrdiff_t>(i * kSectorSize),
+          data.begin() + static_cast<ptrdiff_t>((i + 1) * kSectorSize));
+      co_await backing_->WriteSectors(first_sector + i, sector);
+    }
+  }
+  sim::Task AccountRead(uint64_t bytes) override {
+    co_await backing_->AccountRead(bytes);
+  }
+  sim::Task AccountWrite(uint64_t bytes) override {
+    co_await backing_->AccountWrite(bytes);
+  }
+
+ private:
+  BlockDevice* backing_;
+  uint64_t budget_ = UINT64_MAX;
+  uint64_t writes_done_ = 0;
+};
+
+TEST(CrashSweepTest, CryptMerkleStackReopensWhollyOldOrWhollyNew) {
+  constexpr uint64_t kDataSectors = 300;
+  const MerkleGeometry geometry = MerkleGeometry::For(kDataSectors);
+  Simulation sim;
+  crypto::Drbg drbg(0xC4A5);
+  const crypto::Bytes key = drbg.Generate(64);
+
+  auto pattern = [](uint8_t tag, uint64_t sector) {
+    crypto::Bytes data(kSectorSize);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(tag ^ (sector * 31 + i));
+    }
+    return data;
+  };
+
+  // Old state: sectors 10..29 tagged 'A'.  New state: those rewritten with
+  // 'B' plus fresh sectors 200..209.
+  std::map<uint64_t, crypto::Bytes> old_state;
+  std::map<uint64_t, crypto::Bytes> new_state;
+  for (uint64_t s = 10; s < 30; ++s) {
+    old_state[s] = pattern(0xA0, s);
+    new_state[s] = pattern(0xB0, s);
+  }
+  for (uint64_t s = 200; s < 210; ++s) {
+    new_state[s] = pattern(0xB0, s);
+  }
+
+  // Phase 1 (never torn): format + commit the old state; snapshot the raw
+  // ciphertext so every crash point replays from the same baseline.
+  RamDisk base_raw(sim, geometry.total_sectors, 5e9, 3.5e9, "base");
+  crypto::Digest old_root{};
+  {
+    CryptDevice crypt(sim, &base_raw, key, CryptCostModel{}, "c");
+    auto seed_old = [&]() -> Task {
+      co_await MerkleBlockDevice::Format(sim, crypt, kDataSectors, &old_root);
+      MerkleBlockDevice dev(sim, &crypt, kDataSectors, 8, MerkleCostModel{}, "m");
+      bool ok = false;
+      co_await dev.Open(old_root, &ok);
+      for (const auto& [sector, data] : old_state) {
+        co_await dev.WriteSectors(sector, data);
+      }
+      co_await dev.Flush();
+      old_root = dev.root();
+    };
+    sim.Spawn(seed_old());
+    sim.Run();
+  }
+  std::vector<crypto::Bytes> snapshot(geometry.total_sectors);
+  auto take_snapshot = [&]() -> Task {
+    for (uint64_t s = 0; s < geometry.total_sectors; ++s) {
+      co_await base_raw.ReadSectors(s, 1, &snapshot[s]);
+    }
+  };
+  sim.Spawn(take_snapshot());
+  sim.Run();
+
+  // One run per crash budget N: restore the snapshot, arm the torn layer,
+  // attempt the second flush, then reopen untorn and classify the state.
+  // budget=UINT64_MAX first to learn the total write count and new root.
+  crypto::Digest new_root{};
+  uint64_t total_writes = 0;
+  uint64_t old_outcomes = 0;
+  uint64_t new_outcomes = 0;
+
+  auto run_crash_point = [&](uint64_t budget, bool measure) {
+    RamDisk raw(sim, geometry.total_sectors, 5e9, 3.5e9, "raw");
+    auto restore = [&]() -> Task {
+      for (uint64_t s = 0; s < geometry.total_sectors; ++s) {
+        co_await raw.WriteSectors(s, snapshot[s]);
+      }
+    };
+    sim.Spawn(restore());
+    sim.Run();
+
+    TornDevice torn(&raw);
+    bool open_ok = false;
+    {
+      CryptDevice crypt(sim, &torn, key, CryptCostModel{}, "c");
+      MerkleBlockDevice dev(sim, &crypt, kDataSectors, 8, MerkleCostModel{}, "m");
+      auto torn_flush = [&]() -> Task {
+        co_await dev.Open(old_root, &open_ok);
+        if (!open_ok) {
+          co_return;
+        }
+        torn.Arm(budget);
+        for (const auto& [sector, data] : new_state) {
+          co_await dev.WriteSectors(sector, data);
+        }
+        co_await dev.Flush();
+      };
+      sim.Spawn(torn_flush());
+      sim.Run();
+      if (measure) {
+        total_writes = torn.writes_done();
+        new_root = dev.root();
+      }
+    }
+    ASSERT_TRUE(open_ok) << "budget " << budget;
+
+    // Recovery on pristine hardware: fresh crypt+merkle over the surviving
+    // ciphertext.  Exactly one of the two roots must verify.
+    CryptDevice crypt(sim, &raw, key, CryptCostModel{}, "c2");
+    MerkleBlockDevice as_new(sim, &crypt, kDataSectors, 8, MerkleCostModel{},
+                             "new");
+    bool new_ok = false;
+    auto open_new = [&]() -> Task { co_await as_new.Open(new_root, &new_ok); };
+    sim.Spawn(open_new());
+    sim.Run();
+    MerkleBlockDevice as_old(sim, &crypt, kDataSectors, 8, MerkleCostModel{},
+                             "old");
+    bool old_ok = false;
+    auto open_old = [&]() -> Task { co_await as_old.Open(old_root, &old_ok); };
+    if (!new_ok) {
+      sim.Spawn(open_old());
+      sim.Run();
+    }
+    ASSERT_TRUE(new_ok || old_ok) << "budget " << budget << ": neither root";
+    MerkleBlockDevice& dev = new_ok ? as_new : as_old;
+    const auto& expected = new_ok ? new_state : old_state;
+    (new_ok ? new_outcomes : old_outcomes) += 1;
+
+    // Every sector either side ever touched must match the chosen state
+    // exactly — a mixed image would show up here.
+    std::map<uint64_t, crypto::Bytes> observed;
+    auto read_back = [&]() -> Task {
+      for (const auto& [sector, data] : new_state) {
+        (void)data;
+        crypto::Bytes out;
+        co_await dev.ReadSectors(sector, 1, &out);
+        observed[sector] = std::move(out);
+      }
+    };
+    sim.Spawn(read_back());
+    sim.Run();
+    ASSERT_EQ(dev.fault(), IntegrityFault::kNone) << "budget " << budget;
+    const crypto::Bytes zero(kSectorSize, 0);
+    for (const auto& [sector, out] : observed) {
+      const auto it = expected.find(sector);
+      const crypto::Bytes& want = it == expected.end() ? zero : it->second;
+      ASSERT_EQ(out, want) << "budget " << budget << " sector " << sector;
+    }
+  };
+
+  run_crash_point(UINT64_MAX, /*measure=*/true);
+  ASSERT_GT(total_writes, 0u);
+  ASSERT_NE(new_root, old_root);
+
+  // Sweep every crash point through the flush (the full-budget run above
+  // already covered the "nothing torn" endpoint and landed new).
+  for (uint64_t budget = 0; budget < total_writes; ++budget) {
+    run_crash_point(budget, /*measure=*/false);
+  }
+  // The sweep must actually exercise both outcomes: early crash points
+  // recover old, late ones (journal committed) recover new.
+  EXPECT_GT(old_outcomes, 0u);
+  EXPECT_GT(new_outcomes, 1u);
+}
 
 }  // namespace
 }  // namespace bolted::storage
