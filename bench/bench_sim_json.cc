@@ -18,6 +18,11 @@
 // digests must match (the same equivalence the scheduler_test suite
 // checks), and the host-side events/second ratio is the headline number.
 //
+// Two additional workloads (net_pingpong, net_mixed) drive a simulated
+// Network and compare the burst forwarding fast path against the generic
+// coroutine-per-frame path (DESIGN.md §15); there the invariant is the
+// frame trace digest and the headline is frames/second.
+//
 // Usage: bench_sim_json [output-path] [--events=N]
 //   (default output: BENCH_sim.json; --events scales every workload, e.g.
 //    --events=50000 for a CI smoke run.)
@@ -30,11 +35,17 @@
 #include <string>
 #include <vector>
 
+#include "src/net/network.h"
 #include "src/sim/random.h"
 #include "src/sim/simulation.h"
 
 namespace {
 
+using bolted::net::Endpoint;
+using bolted::net::ForwardPath;
+using bolted::net::FrameFault;
+using bolted::net::Message;
+using bolted::net::Network;
 using bolted::sim::Duration;
 using bolted::sim::EventId;
 using bolted::sim::Rng;
@@ -203,6 +214,189 @@ RunResult RunMixed(SchedulerKind kind, uint64_t operations) {
   return r;
 }
 
+// --- network forwarding: burst fast path vs generic -------------------------
+//
+// Two Network-level workloads compare the flight engine (DESIGN.md §15)
+// against the original coroutine-per-frame path on the same seeded
+// traffic.  The cross-run invariant is Network::frame_digest() — the
+// delivered-frame multiset per sim instant — which must be byte-identical
+// between paths and across schedulers; the kernel (when, seq) digest
+// cannot be compared here because the two paths intentionally produce
+// different event structures.
+
+struct NetRunResult {
+  uint64_t frames = 0;  // delivered copies
+  double wall_ms = 0;
+  uint64_t frame_digest = 0;
+};
+
+// Echoes `rounds` received frames back to `peer`.
+bolted::sim::Task EchoLoop(Endpoint& self, bolted::net::Address peer,
+                           uint64_t rounds) {
+  for (uint64_t i = 0; i < rounds; ++i) {
+    (void)co_await self.inbox().Recv();
+    Message reply;
+    reply.kind = "pong";
+    reply.wire_bytes = 200;
+    self.Post(peer, std::move(reply));
+  }
+}
+
+// 64 endpoint pairs playing frame ping-pong: every delivery immediately
+// triggers the reply, so the whole run is same-instant-heavy burst
+// traffic — the shape run-to-completion delivery exists for.
+NetRunResult RunNetPingPong(SchedulerKind kind, ForwardPath path,
+                            uint64_t frames) {
+  Simulation sim(kind, 4);
+  Network net(sim, Duration::Microseconds(1), 1.25e9);
+  net.SetForwardPath(path);
+
+  constexpr int kPairs = 64;
+  const uint64_t rounds = frames / (2 * kPairs) + 1;
+  std::vector<Endpoint*> eps;
+  for (int i = 0; i < 2 * kPairs; ++i) {
+    Endpoint& ep = net.CreateEndpoint("pp" + std::to_string(i));
+    net.AttachToVlan(ep.address(), 100);
+    eps.push_back(&ep);
+  }
+  for (int p = 0; p < kPairs; ++p) {
+    Endpoint& a = *eps[static_cast<size_t>(2 * p)];
+    Endpoint& b = *eps[static_cast<size_t>(2 * p + 1)];
+    sim.Spawn(EchoLoop(a, b.address(), rounds));
+    sim.Spawn(EchoLoop(b, a.address(), rounds));
+    Message serve;
+    serve.kind = "ping";
+    serve.wire_bytes = 200;
+    a.Post(b.address(), std::move(serve));
+  }
+
+  const auto start = Clock::now();
+  sim.Run();
+  NetRunResult r;
+  r.wall_ms = MillisSince(start);
+  r.frames = net.frames_delivered();
+  r.frame_digest = net.frame_digest();
+  return r;
+}
+
+// 128 endpoints across 4 oversubscribed ToR switches firing frames of
+// mixed sizes at random peers, with a seeded fault filter dropping,
+// duplicating, and delaying a slice of the traffic — the steady-state
+// control-plane shape, cross-switch uplink contention included.
+class NetMixedDriver {
+ public:
+  NetMixedDriver(Simulation& sim, std::vector<Endpoint*>& eps,
+                 uint64_t frames)
+      : sim_(sim), eps_(eps), rng_(0x6e65746d69786564u), remaining_(frames) {}
+
+  void Start() {
+    for (size_t i = 0; i < eps_.size(); ++i) {
+      sim_.Schedule(Duration::Nanoseconds(static_cast<int64_t>(1 + 97 * i)),
+                    [this, i]() { Step(static_cast<uint32_t>(i)); });
+    }
+  }
+
+ private:
+  void Step(uint32_t idx) {
+    if (remaining_ == 0) {
+      return;
+    }
+    --remaining_;
+    const auto peer = static_cast<uint32_t>(rng_.NextBelow(eps_.size() - 1));
+    Endpoint* dst = eps_[(idx + 1 + peer) % eps_.size()];
+    static constexpr uint64_t kSizes[] = {200, 1500, 9000};
+    Message m;
+    m.kind = "mix";
+    m.wire_bytes = kSizes[rng_.NextBelow(3)];
+    eps_[idx]->Post(dst->address(), std::move(m));
+    const auto next = static_cast<int64_t>(500 + rng_.NextBelow(4000));
+    sim_.Schedule(Duration::Nanoseconds(next), [this, idx]() { Step(idx); });
+  }
+
+  Simulation& sim_;
+  std::vector<Endpoint*>& eps_;
+  Rng rng_;
+  uint64_t remaining_;
+};
+
+NetRunResult RunNetMixed(SchedulerKind kind, ForwardPath path,
+                         uint64_t frames) {
+  Simulation sim(kind, 5);
+  Network net(sim, Duration::Microseconds(1), 1.25e9);
+  net.SetForwardPath(path);
+  for (int s = 0; s < 4; ++s) {
+    net.AddSwitch(12.5e9);
+  }
+  std::vector<Endpoint*> eps;
+  for (int i = 0; i < 128; ++i) {
+    Endpoint& ep =
+        net.CreateEndpointOnSwitch("mx" + std::to_string(i), 1 + i % 4);
+    net.AttachToVlan(ep.address(), 100);
+    eps.push_back(&ep);
+  }
+  // Deterministic fault slice: the filter is probed once per frame that
+  // passed the VLAN check, in send order — identical on both paths, so
+  // the rng stream (and thus the digest) stays comparable.
+  Rng fault_rng(0x6661756c74u);
+  net.SetFaultFilter([&fault_rng](const Message&) {
+    FrameFault fault;
+    const uint64_t roll = fault_rng.NextBelow(100);
+    if (roll < 2) {
+      fault.drop = true;
+    } else if (roll < 5) {
+      fault.duplicates = 1;
+    } else if (roll < 10) {
+      fault.extra_delay =
+          Duration::Nanoseconds(static_cast<int64_t>(500 + roll * 37));
+    }
+    return fault;
+  });
+
+  NetMixedDriver driver(sim, eps, frames);
+  driver.Start();
+  const auto start = Clock::now();
+  sim.Run();
+  NetRunResult r;
+  r.wall_ms = MillisSince(start);
+  r.frames = net.frames_delivered();
+  r.frame_digest = net.frame_digest();
+  return r;
+}
+
+struct NetWorkloadRow {
+  const char* name;
+  NetRunResult generic;  // generic path, wheel scheduler
+  NetRunResult burst;    // burst path, wheel scheduler
+  NetRunResult burst_reference;  // burst path, reference scheduler
+};
+
+void AppendNetRow(std::string& json, const NetWorkloadRow& row, bool last) {
+  char buf[1024];
+  const double generic_fps =
+      static_cast<double>(row.generic.frames) / (row.generic.wall_ms / 1e3);
+  const double burst_fps =
+      static_cast<double>(row.burst.frames) / (row.burst.wall_ms / 1e3);
+  const double generic_ns =
+      row.generic.wall_ms * 1e6 / static_cast<double>(row.generic.frames);
+  const double burst_ns =
+      row.burst.wall_ms * 1e6 / static_cast<double>(row.burst.frames);
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s_frames\": %" PRIu64 ",\n"
+                "  \"%s_generic_wall_ms\": %.3f,\n"
+                "  \"%s_burst_wall_ms\": %.3f,\n"
+                "  \"%s_generic_frames_per_second\": %.0f,\n"
+                "  \"%s_burst_frames_per_second\": %.0f,\n"
+                "  \"%s_generic_ns_per_frame\": %.1f,\n"
+                "  \"%s_burst_ns_per_frame\": %.1f,\n"
+                "  \"%s_burst_speedup\": %.3f%s\n",
+                row.name, row.burst.frames, row.name, row.generic.wall_ms,
+                row.name, row.burst.wall_ms, row.name, generic_fps, row.name,
+                burst_fps, row.name, generic_ns, row.name, burst_ns, row.name,
+                generic_fps > 0 ? burst_fps / generic_fps : 0.0,
+                last ? "" : ",");
+  json += buf;
+}
+
 struct WorkloadRow {
   const char* name;
   RunResult reference;
@@ -272,9 +466,46 @@ int main(int argc, char** argv) {
     }
   }
 
+  const uint64_t net_frames = base_events / 8;
+  NetWorkloadRow net_rows[] = {
+      {"net_pingpong",
+       RunNetPingPong(SchedulerKind::kWheel, ForwardPath::kGeneric, net_frames),
+       RunNetPingPong(SchedulerKind::kWheel, ForwardPath::kBurst, net_frames),
+       RunNetPingPong(SchedulerKind::kReference, ForwardPath::kBurst,
+                      net_frames)},
+      {"net_mixed",
+       RunNetMixed(SchedulerKind::kWheel, ForwardPath::kGeneric, net_frames),
+       RunNetMixed(SchedulerKind::kWheel, ForwardPath::kBurst, net_frames),
+       RunNetMixed(SchedulerKind::kReference, ForwardPath::kBurst,
+                   net_frames)},
+  };
+
+  // The frame digest (delivered multiset per instant) must be identical
+  // between the burst and generic paths and across schedulers.
+  for (const NetWorkloadRow& row : net_rows) {
+    if (row.burst.frame_digest != row.generic.frame_digest ||
+        row.burst.frames != row.generic.frames ||
+        row.burst_reference.frame_digest != row.generic.frame_digest ||
+        row.burst_reference.frames != row.generic.frames) {
+      std::fprintf(stderr,
+                   "%s: forwarding-path divergence (generic %" PRIu64
+                   " frames digest %016" PRIx64 ", burst %" PRIu64
+                   " frames digest %016" PRIx64 ", burst/ref %" PRIu64
+                   " frames digest %016" PRIx64 ")\n",
+                   row.name, row.generic.frames, row.generic.frame_digest,
+                   row.burst.frames, row.burst.frame_digest,
+                   row.burst_reference.frames,
+                   row.burst_reference.frame_digest);
+      return 1;
+    }
+  }
+
   std::string json = "{\n";
   for (size_t i = 0; i < 3; ++i) {
-    AppendRow(json, rows[i], i == 2);
+    AppendRow(json, rows[i], false);
+  }
+  for (size_t i = 0; i < 2; ++i) {
+    AppendNetRow(json, net_rows[i], i == 1);
   }
   json += "}\n";
 
@@ -288,9 +519,15 @@ int main(int argc, char** argv) {
 
   for (const WorkloadRow& row : rows) {
     const double speedup = row.reference.wall_ms / row.wheel.wall_ms;
-    std::printf("%-8s %9" PRIu64 " events  reference %8.1f ms  wheel %8.1f ms  speedup %.2fx\n",
+    std::printf("%-12s %9" PRIu64 " events  reference %8.1f ms  wheel %8.1f ms  speedup %.2fx\n",
                 row.name, row.wheel.events, row.reference.wall_ms,
                 row.wheel.wall_ms, speedup);
+  }
+  for (const NetWorkloadRow& row : net_rows) {
+    const double speedup = row.generic.wall_ms / row.burst.wall_ms;
+    std::printf("%-12s %9" PRIu64 " frames  generic   %8.1f ms  burst %8.1f ms  speedup %.2fx\n",
+                row.name, row.burst.frames, row.generic.wall_ms,
+                row.burst.wall_ms, speedup);
   }
   std::printf("wrote %s\n", out_path);
   return 0;

@@ -18,16 +18,29 @@
 // worth having everywhere.
 //
 // Usage: fleet_sharding [output-path] [--nodes=N] [--horizon-ms=M]
+//                       [--pcap=<rack>:<file>]
 //   (default: 4096 nodes, 5 simulated ms, writes BENCH_sharding.json)
+//
+// --pcap attaches a rack-local Network to the named rack: its cross-shard
+// ingress is delivered through Network::InjectFrame (modeled NIC
+// occupancy included) and captured to a deterministic pcap file with
+// sim-time timestamps.  Capture mode runs the tapped rack's Network in
+// every sweep configuration — the per-rack digest cross-check then also
+// covers uplink ingress under sharding — but only the shards=1 oracle run
+// writes the file, so the capture holds exactly one run's frames and is
+// byte-identical regardless of host parallelism.
 
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/net/network.h"
+#include "src/net/pcap.h"
 #include "src/sim/shard.h"
 #include "src/sim/simulation.h"
 
@@ -48,6 +61,7 @@ struct Config {
   uint32_t racks = 64;
   uint32_t nodes_per_rack = 64;
   int64_t horizon_ns = 5'000'000;  // 5 simulated ms
+  int64_t pcap_rack = -1;          // --pcap: rack whose ingress is modeled
 };
 
 struct RunResult {
@@ -80,7 +94,8 @@ void NodeStep(ShardedFleet& fleet, Rack& rack, uint32_t node) {
                       [&fleet, &rack, node] { NodeStep(fleet, rack, node); });
 }
 
-RunResult RunFleet(const Config& config, uint32_t shards, uint32_t workers) {
+RunResult RunFleet(const Config& config, uint32_t shards, uint32_t workers,
+                   bolted::net::PcapWriter* pcap_writer) {
   ShardOptions options;
   options.racks = config.racks;
   options.shards = shards;
@@ -90,10 +105,40 @@ RunResult RunFleet(const Config& config, uint32_t shards, uint32_t workers) {
   options.pin_workers = true;
   ShardedFleet fleet(options);
 
+  // Capture mode: the tapped rack hosts a rack-local Network whose one
+  // port models the rack uplink; ingress frames ride Network::InjectFrame
+  // (NIC occupancy, link-state and VLAN checks, frame digest, pcap tap).
+  constexpr bolted::net::VlanId kVlan = 7;
+  std::unique_ptr<bolted::net::Network> tap_network;
+  bolted::net::Address tap_port = 0;
+  if (config.pcap_rack >= 0) {
+    Rack& rack = fleet.rack(static_cast<uint32_t>(config.pcap_rack));
+    tap_network = std::make_unique<bolted::net::Network>(
+        rack.sim(), Duration::Microseconds(10), 1e9);
+    bolted::net::Endpoint& port = tap_network->CreateEndpoint(
+        "uplink-" + std::to_string(config.pcap_rack));
+    tap_network->AttachToVlan(port.address(), kVlan);
+    tap_port = port.address();
+    if (pcap_writer != nullptr) {
+      tap_network->AttachPcapTap(tap_port, pcap_writer);
+    }
+  }
+
   // Frame ingress costs the destination rack one follow-up event (the
   // "NIC interrupt" of the model).
-  fleet.set_frame_handler([](Rack& rack, const CrossShardFrame&) {
+  fleet.set_frame_handler([&config, &tap_network, tap_port](
+                              Rack& rack, const CrossShardFrame& frame) {
     rack.sim().Schedule(Duration::Microseconds(2), [] {});
+    if (tap_network != nullptr &&
+        rack.index() == static_cast<uint32_t>(config.pcap_rack)) {
+      bolted::net::Message message;
+      message.dst = tap_port;
+      message.src = 9000 + frame.src_rack;
+      message.kind = "shard.ingress";
+      message.wire_bytes = frame.bytes;
+      message.rpc_id = frame.payload0;
+      tap_network->InjectFrame(std::move(message), kVlan);
+    }
   });
 
   for (uint32_t r = 0; r < config.racks; ++r) {
@@ -127,12 +172,23 @@ int main(int argc, char** argv) {
   const char* out_path = "BENCH_sharding.json";
   uint32_t nodes = 4096;
   int64_t horizon_ms = 5;
+  int64_t pcap_rack = -1;
+  std::string pcap_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--nodes=", 8) == 0 && argv[i][8] != '\0') {
       nodes = static_cast<uint32_t>(std::strtoul(argv[i] + 8, nullptr, 10));
     } else if (std::strncmp(argv[i], "--horizon-ms=", 13) == 0 &&
                argv[i][13] != '\0') {
       horizon_ms = std::strtol(argv[i] + 13, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--pcap=", 7) == 0) {
+      const char* spec = argv[i] + 7;
+      const char* colon = std::strchr(spec, ':');
+      if (colon == nullptr || colon == spec || colon[1] == '\0') {
+        std::fprintf(stderr, "--pcap wants <rack>:<file>\n");
+        return 2;
+      }
+      pcap_rack = std::strtol(spec, nullptr, 10);
+      pcap_path = colon + 1;
     } else {
       out_path = argv[i];
     }
@@ -144,14 +200,30 @@ int main(int argc, char** argv) {
   config.racks = nodes / 64 < 8 ? 8 : nodes / 64;
   config.nodes_per_rack = nodes / config.racks;
   config.horizon_ns = horizon_ms * 1'000'000;
+  config.pcap_rack = pcap_rack;
   const uint32_t total_nodes = config.racks * config.nodes_per_rack;
+  if (pcap_rack >= 0 && pcap_rack >= static_cast<int64_t>(config.racks)) {
+    std::fprintf(stderr, "--pcap rack %" PRId64 " out of range (%u racks)\n",
+                 pcap_rack, config.racks);
+    return 2;
+  }
+
+  bolted::net::PcapWriter pcap_writer;
+  if (pcap_rack >= 0 && !pcap_writer.Open(pcap_path)) {
+    std::fprintf(stderr, "cannot open pcap output %s\n", pcap_path.c_str());
+    return 2;
+  }
 
   const uint32_t shard_counts[] = {1, 2, 4, 8};
   std::vector<RunResult> results;
   for (const uint32_t shards : shard_counts) {
     // Workers scale with shards: the sweep measures the whole parallel
-    // runtime (threads included), not just the partitioning.
-    results.push_back(RunFleet(config, shards, shards));
+    // runtime (threads included), not just the partitioning.  Only the
+    // first (oracle) configuration writes the capture — later runs would
+    // append duplicate sweeps to the file.
+    const bool capture = pcap_rack >= 0 && results.empty();
+    results.push_back(
+        RunFleet(config, shards, shards, capture ? &pcap_writer : nullptr));
   }
 
   // Digest cross-check against the shards=1/workers=1 oracle.
@@ -220,6 +292,15 @@ int main(int argc, char** argv) {
                 " frames  %6" PRIu64 " windows  %8.1f ms  %.2fx\n",
                 shard_counts[i], r.events, r.frames, r.windows, r.wall_ms,
                 oracle.wall_ms > 0 ? oracle.wall_ms / r.wall_ms : 0.0);
+  }
+  if (pcap_rack >= 0) {
+    const uint64_t frames = pcap_writer.frames_written();
+    const uint64_t bytes = pcap_writer.bytes_written();
+    const bool clean = pcap_writer.Close();
+    std::printf("pcap rack %" PRId64 ": %" PRIu64 " ingress frames, %" PRIu64
+                " bytes -> %s%s\n",
+                pcap_rack, frames, bytes, pcap_path.c_str(),
+                clean ? "" : " (WRITE FAILED)");
   }
   std::printf("digest %016" PRIx64 " (all shard counts identical)\nwrote %s\n",
               oracle.fleet_digest, out_path);

@@ -1,0 +1,194 @@
+// Switch-saturation microbench: N-port all-to-all frame blast, burst
+// fast path vs the generic coroutine-per-frame path (DESIGN.md §15).
+//
+// Every port posts one frame to every other port at the same instant,
+// repeated for a configurable number of rounds — the densest burst shape
+// the fabric produces, and the one where per-frame scheduler round-trips
+// hurt most.  The identical seeded workload runs three times:
+//
+//   generic/wheel    — the original forwarding path (the oracle)
+//   burst/wheel      — the flight engine (the headline number)
+//   burst/reference  — the flight engine on the reference-heap scheduler
+//
+// All three runs must produce the same delivered-frame count and the same
+// frame trace digest (Network::frame_digest — delivered multiset per sim
+// instant); a mismatch is a correctness bug and the bench fails.  The
+// headline is host-side frames/second, and the bench self-enforces the
+// >= 2x burst-vs-generic floor that scripts/bench_guard.py also checks on
+// the emitted JSON.
+//
+// Usage: switch_saturation [output-path] [--ports=N] [--rounds=R]
+//   (default: 64 ports, 48 rounds — ~193k frames — writing BENCH_net.json)
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/simulation.h"
+
+namespace {
+
+using bolted::net::Endpoint;
+using bolted::net::ForwardPath;
+using bolted::net::Message;
+using bolted::net::Network;
+using bolted::sim::Duration;
+using bolted::sim::SchedulerKind;
+using bolted::sim::Simulation;
+
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  uint64_t frames = 0;
+  double wall_ms = 0;
+  uint64_t frame_digest = 0;
+};
+
+RunResult RunBlast(SchedulerKind kind, ForwardPath path, int ports,
+                   int rounds) {
+  Simulation sim(kind, 0x73617475u);  // "satu"
+  Network net(sim, Duration::Microseconds(1), 1.25e9);
+  net.SetForwardPath(path);
+
+  std::vector<Endpoint*> eps;
+  eps.reserve(static_cast<size_t>(ports));
+  for (int i = 0; i < ports; ++i) {
+    Endpoint& ep = net.CreateEndpoint("port" + std::to_string(i));
+    net.AttachToVlan(ep.address(), 100);
+    eps.push_back(&ep);
+  }
+
+  // One round = every port fires a frame at every other port, all at the
+  // same instant.  Rounds are spaced far enough apart (1500 B x (N-1)
+  // frames per NIC at 1.25 GB/s is ~75 us) that each blast fully drains.
+  for (int round = 0; round < rounds; ++round) {
+    sim.Schedule(Duration::Microseconds(static_cast<int64_t>(200) * round),
+                 [&eps]() {
+      const int n = static_cast<int>(eps.size());
+      for (int src = 0; src < n; ++src) {
+        for (int dst = 0; dst < n; ++dst) {
+          if (dst == src) {
+            continue;
+          }
+          Message m;
+          m.kind = "blast";
+          m.wire_bytes = 1500;
+          eps[static_cast<size_t>(src)]->Post(
+              eps[static_cast<size_t>(dst)]->address(), std::move(m));
+        }
+      }
+    });
+  }
+
+  const auto start = Clock::now();
+  sim.Run();
+  RunResult r;
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  r.frames = net.frames_delivered();
+  r.frame_digest = net.frame_digest();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_net.json";
+  int ports = 64;
+  int rounds = 48;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--ports=", 8) == 0 && argv[i][8] != '\0') {
+      ports = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0 &&
+               argv[i][9] != '\0') {
+      rounds = std::atoi(argv[i] + 9);
+    } else {
+      out_path = argv[i];
+    }
+  }
+  if (ports < 2 || rounds < 1) {
+    std::fprintf(stderr, "need --ports>=2 and --rounds>=1\n");
+    return 2;
+  }
+
+  const RunResult generic =
+      RunBlast(SchedulerKind::kWheel, ForwardPath::kGeneric, ports, rounds);
+  const RunResult burst =
+      RunBlast(SchedulerKind::kWheel, ForwardPath::kBurst, ports, rounds);
+  const RunResult burst_ref =
+      RunBlast(SchedulerKind::kReference, ForwardPath::kBurst, ports, rounds);
+
+  const uint64_t expected = static_cast<uint64_t>(rounds) * ports * (ports - 1);
+  const RunResult* runs[] = {&generic, &burst, &burst_ref};
+  const char* names[] = {"generic/wheel", "burst/wheel", "burst/reference"};
+  for (int i = 0; i < 3; ++i) {
+    if (runs[i]->frames != expected ||
+        runs[i]->frame_digest != generic.frame_digest) {
+      std::fprintf(stderr,
+                   "%s diverged: %" PRIu64 " frames (expected %" PRIu64
+                   "), digest %016" PRIx64 " vs generic %016" PRIx64 "\n",
+                   names[i], runs[i]->frames, expected, runs[i]->frame_digest,
+                   generic.frame_digest);
+      return 1;
+    }
+  }
+
+  const double generic_fps =
+      static_cast<double>(generic.frames) / (generic.wall_ms / 1e3);
+  const double burst_fps =
+      static_cast<double>(burst.frames) / (burst.wall_ms / 1e3);
+  const double generic_ns =
+      generic.wall_ms * 1e6 / static_cast<double>(generic.frames);
+  const double burst_ns =
+      burst.wall_ms * 1e6 / static_cast<double>(burst.frames);
+  const double speedup = generic_fps > 0 ? burst_fps / generic_fps : 0.0;
+
+  std::string json = "{\n";
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "  \"ports\": %d,\n"
+                "  \"rounds\": %d,\n"
+                "  \"host_cores\": %u,\n"
+                "  \"saturation_frames\": %" PRIu64 ",\n"
+                "  \"saturation_generic_wall_ms\": %.3f,\n"
+                "  \"saturation_burst_wall_ms\": %.3f,\n"
+                "  \"saturation_generic_frames_per_second\": %.0f,\n"
+                "  \"saturation_burst_frames_per_second\": %.0f,\n"
+                "  \"saturation_generic_ns_per_frame\": %.1f,\n"
+                "  \"saturation_burst_ns_per_frame\": %.1f,\n"
+                "  \"saturation_burst_speedup\": %.3f\n",
+                ports, rounds, std::thread::hardware_concurrency(),
+                burst.frames, generic.wall_ms, burst.wall_ms, generic_fps,
+                burst_fps, generic_ns, burst_ns, speedup);
+  json += buf;
+  json += "}\n";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+
+  std::printf("%-16s %9" PRIu64 " frames  %8.1f ms  %12.0f frames/s  %7.1f ns/frame\n",
+              "generic/wheel", generic.frames, generic.wall_ms, generic_fps,
+              generic_ns);
+  std::printf("%-16s %9" PRIu64 " frames  %8.1f ms  %12.0f frames/s  %7.1f ns/frame\n",
+              "burst/wheel", burst.frames, burst.wall_ms, burst_fps, burst_ns);
+  std::printf("digest %016" PRIx64 " (paths and schedulers identical)\n",
+              generic.frame_digest);
+  std::printf("burst speedup %.2fx\nwrote %s\n", speedup, out_path);
+
+  // Self-enforced floor: the whole point of the fast path.
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "burst speedup %.2fx below the 2x floor\n", speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -6,17 +6,25 @@ Usage: bench_guard.py BASELINE FRESH [BASELINE FRESH ...]
 Each argument pair names a committed baseline JSON at the repo root and a
 freshly generated JSON from the same bench binary.  Every key containing
 "wall_ms" is compared, along with throughput keys ending in
-"ns_per_event" (lower is better) or "events_per_second" (higher is
-better); a fresh value more than 25% worse than the baseline fails the
-guard.  Cold-start keys (first_round_*, build_*) are skipped — they
-measure one-off setup, not the steady state the guard protects.
+"ns_per_event"/"ns_per_frame" (lower is better) or
+"events_per_second"/"frames_per_second" (higher is better); a fresh
+value more than 25% worse than the baseline fails the guard.  Cold-start
+keys (first_round_*, build_*) are skipped — they measure one-off setup,
+not the steady state the guard protects.
 
-Documents from the sharding sweep additionally carry speedup keys
-("sharding_speedup_shards4"): on hosts with at least 4 cores the guard
-requires >= 3x events/second at 4 shards vs the single-shard oracle.
-The bar is gated on the fresh run's "host_cores" — parallel speedup is
-not a meaningful demand on a 1- or 2-core machine, where the sweep still
-runs for its digest cross-check.
+Some documents additionally carry speedup keys with absolute floors:
+
+  sharding_speedup_shards4       >= 3x, gated on host_cores >= 4 (parallel
+                                 speedup is meaningless on a 1-2 core box,
+                                 where the sweep still runs for its digest
+                                 cross-check);
+  saturation_burst_speedup       >= 2x, ungated — burst vs generic
+  net_pingpong_burst_speedup     forwarding on the same single-threaded
+  net_mixed_burst_speedup        sim, so core count is irrelevant.
+
+The burst floors are the PR acceptance bar for the switch fast path: if
+the flight engine ever stops being at least twice the coroutine-per-frame
+oracle, the guard (and the bench binaries themselves) fail.
 
 Baselines are regenerated manually (on the machine that committed them),
 so the comparison is same-host: 25% of headroom absorbs normal jitter
@@ -31,12 +39,18 @@ SKIP_PREFIXES = ("first_round", "build_")
 # Key suffixes where a HIGHER fresh value is an improvement, not a
 # regression: the guard inverts the ratio so >1.25 always means
 # "25% worse".
-HIGHER_IS_BETTER = ("events_per_second",)
-# Minimum parallel speedup at 4 shards, enforced only when the fresh run's
-# host has at least MIN_CORES_FOR_SPEEDUP cores.
-SPEEDUP_KEY = "sharding_speedup_shards4"
-MIN_SPEEDUP = 3.0
-MIN_CORES_FOR_SPEEDUP = 4
+HIGHER_IS_BETTER = ("events_per_second", "frames_per_second")
+LOWER_IS_BETTER = ("ns_per_event", "ns_per_frame")
+# Absolute speedup floors: key -> (floor, min host cores to enforce, or 0
+# for always).  The sharding floor measures parallel scaling, so it only
+# binds on hosts with enough cores; the burst floors compare two
+# forwarding paths on the same single-threaded sim, so they always bind.
+SPEEDUP_FLOORS = {
+    "sharding_speedup_shards4": (3.0, 4),
+    "saturation_burst_speedup": (2.0, 0),
+    "net_pingpong_burst_speedup": (2.0, 0),
+    "net_mixed_burst_speedup": (2.0, 0),
+}
 
 
 def wall_keys(doc):
@@ -44,30 +58,29 @@ def wall_keys(doc):
         key: value
         for key, value in doc.items()
         if ("wall_ms" in key
-            or key.endswith(("ns_per_event", "events_per_second")))
+            or key.endswith(HIGHER_IS_BETTER + LOWER_IS_BETTER))
         and not key.startswith(SKIP_PREFIXES)
         and isinstance(value, (int, float))
     }
 
 
-def check_speedup(fresh_path, fresh, failures):
-    """Core-gated floor on the 4-shard parallel speedup."""
-    if SPEEDUP_KEY not in fresh:
-        return
-    cores = fresh.get("host_cores", 0)
-    speedup = fresh[SPEEDUP_KEY]
-    if cores < MIN_CORES_FOR_SPEEDUP:
-        print(f"  skip {fresh_path}:{SPEEDUP_KEY}: {speedup:.2f}x "
-              f"(host has {cores} cores, floor needs >= "
-              f"{MIN_CORES_FOR_SPEEDUP})")
-        return
-    status = "FAIL" if speedup < MIN_SPEEDUP else "ok"
-    print(f"  {status:4} {fresh_path}:{SPEEDUP_KEY}: {speedup:.2f}x "
-          f"(floor {MIN_SPEEDUP}x on {cores} cores)")
-    if speedup < MIN_SPEEDUP:
-        failures.append(
-            f"{fresh_path}:{SPEEDUP_KEY} {speedup:.2f}x below "
-            f"{MIN_SPEEDUP}x floor")
+def check_speedups(fresh_path, fresh, failures):
+    """Absolute floors on speedup keys (some core-gated)."""
+    for key, (floor, min_cores) in SPEEDUP_FLOORS.items():
+        if key not in fresh:
+            continue
+        cores = fresh.get("host_cores", 0)
+        speedup = fresh[key]
+        if cores < min_cores:
+            print(f"  skip {fresh_path}:{key}: {speedup:.2f}x "
+                  f"(host has {cores} cores, floor needs >= {min_cores})")
+            continue
+        status = "FAIL" if speedup < floor else "ok"
+        print(f"  {status:4} {fresh_path}:{key}: {speedup:.2f}x "
+              f"(floor {floor}x)")
+        if speedup < floor:
+            failures.append(
+                f"{fresh_path}:{key} {speedup:.2f}x below {floor}x floor")
 
 
 def main(argv):
@@ -101,7 +114,7 @@ def main(argv):
                   f"{base_value:.1f} -> {fresh_keys[key]:.1f} ({ratio:.2f}x)")
             if ratio > THRESHOLD:
                 failures.append(f"{baseline_path}:{key} regressed {ratio:.2f}x")
-        check_speedup(fresh_path, fresh, failures)
+        check_speedups(fresh_path, fresh, failures)
 
     if failures:
         print("bench regression guard FAILED:", file=sys.stderr)

@@ -66,6 +66,13 @@ ctest --test-dir build --output-on-failure -L scenario
 echo "== tier-1: storage-integrity suite (ctest -L storage-integrity) =="
 ctest --test-dir build --output-on-failure -L storage-integrity
 
+# Burst fast-path battery: flow-cache invalidation matrix, burst-vs-generic
+# digest parity under faults and topology churn, InjectFrame metric
+# reconciliation, and the deterministic pcap capture suite.  (The -L regex
+# also matches net_test's discovered entries — all the better.)
+echo "== tier-1: switch fast-path + pcap suite (ctest -L net) =="
+ctest --test-dir build --output-on-failure -L net
+
 if [[ "${want_asan}" == 1 ]]; then
   echo "== sanitizers: ASan + UBSan =="
   run_suite build-asan -DBOLTED_SANITIZE=ON
@@ -97,6 +104,11 @@ if [[ "${want_asan}" == 1 ]]; then
   # battery must fail closed under instrumentation too.
   echo "== sanitizers: storage-integrity suite under ASan =="
   ctest --test-dir build-asan --output-on-failure -L storage-integrity
+  # The burst engine juggles a flight arena + freelist, ring-batched
+  # deliveries, and pooled MessageBoxes; the pcap writer assembles frames
+  # in a reused scratch buffer.  Both must stay clean instrumented.
+  echo "== sanitizers: switch fast-path + pcap suite under ASan =="
+  ctest --test-dir build-asan --output-on-failure -L net
 fi
 
 if [[ "${want_tsan}" == 1 ]]; then
@@ -107,8 +119,12 @@ if [[ "${want_tsan}" == 1 ]]; then
   # multi-threaded fleet_sharding sweep for the window loop at scale).
   cmake -B build-tsan -S . -DBOLTED_SANITIZE=thread
   cmake --build build-tsan -j --target sharding_test fleet_sharding \
-    scenario_soak_test
+    net_fastpath_test scenario_soak_test
   ./build-tsan/tests/sharding_test
+  # The burst engine runs inside the sharded workers (per-rack Networks,
+  # uplink ingress via InjectFrame); the fast-path suite's sharded cases
+  # are the TSan workload for it.
+  ./build-tsan/tests/net_fastpath_test
   ./build-tsan/bench/fleet_sharding --nodes=512 --horizon-ms=1 \
     /tmp/bolted_tsan_bench_sharding.json
   # The sharded scenario model layers lifecycle state on the same rings and
@@ -126,12 +142,14 @@ if [[ "${want_bench}" == 1 ]]; then
   # baselines.  Regenerate baselines by copying build/bench output to the
   # repo root when a change legitimately moves the numbers.
   ./build/bench/bench_sim_json build/bench/BENCH_sim.fresh.json
+  ./build/bench/switch_saturation build/bench/BENCH_net.fresh.json
   ./build/bench/fleet_attestation build/bench/BENCH_attestation.fresh.json
   ./build/bench/fleet_provisioning build/bench/BENCH_provisioning.fresh.json
   ./build/bench/fleet_sharding build/bench/BENCH_sharding.fresh.json
   ./build/bench/fleet_scenario build/bench/BENCH_scenario.fresh.json
   python3 scripts/bench_guard.py \
     BENCH_sim.json build/bench/BENCH_sim.fresh.json \
+    BENCH_net.json build/bench/BENCH_net.fresh.json \
     BENCH_attestation.json build/bench/BENCH_attestation.fresh.json \
     BENCH_provisioning.json build/bench/BENCH_provisioning.fresh.json \
     BENCH_sharding.json build/bench/BENCH_sharding.fresh.json \

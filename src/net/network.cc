@@ -1,7 +1,10 @@
 #include "src/net/network.h"
 
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
+#include "src/net/pcap.h"
 #include "src/obs/obs.h"
 
 namespace bolted::net {
@@ -27,6 +30,44 @@ const NetMetricIds& Ids() {
   return ids;
 }
 
+// splitmix64 finalizer — the same mixing family the kernel trace digest
+// uses, so frame tags have full avalanche.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashBytes(const void* data, size_t size) {
+  // FNV-1a 64.
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h = (h ^ p[i]) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t FrameTag(VlanId vlan, const Message& m) {
+  uint64_t h = Mix64(0x6672616d65ull ^ m.src);  // "frame"
+  h = Mix64(h ^ m.dst);
+  h = Mix64(h ^ vlan);
+  h = Mix64(h ^ m.EffectiveWireBytes());
+  h = Mix64(h ^ HashBytes(m.kind.data(), m.kind.size()));
+  h = Mix64(h ^ HashBytes(m.payload.data(), m.payload.size()));
+  h = Mix64(h ^ ((m.rpc_id << 1) | (m.rpc_response ? 1u : 0u)));
+  return h;
+}
+
+ForwardPath DefaultForwardPath() {
+  const char* env = std::getenv("BOLTED_NET_PATH");
+  if (env != nullptr && std::string_view(env) == "generic") {
+    return ForwardPath::kGeneric;
+  }
+  return ForwardPath::kBurst;
+}
+
 }  // namespace
 
 Endpoint::Endpoint(sim::Simulation& sim, Network& network, Address address,
@@ -48,7 +89,28 @@ sim::Task Endpoint::Send(Address dst, Message message) {
   return SendBoxed(dst, MessageBox(std::move(message)));
 }
 
+// Dispatcher: both implementations produce identical frame timings and
+// frame digests; they differ only in per-frame host cost (and in kernel
+// event structure, which is why the cross-path invariant is the frame
+// digest, not the kernel (when, seq) digest).
 sim::Task Endpoint::SendBoxed(Address dst, MessageBox message) {
+  if (network_.forward_path_ == ForwardPath::kGeneric) {
+    return SendBoxedGeneric(dst, std::move(message));
+  }
+  return AwaitFlight(dst, std::move(message));
+}
+
+// Burst-path awaited send: the synchronous flight engine does all the
+// work; this frame only exists to signal the caller at the delivery (or
+// drop) instant.  Lazily started like every Task, so StartFlight runs at
+// the same point in the event stream as the generic coroutine's body.
+sim::Task Endpoint::AwaitFlight(Address dst, MessageBox message) {
+  sim::Event done(sim_);
+  network_.StartFlight(this, dst, std::move(message), &done);
+  co_await done;
+}
+
+sim::Task Endpoint::SendBoxedGeneric(Address dst, MessageBox message) {
   message->src = address_;
   message->dst = dst;
   ++messages_sent_;
@@ -131,11 +193,13 @@ sim::Task Endpoint::SendBoxed(Address dst, MessageBox message) {
   for (int copy = 0; copy < fault.duplicates; ++copy) {
     ++network_.fault_duplicates_;
     obs::CountById(sim_, ids.fault_duplicated);
+    network_.RecordDelivery(this, receiver, vlan, *message);
     if (network_.sniffer_) {
       network_.sniffer_(vlan, *message);
     }
     receiver->inbox_.Send(*message);
   }
+  network_.RecordDelivery(this, receiver, vlan, *message);
   if (network_.sniffer_) {
     network_.sniffer_(vlan, *message);
   }
@@ -150,9 +214,17 @@ void Network::SetLinkUp(Address endpoint, bool up) {
     link_down_.resize(endpoint + 1, 0);
   }
   link_down_[endpoint] = up ? 0 : 1;
+  BumpTopologyEpoch();  // link flap: flow-cached link verdicts are stale
 }
 
 void Endpoint::Post(Address dst, Message message) {
+  if (network_.forward_path_ == ForwardPath::kBurst) {
+    // Fire-and-forget on the fast path needs no coroutine at all: the
+    // flight engine runs synchronously here, exactly where the generic
+    // path's Spawn would have started the send coroutine.
+    network_.StartFlight(this, dst, MessageBox(std::move(message)), nullptr);
+    return;
+  }
   sim_.Spawn(Send(dst, std::move(message)));
 }
 
@@ -160,7 +232,8 @@ Network::Network(sim::Simulation& sim, sim::Duration propagation_latency,
                  double default_bandwidth_bytes_per_second)
     : sim_(sim),
       latency_(propagation_latency),
-      default_bandwidth_(default_bandwidth_bytes_per_second) {}
+      default_bandwidth_(default_bandwidth_bytes_per_second),
+      forward_path_(DefaultForwardPath()) {}
 
 Endpoint& Network::CreateEndpoint(const std::string& name) {
   return CreateEndpoint(name, default_bandwidth_);
@@ -187,6 +260,9 @@ Endpoint& Network::CreateEndpoint(const std::string& name,
   }
   endpoint_index_[address] = &ref;
   switch_index_[address] = 0;
+  // A previously unknown address can now resolve: negative flow-cache
+  // entries for it are stale.
+  BumpTopologyEpoch();
   return ref;
 }
 
@@ -210,6 +286,7 @@ SharedResource& Network::uplink(int switch_id) {
 void Network::AssignToSwitch(Address endpoint, int switch_id) {
   if (endpoint < switch_index_.size()) {
     switch_index_[endpoint] = switch_id;
+    BumpTopologyEpoch();  // HIL port move: cached uplink routes are stale
   }
 }
 
@@ -229,18 +306,21 @@ Endpoint* Network::FindByName(const std::string& name) {
 void Network::AttachToVlan(Address endpoint, VlanId vlan) {
   if (Endpoint* e = FindEndpoint(endpoint)) {
     e->vlans_.insert(vlan);
+    BumpTopologyEpoch();  // VLAN membership change
   }
 }
 
 void Network::DetachFromVlan(Address endpoint, VlanId vlan) {
   if (Endpoint* e = FindEndpoint(endpoint)) {
     e->vlans_.erase(vlan);
+    BumpTopologyEpoch();
   }
 }
 
 void Network::DetachFromAllVlans(Address endpoint) {
   if (Endpoint* e = FindEndpoint(endpoint)) {
     e->vlans_.clear();
+    BumpTopologyEpoch();
   }
 }
 
@@ -251,6 +331,14 @@ bool Network::InjectFrame(Message message, VlanId tag) {
     ++total_drops_;
     obs::CountById(sim_, Ids().injected_dropped);
     return false;
+  }
+  if (forward_path_ == ForwardPath::kBurst) {
+    // Ingress rides the same flight engine as local frames, so merged
+    // metrics (forwarded count, size histogram, per-link rx bytes), the
+    // frame digest, and any pcap tap see a cross-shard hop exactly like a
+    // local one.
+    StartInjectFlight(receiver, MessageBox(std::move(message)), tag);
+    return true;
   }
   // Boxed before the coroutine boundary for the same GCC 12 reason as
   // Endpoint::Send (see the header note there).
@@ -283,10 +371,418 @@ sim::Task Network::InjectBoxed(Endpoint* receiver, MessageBox message,
     r->AddById(receiver->rx_bytes_metric_, bytes);
   }
 #endif
+  RecordDelivery(nullptr, receiver, tag, *message);
   if (sniffer_) {
     sniffer_(tag, *message);
   }
   receiver->inbox_.Send(std::move(*message));
+}
+
+// --- Burst fast path (DESIGN.md §15) ----------------------------------------
+
+void Network::StartFlight(Endpoint* sender, Address dst, MessageBox box,
+                          sim::Event* done) {
+  Message& m = *box;
+  m.src = sender->address_;
+  m.dst = dst;
+  ++sender->messages_sent_;
+  const NetMetricIds& ids = Ids();
+
+  // Flow-cache lookup: a hit skips the endpoint/switch lookups and the
+  // VLAN word-AND scan entirely.  Misses (first contact or any topology
+  // mutation since) refill in place.
+  Endpoint::FlowCacheEntry& slot =
+      sender->flow_cache_[dst & (Endpoint::kFlowCacheSlots - 1)];
+  if (slot.dst != dst || slot.epoch != topology_epoch_) {
+    Endpoint* receiver = FindEndpoint(dst);
+    slot.dst = dst;
+    slot.epoch = topology_epoch_;
+    slot.receiver = receiver;
+    slot.vlan = receiver == nullptr
+                    ? 0
+                    : VlanSet::LowestShared(sender->vlans_, receiver->vlans_);
+    slot.deliverable =
+        slot.vlan != 0 && LinkUp(sender->address_) && LinkUp(dst);
+    slot.src_switch = SwitchOf(sender->address_);
+    slot.dst_switch = SwitchOf(dst);
+  }
+  if (!slot.deliverable) {
+    ++sender->messages_dropped_;
+    ++total_drops_;
+    obs::CountById(sim_, ids.dropped_isolation);
+    if (done != nullptr) {
+      done->Set();
+    }
+    return;
+  }
+
+  // Fault injection at switch ingress — same probe point (and thus the
+  // same rng draw order) as the generic coroutine.
+  FrameFault fault;
+  if (fault_filter_) {
+    fault = fault_filter_(m);
+    if (fault.drop) {
+      ++sender->messages_dropped_;
+      ++total_drops_;
+      ++fault_drops_;
+      obs::CountById(sim_, ids.fault_dropped);
+      if (done != nullptr) {
+        done->Set();
+      }
+      return;
+    }
+    if (fault.extra_delay > sim::Duration::Zero()) {
+      obs::CountById(sim_, ids.fault_delayed);
+      obs::RecordDurationById(sim_, ids.fault_extra_delay, fault.extra_delay);
+    }
+  }
+
+  Flight* flight = AcquireFlight();
+  flight->box = std::move(box);
+  flight->sender = sender;
+  flight->receiver = slot.receiver;
+  flight->done = done;
+  flight->extra_delay = fault.extra_delay;
+  flight->epoch = topology_epoch_;
+  flight->vlan = slot.vlan;
+  flight->duplicates = static_cast<int16_t>(fault.duplicates);
+  flight->injected = false;
+
+  const double wire_bytes =
+      static_cast<double>(flight->box->EffectiveWireBytes());
+  SharedResource* demands[4];
+  int count = 0;
+  if (wire_bytes > 0) {
+    // Same registration order as the generic path (tx, rx, then uplinks):
+    // per-resource job seq numbers tie-break simultaneous completions.
+    demands[count++] = &sender->tx_;
+    demands[count++] = &slot.receiver->rx_;
+    if (slot.src_switch != slot.dst_switch) {
+      if (slot.src_switch != 0) {
+        demands[count++] = uplinks_[slot.src_switch - 1].get();
+      }
+      if (slot.dst_switch != 0) {
+        demands[count++] = uplinks_[slot.dst_switch - 1].get();
+      }
+    }
+  }
+  flight->pending = static_cast<int16_t>(count);
+  if (count == 0) {
+    CompleteFlight(flight);
+    return;
+  }
+  // `pending` is preset to the full demand count, so a sub-epsilon amount
+  // completing synchronously inside ConsumeAsync cannot finish the flight
+  // before every demand is registered.
+  const uint64_t token = flight->pool_index;
+  for (int i = 0; i < count; ++i) {
+    demands[i]->ConsumeAsync(wire_bytes, this, token);
+  }
+}
+
+void Network::StartInjectFlight(Endpoint* receiver, MessageBox box,
+                                VlanId tag) {
+  Flight* flight = AcquireFlight();
+  flight->box = std::move(box);
+  flight->sender = nullptr;
+  flight->receiver = receiver;
+  flight->done = nullptr;
+  flight->extra_delay = sim::Duration::Zero();
+  flight->epoch = topology_epoch_;
+  flight->vlan = tag;
+  flight->duplicates = 0;
+  flight->injected = true;
+
+  const double wire_bytes =
+      static_cast<double>(flight->box->EffectiveWireBytes());
+  if (wire_bytes <= 0) {
+    flight->pending = 0;
+    CompleteFlight(flight);
+    return;
+  }
+  flight->pending = 1;
+  receiver->rx_.ConsumeAsync(wire_bytes, this, flight->pool_index);
+}
+
+Network::Flight* Network::AcquireFlight() {
+  if (flight_free_.empty()) {
+    flight_arena_.emplace_back();
+    flight_arena_.back().pool_index =
+        static_cast<uint32_t>(flight_arena_.size() - 1);
+    return &flight_arena_.back();
+  }
+  const uint32_t index = flight_free_.back();
+  flight_free_.pop_back();
+  return &flight_arena_[index];
+}
+
+void Network::FinishFlight(Flight* flight) {
+  if (flight->done != nullptr) {
+    flight->done->Set();
+    flight->done = nullptr;
+  }
+  // Hand the pooled message back; the arena slot is reusable immediately.
+  { MessageBox discard(std::move(flight->box)); }
+  flight_free_.push_back(flight->pool_index);
+}
+
+void Network::OnConsumeComplete(uint64_t token) {
+  Flight* flight = &flight_arena_[static_cast<size_t>(token)];
+  if (--flight->pending > 0) {
+    return;  // another NIC/uplink demand is still draining
+  }
+  CompleteFlight(flight);
+}
+
+void Network::CompleteFlight(Flight* flight) {
+  // Injected frames already paid their propagation as shard lookahead, so
+  // they deliver at the completion instant, like the generic ingress path.
+  const sim::Duration delay =
+      flight->injected ? sim::Duration::Zero()
+                       : latency_ + flight->extra_delay;
+  if (delay <= sim::Duration::Zero()) {
+    // Run-to-completion: the hop is due at this very instant — deliver
+    // inline instead of a scheduler round-trip.
+    BurstStats stats;
+    stats.registry = sim_.observer();
+    DeliverFlight(flight, stats);
+    FlushBurstStats(stats);
+    PumpReceivers();
+    return;
+  }
+  if (flight->extra_delay > sim::Duration::Zero()) {
+    // Fault-delayed frames get their own event: their dues are not
+    // monotone with the delivery ring.
+    sim_.Schedule(delay, [this, flight]() {
+      BurstStats stats;
+      stats.registry = sim_.observer();
+      DeliverFlight(flight, stats);
+      FlushBurstStats(stats);
+      PumpReceivers();
+    });
+    return;
+  }
+  EnqueueDelivery(flight, sim_.now() + delay);
+}
+
+void Network::EnqueueDelivery(Flight* flight, sim::Time due) {
+  delivery_ring_.push_back(DeliveryRecord{flight, due});
+  if (!delivery_event_pending_) {
+    delivery_event_pending_ = true;
+    sim_.Schedule(due - sim_.now(), [this]() {
+      delivery_event_pending_ = false;
+      DrainDeliveries();
+    });
+  }
+}
+
+// Burst dispatch: one event drains every delivery due at this instant.
+// The per-frame loop only copies the message into the inbox and updates
+// the local stats struct; observer lookup, counter flushes, and receiver
+// wake-ups are hoisted out of it.
+void Network::DrainDeliveries() {
+  const sim::Time now = sim_.now();
+  BurstStats stats;
+  stats.registry = sim_.observer();
+  while (!delivery_ring_.empty() && delivery_ring_.front().due <= now) {
+    Flight* flight = delivery_ring_.front().flight;
+    delivery_ring_.pop_front();
+    DeliverFlight(flight, stats);
+  }
+  FlushBurstStats(stats);
+  PumpReceivers();
+  if (!delivery_ring_.empty() && !delivery_event_pending_) {
+    delivery_event_pending_ = true;
+    sim_.Schedule(delivery_ring_.front().due - now, [this]() {
+      delivery_event_pending_ = false;
+      DrainDeliveries();
+    });
+  }
+}
+
+void Network::DeliverFlight(Flight* flight, BurstStats& stats) {
+  Endpoint* receiver = flight->receiver;
+  Message& m = *flight->box;
+  // Delivery-time re-check: if the topology epoch is untouched since send
+  // time, the send-time verdict still holds and the whole scan is
+  // skipped.  Otherwise recompute exactly what the generic path checks.
+  bool deliverable = flight->epoch == topology_epoch_;
+  if (!deliverable) {
+    if (flight->injected) {
+      deliverable =
+          receiver->InVlan(flight->vlan) && LinkUp(receiver->address_);
+    } else {
+      deliverable =
+          VlanSet::LowestShared(flight->sender->vlans_, receiver->vlans_) !=
+              0 &&
+          LinkUp(flight->sender->address_) && LinkUp(receiver->address_);
+    }
+  }
+  if (!deliverable) {
+    ++total_drops_;
+    if (!flight->injected) {
+      ++flight->sender->messages_dropped_;
+    }
+    obs::CountById(sim_, Ids().dropped_in_flight);
+    FinishFlight(flight);
+    return;
+  }
+
+  const uint64_t bytes = m.EffectiveWireBytes();
+  const auto copies = static_cast<uint64_t>(1 + flight->duplicates);
+  if (flight->injected) {
+    ++injected_frames_;
+    ++stats.injected;
+    ++stats.forwarded;
+  } else {
+    stats.forwarded += copies;
+    stats.duplicated += static_cast<uint64_t>(flight->duplicates);
+    fault_duplicates_ += static_cast<uint64_t>(flight->duplicates);
+  }
+  if (stats.registry != nullptr) {
+    stats.registry->RecordById(Ids().frame_bytes, bytes);
+    if (!flight->injected) {
+      // Per-link byte totals accumulate run-length: consecutive frames on
+      // the same link (the common burst shape) flush once.
+      if (stats.tx_id != flight->sender->tx_bytes_metric_) {
+        if (stats.tx_bytes != 0) {
+          stats.registry->AddById(stats.tx_id, stats.tx_bytes);
+        }
+        stats.tx_id = flight->sender->tx_bytes_metric_;
+        stats.tx_bytes = 0;
+      }
+      stats.tx_bytes += bytes;
+    }
+    if (stats.rx_id != receiver->rx_bytes_metric_) {
+      if (stats.rx_bytes != 0) {
+        stats.registry->AddById(stats.rx_id, stats.rx_bytes);
+      }
+      stats.rx_id = receiver->rx_bytes_metric_;
+      stats.rx_bytes = 0;
+    }
+    stats.rx_bytes += bytes * copies;
+  }
+
+  for (int16_t copy = 0; copy < flight->duplicates; ++copy) {
+    RecordDelivery(flight->sender, receiver, flight->vlan, m);
+    if (sniffer_) {
+      sniffer_(flight->vlan, m);
+    }
+    receiver->inbox_.Enqueue(m);
+  }
+  RecordDelivery(flight->sender, receiver, flight->vlan, m);
+  if (sniffer_) {
+    sniffer_(flight->vlan, m);
+  }
+  receiver->inbox_.Enqueue(std::move(m));
+  QueueForPump(receiver);
+  FinishFlight(flight);
+}
+
+void Network::FlushBurstStats(BurstStats& stats) {
+  if (stats.registry == nullptr) {
+    return;
+  }
+  const NetMetricIds& ids = Ids();
+  if (stats.forwarded != 0) {
+    stats.registry->AddById(ids.forwarded, stats.forwarded);
+  }
+  if (stats.duplicated != 0) {
+    stats.registry->AddById(ids.fault_duplicated, stats.duplicated);
+  }
+  if (stats.injected != 0) {
+    stats.registry->AddById(ids.injected, stats.injected);
+  }
+  if (stats.tx_bytes != 0) {
+    stats.registry->AddById(stats.tx_id, stats.tx_bytes);
+  }
+  if (stats.rx_bytes != 0) {
+    stats.registry->AddById(stats.rx_id, stats.rx_bytes);
+  }
+}
+
+void Network::QueueForPump(Endpoint* receiver) {
+  if (!receiver->queued_for_pump_) {
+    receiver->queued_for_pump_ = true;
+    pump_list_.push_back(receiver);
+  }
+}
+
+// Phase 2 of a burst: resume inbox waiters, inline.  The reentrancy guard
+// turns what would be recursion (a resumed receiver Posts a zero-latency
+// frame, whose inline delivery queues another receiver, ...) into
+// iteration over the growing pump list, so stack depth stays constant no
+// matter how long a same-instant chain runs.
+void Network::PumpReceivers() {
+  if (pumping_) {
+    return;
+  }
+  pumping_ = true;
+  for (size_t i = 0; i < pump_list_.size(); ++i) {
+    Endpoint* receiver = pump_list_[i];
+    receiver->queued_for_pump_ = false;
+    receiver->inbox_.PumpWaiters();
+  }
+  pump_list_.clear();
+  pumping_ = false;
+}
+
+void Network::RecordDelivery(Endpoint* sender, Endpoint* receiver,
+                             VlanId vlan, const Message& message) {
+  ++frames_delivered_;
+  FoldFrameDigest(vlan, message);
+  PcapWriter* sender_tap = sender != nullptr ? sender->pcap_tap_ : nullptr;
+  if (sender_tap != nullptr) {
+    sender_tap->WriteFrame(sim_.now(), vlan, message);
+  }
+  if (receiver->pcap_tap_ != nullptr && receiver->pcap_tap_ != sender_tap) {
+    receiver->pcap_tap_->WriteFrame(sim_.now(), vlan, message);
+  }
+}
+
+void Network::FoldFrameDigest(VlanId vlan, const Message& message) {
+  const sim::Time now = sim_.now();
+  if (now != frame_digest_instant_) {
+    SealFrameInstant();
+    frame_digest_instant_ = now;
+  }
+  frame_digest_acc_ += FrameTag(vlan, message);
+  ++frame_digest_count_;
+}
+
+void Network::SealFrameInstant() {
+  if (frame_digest_count_ == 0) {
+    return;
+  }
+  uint64_t h = frame_digest_rolling_;
+  h = Mix64(h ^ static_cast<uint64_t>(frame_digest_instant_.nanoseconds()));
+  h = Mix64(h ^ frame_digest_acc_);
+  h = Mix64(h ^ frame_digest_count_);
+  frame_digest_rolling_ = h;
+  frame_digest_acc_ = 0;
+  frame_digest_count_ = 0;
+}
+
+uint64_t Network::frame_digest() const {
+  uint64_t h = frame_digest_rolling_;
+  if (frame_digest_count_ != 0) {
+    h = Mix64(h ^ static_cast<uint64_t>(frame_digest_instant_.nanoseconds()));
+    h = Mix64(h ^ frame_digest_acc_);
+    h = Mix64(h ^ frame_digest_count_);
+  }
+  return h;
+}
+
+void Network::AttachPcapTap(Address endpoint, PcapWriter* writer) {
+  if (Endpoint* e = FindEndpoint(endpoint)) {
+    e->pcap_tap_ = writer;
+  }
+}
+
+void Network::DetachPcapTap(Address endpoint) {
+  if (Endpoint* e = FindEndpoint(endpoint)) {
+    e->pcap_tap_ = nullptr;
+  }
 }
 
 bool Network::Reachable(Address a, Address b) const {

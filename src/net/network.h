@@ -19,6 +19,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -29,12 +30,23 @@
 #include "src/crypto/bytes.h"
 #include "src/net/message_pool.h"
 #include "src/net/resource.h"
+#include "src/sim/ring_queue.h"
 #include "src/sim/simulation.h"
+#include "src/sim/small_vec.h"
 #include "src/sim/task.h"
 
 namespace bolted::net {
 
 class Network;
+class PcapWriter;
+
+// Forwarding implementation selector (DESIGN.md §15).  kBurst is the
+// zero-copy flight engine: flow-cached lookups, callback-completed NIC
+// demands, ring-batched delivery with run-to-completion for same-instant
+// hops.  kGeneric is the original coroutine-per-frame path, kept as the
+// semantic oracle that benches and the fast-path test battery replay
+// against.  Default kBurst; override with BOLTED_NET_PATH=generic|burst.
+enum class ForwardPath { kBurst, kGeneric };
 
 // Switch-port VLAN membership as a bitset.  The per-frame reachability
 // check (SharedVlan on the send and delivery paths) is a word-AND scan
@@ -146,7 +158,29 @@ class Endpoint {
   // call doesn't re-box per hop.
   friend class RpcNode;
 
+  // Direct-mapped per-port flow cache, keyed on the destination address.
+  // One entry memoizes everything the send path would otherwise recompute
+  // per frame: the dense endpoint lookup, the VLAN word-AND scan, the
+  // switch placement of both ports, and the combined link-state verdict.
+  // An entry is valid only while its epoch matches the network's topology
+  // epoch, which every HIL port move, VLAN membership change, link flap,
+  // and endpoint creation bumps — so a hit can never serve a stale
+  // isolation decision.
+  static constexpr size_t kFlowCacheSlots = 8;
+  struct FlowCacheEntry {
+    Address dst = 0;
+    uint64_t epoch = 0;  // valid iff == Network::topology_epoch_
+    Endpoint* receiver = nullptr;
+    VlanId vlan = 0;           // lowest shared VLAN at fill time (0: none)
+    bool deliverable = false;  // vlan != 0 && both links up
+    int32_t src_switch = 0;
+    int32_t dst_switch = 0;
+  };
+
   sim::Task SendBoxed(Address dst, MessageBox message);
+  // The two implementations behind SendBoxed (see ForwardPath).
+  sim::Task SendBoxedGeneric(Address dst, MessageBox message);
+  sim::Task AwaitFlight(Address dst, MessageBox message);
 
   sim::Simulation& sim_;
   Network& network_;
@@ -163,9 +197,16 @@ class Endpoint {
   uint32_t rx_bytes_metric_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
+  std::array<FlowCacheEntry, kFlowCacheSlots> flow_cache_;
+  // Optional wire-level tap (src/net/pcap.h): every frame delivered to or
+  // sent from this port is appended to the capture.
+  PcapWriter* pcap_tap_ = nullptr;
+  // Burst-delivery bookkeeping: true while this endpoint sits in the
+  // network's pump list awaiting its post-burst inbox pump.
+  bool queued_for_pump_ = false;
 };
 
-class Network {
+class Network : public ConsumeSink {
  public:
   // Called for every delivered frame (provider-visible traffic).
   using Sniffer = std::function<void(VlanId, const Message&)>;
@@ -218,6 +259,36 @@ class Network {
   void SetSniffer(Sniffer sniffer) { sniffer_ = std::move(sniffer); }
   void SetFaultFilter(FaultFilter filter) { fault_filter_ = std::move(filter); }
 
+  // --- Forwarding path ----------------------------------------------------
+  ForwardPath forward_path() const { return forward_path_; }
+  // Switch only while no frames are in flight (typically before traffic
+  // starts): in-flight generic coroutines and burst flights don't migrate.
+  void SetForwardPath(ForwardPath path) { forward_path_ = path; }
+
+  // Monotone counter bumped by every topology mutation (VLAN membership,
+  // port moves, link state, endpoint creation); versions the flow caches.
+  uint64_t topology_epoch() const { return topology_epoch_; }
+
+  // Rolling digest over delivered frames: each delivery folds a tag of
+  // (src, dst, vlan, wire bytes, kind, payload, rpc header).  Tags are
+  // accumulated commutatively *within* a sim-time instant and the instant
+  // totals are chained in time order, so the digest pins the delivered
+  // multiset per instant while staying independent of intra-instant
+  // micro-ordering — by construction it is byte-identical between the
+  // burst and generic paths, across schedulers, and across shard counts.
+  uint64_t frame_digest() const;
+  // Delivered frame copies (duplicates from fault injection included).
+  uint64_t frames_delivered() const { return frames_delivered_; }
+
+  // --- Wire-level capture (src/net/pcap.h) --------------------------------
+  // Attaches a pcap tap to a port: every frame the port sends or receives
+  // is appended to the capture in delivery order with sim-time
+  // timestamps.  The writer is borrowed, not owned; detach (or keep the
+  // writer alive) before it goes away.  One frame is written once even
+  // when both its ports share a writer.
+  void AttachPcapTap(Address endpoint, PcapWriter* writer);
+  void DetachPcapTap(Address endpoint);
+
   // Uplink ingress: delivers a frame that originated on a remote fabric
   // partition (the sharded runtime, src/sim/shard.h) into this network.
   // The frame already paid its inter-rack latency as shard lookahead, so
@@ -247,7 +318,64 @@ class Network {
  private:
   friend class Endpoint;
 
+  // --- Burst fast path (DESIGN.md §15) ------------------------------------
+  // One in-flight frame.  Flights live in a stable-address arena with a
+  // freelist, so the steady-state path performs no allocation; `pending`
+  // counts outstanding NIC/uplink demands and the flight completes when
+  // the last ConsumeAsync callback lands.
+  struct Flight {
+    MessageBox box;
+    Endpoint* sender = nullptr;  // nullptr for injected (cross-shard) frames
+    Endpoint* receiver = nullptr;
+    sim::Event* done = nullptr;  // completion signal for awaited sends
+    sim::Duration extra_delay{};
+    uint64_t epoch = 0;  // topology epoch at send time
+    uint32_t pool_index = 0;
+    VlanId vlan = 0;
+    int16_t pending = 0;
+    int16_t duplicates = 0;
+    bool injected = false;
+  };
+  struct DeliveryRecord {
+    Flight* flight;
+    sim::Time due;
+  };
+  // Per-burst accumulator: interned-counter updates and per-link byte
+  // totals are batched here and flushed once per burst (run-length
+  // accumulation over consecutive deliveries on the same link).
+  struct BurstStats {
+    obs::Registry* registry = nullptr;
+    uint64_t forwarded = 0;
+    uint64_t duplicated = 0;
+    uint64_t injected = 0;
+    uint32_t tx_id = 0;
+    uint64_t tx_bytes = 0;
+    uint32_t rx_id = 0;
+    uint64_t rx_bytes = 0;
+  };
+
   sim::Task InjectBoxed(Endpoint* receiver, MessageBox message, VlanId tag);
+
+  void StartFlight(Endpoint* sender, Address dst, MessageBox box,
+                   sim::Event* done);
+  void StartInjectFlight(Endpoint* receiver, MessageBox box, VlanId tag);
+  Flight* AcquireFlight();
+  void FinishFlight(Flight* flight);
+  void OnConsumeComplete(uint64_t token) override;
+  void CompleteFlight(Flight* flight);
+  void EnqueueDelivery(Flight* flight, sim::Time due);
+  void DrainDeliveries();
+  void DeliverFlight(Flight* flight, BurstStats& stats);
+  void FlushBurstStats(BurstStats& stats);
+  void QueueForPump(Endpoint* receiver);
+  void PumpReceivers();
+  // Per-delivered-copy bookkeeping shared by both paths: frame digest,
+  // delivered counter, and the pcap taps of the two ports.
+  void RecordDelivery(Endpoint* sender, Endpoint* receiver, VlanId vlan,
+                      const Message& message);
+  void FoldFrameDigest(VlanId vlan, const Message& message);
+  void SealFrameInstant();
+  void BumpTopologyEpoch() { ++topology_epoch_; }
 
   sim::Simulation& sim_;
   sim::Duration latency_;
@@ -270,6 +398,29 @@ class Network {
   uint64_t fault_drops_ = 0;
   uint64_t fault_duplicates_ = 0;
   uint64_t injected_frames_ = 0;
+
+  // --- Burst fast-path state ---------------------------------------------
+  ForwardPath forward_path_;  // constructor reads BOLTED_NET_PATH
+  uint64_t topology_epoch_ = 1;
+  std::deque<Flight> flight_arena_;  // stable addresses; index = pool_index
+  std::vector<uint32_t> flight_free_;
+  // Pending deliveries in due order (dues are monotone: every ring entry
+  // is completion-time + the network's fixed latency; fault-delayed
+  // frames bypass the ring with their own event).  One scheduled event
+  // covers the ring head; firing it drains the whole same-instant batch.
+  sim::RingQueue<DeliveryRecord> delivery_ring_;
+  bool delivery_event_pending_ = false;
+  // Receivers touched by the current burst, pumped (inbox waiters resumed
+  // inline) after every frame of the instant has been enqueued.
+  sim::SmallVec<Endpoint*, 16> pump_list_;
+  bool pumping_ = false;
+
+  // --- Frame trace digest -------------------------------------------------
+  uint64_t frames_delivered_ = 0;
+  uint64_t frame_digest_rolling_ = 0x626f6c746564u;  // "bolted"
+  sim::Time frame_digest_instant_{};
+  uint64_t frame_digest_acc_ = 0;
+  uint64_t frame_digest_count_ = 0;
 };
 
 }  // namespace bolted::net

@@ -35,16 +35,25 @@ void SharedResource::Sync() {
   // arrival order).  The threshold is relative to capacity: anything under
   // a picosecond of work counts as done, which (together with the 1 ns
   // minimum reschedule below) guarantees forward progress despite
-  // floating-point residue.  Set() only schedules the resume, so the
-  // frame holding the job's Event stays alive until after the pop.
+  // floating-point residue.  The job is copied out and fully accounted
+  // *before* its completion is signalled: Set() only schedules the resume
+  // (the frame holding the job's Event stays alive until after the pop),
+  // and a sink callback may reentrantly push new jobs onto this very
+  // resource — the heap and the served-units counters are consistent at
+  // that point, and the re-check of front() on the next loop iteration
+  // picks up anything a nested Sync() already drained.
   const double epsilon = capacity_ * 1e-12;
   while (!jobs_.empty() && jobs_.front().finish_v - v_ <= epsilon) {
-    Job& job = jobs_.front();
-    job.done->Set();
+    const Job job = jobs_.front();
     completed_ += job.finish_v - job.start_v;
     start_v_sum_ -= job.start_v;
     std::pop_heap(jobs_.begin(), jobs_.end(), JobLater{});
     jobs_.pop_back();
+    if (job.done != nullptr) {
+      job.done->Set();
+    } else {
+      job.sink->OnConsumeComplete(job.token);
+    }
   }
 
   if (has_pending_event_) {
@@ -81,6 +90,23 @@ sim::Task SharedResource::Consume(double amount) {
   start_v_sum_ += v_;
   Sync();
   co_await done;
+}
+
+void SharedResource::ConsumeAsync(double amount, ConsumeSink* sink,
+                                  uint64_t token) {
+  if (amount <= 0) {
+    sink->OnConsumeComplete(token);
+    return;
+  }
+  // Identical arrival bookkeeping to Consume(): settle to now, push the
+  // job, resync.  The finish *instant* therefore matches the coroutine
+  // path bit for bit — which is what keeps burst-path and generic-path
+  // frame timings (and hence trace digests) interchangeable.
+  AdvanceTo(sim_.now());
+  jobs_.push_back(Job{v_ + amount, v_, next_seq_++, nullptr, sink, token});
+  std::push_heap(jobs_.begin(), jobs_.end(), JobLater{});
+  start_v_sum_ += v_;
+  Sync();
 }
 
 sim::Task ConsumeAll(sim::Simulation& sim, std::vector<SharedResource*> resources,

@@ -230,6 +230,26 @@ class Channel {
     items_.push_back(std::move(value));
   }
 
+  // Enqueues without waking a waiter; pair with PumpWaiters().  The
+  // network's burst delivery uses this two-phase form so that every frame
+  // of a sim-time instant lands in its inbox before any receiver runs —
+  // the same delivery-then-wake order the event-per-frame path produces.
+  void Enqueue(T value) { items_.push_back(std::move(value)); }
+
+  // Hands queued items to queued waiters in FIFO order, resuming each
+  // waiter inline (no scheduler round-trip).  The channel is consistent
+  // before every resume, so a resumed receiver may Recv, Send, or Enqueue
+  // reentrantly; the loop re-checks both queues each iteration.
+  void PumpWaiters() {
+    while (!waiters_.empty() && !items_.empty()) {
+      RecvAwaiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      waiter->slot = std::move(items_.front());
+      items_.pop_front();
+      waiter->handle.resume();
+    }
+  }
+
   size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
 
